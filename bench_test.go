@@ -1,0 +1,414 @@
+// Package digs_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (go test -bench=. -benchmem).
+// Each benchmark runs a reduced-size campaign of the corresponding
+// experiment and reports the figure's headline numbers as custom metrics,
+// so a bench run doubles as a regression check on the reproduced results.
+// The digs-bench command runs the same experiments at full size.
+package digs_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/digs-net/digs/internal/core"
+	"github.com/digs-net/digs/internal/experiments"
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/metrics"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+	"github.com/digs-net/digs/internal/whart"
+)
+
+// BenchmarkFig03NetworkManagerUpdate regenerates Figure 3: the centralized
+// WirelessHART Network Manager's update cycle on all four deployments.
+func BenchmarkFig03NetworkManagerUpdate(b *testing.B) {
+	var fullA, halfA time.Duration
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Topology {
+			case "testbed-a":
+				fullA = r.Total
+			case "half-testbed-a":
+				halfA = r.Total
+			}
+		}
+	}
+	b.ReportMetric(fullA.Seconds(), "fullA-update-s")
+	b.ReportMetric(halfA.Seconds(), "halfA-update-s")
+}
+
+// BenchmarkFig04OrchestraRepairTime regenerates Figure 4: Orchestra's
+// repair time when jammers switch on.
+func BenchmarkFig04OrchestraRepairTime(b *testing.B) {
+	var median float64
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultRepairOptions()
+		opts.JammerCounts = []int{2}
+		opts.Repetitions = 2
+		rs, err := experiments.RunFig4And5(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		median = metrics.Quantile(experiments.RepairTimesSeconds(rs), 0.5)
+	}
+	b.ReportMetric(median, "repair-median-s")
+}
+
+// BenchmarkFig05PDRDuringRepair regenerates Figure 5: flow PDR during the
+// repair window per jammer count.
+func BenchmarkFig05PDRDuringRepair(b *testing.B) {
+	var median float64
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultRepairOptions()
+		opts.JammerCounts = []int{3}
+		opts.Repetitions = 1
+		rs, err := experiments.RunFig4And5(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		median = metrics.Quantile(rs[0].FlowPDRs, 0.5)
+	}
+	b.ReportMetric(median, "repair-pdr-median")
+}
+
+// interferenceBench shares the Figure 9 / Figure 10 harness.
+func interferenceBench(b *testing.B, testbed string, dutyCycleMetric bool) {
+	b.Helper()
+	var dPDR, oPDR, dLat, oLat float64
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultInterferenceOptions(testbed)
+		opts.FlowSets = 10
+		res, err := experiments.RunInterference(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dPDR = metrics.Mean(experiments.PDRs(res.DiGS))
+		oPDR = metrics.Mean(experiments.PDRs(res.Orchestra))
+		dLat = metrics.Quantile(experiments.AllLatenciesMs(res.DiGS), 0.5)
+		oLat = metrics.Quantile(experiments.AllLatenciesMs(res.Orchestra), 0.5)
+	}
+	b.ReportMetric(dPDR, "digs-pdr")
+	b.ReportMetric(oPDR, "orchestra-pdr")
+	b.ReportMetric(dLat, "digs-latency-ms")
+	b.ReportMetric(oLat, "orchestra-latency-ms")
+	_ = dutyCycleMetric
+}
+
+// BenchmarkFig09aPDRInterferenceA regenerates Figure 9(a)/(b)/(e):
+// Testbed A under three WiFi jammers, both stacks.
+func BenchmarkFig09aPDRInterferenceA(b *testing.B) {
+	interferenceBench(b, "A", false)
+}
+
+// BenchmarkFig09fMicrobenchmark regenerates Figure 9(f): packet-level
+// delivery around a jammer burst.
+func BenchmarkFig09fMicrobenchmark(b *testing.B) {
+	var delivered float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig9f(experiments.DiGS, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total, got := 0, 0
+		for _, seqs := range res.Delivered {
+			for _, ok := range seqs {
+				total++
+				if ok {
+					got++
+				}
+			}
+		}
+		delivered = float64(got) / float64(total)
+	}
+	b.ReportMetric(delivered, "digs-burst-window-pdr")
+}
+
+// BenchmarkFig10TestbedB regenerates Figure 10: the Testbed B campaign.
+func BenchmarkFig10TestbedB(b *testing.B) {
+	interferenceBench(b, "B", false)
+}
+
+// BenchmarkFig11aNodeFailurePDR regenerates Figure 11(a)/(c): per-flow PDR
+// and power with routers killed in turn.
+func BenchmarkFig11aNodeFailurePDR(b *testing.B) {
+	var dPDR, oPDR float64
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultFailureOptions()
+		opts.Repetitions = 2
+		digs, orch, err := experiments.RunFig11(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dPDR = metrics.Mean(digs.FlowPDRs)
+		oPDR = metrics.Mean(orch.FlowPDRs)
+	}
+	b.ReportMetric(dPDR, "digs-pdr")
+	b.ReportMetric(oPDR, "orchestra-pdr")
+}
+
+// BenchmarkFig11bFailureMicrobenchmark regenerates Figure 11(b): the
+// packet-level record around a router death.
+func BenchmarkFig11bFailureMicrobenchmark(b *testing.B) {
+	var delivered float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig11b(experiments.DiGS, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total, got := 0, 0
+		for _, seqs := range res.Delivered {
+			for _, ok := range seqs {
+				total++
+				if ok {
+					got++
+				}
+			}
+		}
+		delivered = float64(got) / float64(total)
+	}
+	b.ReportMetric(delivered, "digs-failure-window-pdr")
+}
+
+// BenchmarkFig12LargeScale regenerates Figure 12: the 150-node simulation
+// study with periodic disturbers.
+func BenchmarkFig12LargeScale(b *testing.B) {
+	var dPDR, oPDR float64
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultLargeScaleOptions()
+		opts.FlowSets = 4
+		res, err := experiments.RunFig12(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dPDR = metrics.Mean(experiments.PDRs(res.DiGS))
+		oPDR = metrics.Mean(experiments.PDRs(res.Orchestra))
+	}
+	b.ReportMetric(dPDR, "digs-pdr")
+	b.ReportMetric(oPDR, "orchestra-pdr")
+}
+
+// BenchmarkFig13Initialization regenerates Figure 13: joining times under
+// both stacks.
+func BenchmarkFig13Initialization(b *testing.B) {
+	var dMean, oMean float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig13(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := func(ds []time.Duration) float64 {
+			t := 0.0
+			for _, d := range ds {
+				t += d.Seconds()
+			}
+			return t / float64(len(ds))
+		}
+		dMean, oMean = sum(res.DiGS), sum(res.Orchestra)
+	}
+	b.ReportMetric(dMean, "digs-join-mean-s")
+	b.ReportMetric(oMean, "orchestra-join-mean-s")
+}
+
+// BenchmarkEq5Contention exercises the Section VI-B analysis formulas.
+func BenchmarkEq5Contention(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += core.ContentionProbability(0.5, 50, 47)
+		sink += core.ExpectedAppSkip(core.DefaultConfig(2))
+	}
+	if sink == 0 {
+		b.Fatal("degenerate analysis results")
+	}
+}
+
+// --- Ablations: the design choices DESIGN.md section 5 calls out. ---
+
+// BenchmarkAblationSingleVsDualParent isolates graph routing's route
+// diversity where it matters most: DiGS with the backup route disabled vs
+// full DiGS, with routers killed in turn (the Figure 11 scenario).
+func BenchmarkAblationSingleVsDualParent(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultFailureOptions()
+		opts.Repetitions = 3
+		full, err := experiments.RunFailureSingle(experiments.DiGS, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig(2)
+		cfg.DisableBackup = true
+		opts.DiGSConfig = &cfg
+		single, err := experiments.RunFailureSingle(experiments.DiGS, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with = metrics.Mean(full.FlowPDRs)
+		without = metrics.Mean(single.FlowPDRs)
+	}
+	b.ReportMetric(with, "dual-parent-pdr")
+	b.ReportMetric(without, "single-parent-pdr")
+}
+
+// BenchmarkAblationWeightedETX isolates Eq. (1): the weighted-ETX
+// advertisement vs a plain primary-path cost, under router failures
+// (the weighted cost prices backup-path quality into route choice).
+func BenchmarkAblationWeightedETX(b *testing.B) {
+	var weighted, plain float64
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultFailureOptions()
+		opts.Repetitions = 3
+		full, err := experiments.RunFailureSingle(experiments.DiGS, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig(2)
+		cfg.PlainETX = true
+		opts.DiGSConfig = &cfg
+		pl, err := experiments.RunFailureSingle(experiments.DiGS, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		weighted = metrics.Mean(full.FlowPDRs)
+		plain = metrics.Mean(pl.FlowPDRs)
+	}
+	b.ReportMetric(weighted, "weighted-etx-pdr")
+	b.ReportMetric(plain, "plain-etx-pdr")
+}
+
+// BenchmarkAblationTrickle contrasts Trickle-paced join-in beacons against
+// a fixed-minimum-interval beacon (no interval growth): control overhead
+// in control transmissions per node per minute.
+func BenchmarkAblationTrickle(b *testing.B) {
+	var trickleTx, fixedTx float64
+	for i := 0; i < b.N; i++ {
+		trickleTx = controlTxRate(b, core.DefaultConfig(2))
+		cfg := core.DefaultConfig(2)
+		// Fixed 5 s beacon interval, no growth. (At Imin itself the
+		// shared slot saturates and the network cannot even form — the
+		// strongest possible argument for Trickle.)
+		cfg.Trickle.IminSlots = 500
+		cfg.Trickle.Doublings = 0
+		fixedTx = controlTxRate(b, cfg)
+	}
+	b.ReportMetric(trickleTx, "trickle-ctrl-tx-per-node-min")
+	b.ReportMetric(fixedTx, "fixed-ctrl-tx-per-node-min")
+}
+
+// BenchmarkCentralVsDistributedRoutes compares the centralized Network
+// Manager's graph (global knowledge) with what DiGS builds distributedly:
+// backup coverage of each.
+func BenchmarkCentralVsDistributedRoutes(b *testing.B) {
+	var central float64
+	for i := 0; i < b.N; i++ {
+		topo := topology.TestbedA()
+		routes, err := whart.ComputeGraphRoutes(topo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		central = routes.BackupCoverage(topo)
+	}
+	b.ReportMetric(central, "central-backup-coverage")
+}
+
+// controlTxRate converges a DiGS network with the given configuration and
+// returns steady-state control transmissions per node per minute.
+func controlTxRate(b *testing.B, cfg core.Config) float64 {
+	b.Helper()
+	topo := topology.TestbedA()
+	nw := sim.NewNetwork(topo, 3)
+	net, err := core.Build(nw, cfg, mac.DefaultConfig(), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, ok := nw.RunUntil(sim.SlotsFor(4*time.Minute), func() bool {
+		return net.JoinedCount() == topo.N()
+	}); !ok {
+		b.Fatal("network did not converge")
+	}
+	nw.Run(sim.SlotsFor(time.Minute)) // settle
+	before := int64(0)
+	for i := 1; i <= topo.N(); i++ {
+		before += net.Nodes[i].Stats().TxControl
+	}
+	const window = 3 * time.Minute
+	nw.Run(sim.SlotsFor(window))
+	after := int64(0)
+	for i := 1; i <= topo.N(); i++ {
+		after += net.Nodes[i].Stats().TxControl
+	}
+	return float64(after-before) / float64(topo.N()) / window.Minutes()
+}
+
+// BenchmarkWirelessHARTStaticVsFailure runs the executable centralized
+// baseline through the node-failure scenario: with a static schedule the
+// degradation is permanent (the Figure 3 motivation), in contrast to
+// DiGS's distributed failover in BenchmarkFig11aNodeFailurePDR.
+func BenchmarkWirelessHARTStaticVsFailure(b *testing.B) {
+	var clean, failed float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		clean, failed, err = experiments.RunWhartFailure(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(clean, "whart-clean-pdr")
+	b.ReportMetric(failed, "whart-failed-pdr")
+}
+
+// BenchmarkAblationAppFrameLength explores the latency/overhead trade the
+// application slotframe length sets: shorter frames mean more transmit
+// opportunities per second (lower latency) at more idle listening.
+func BenchmarkAblationAppFrameLength(b *testing.B) {
+	lengths := []int64{97, 151, 307}
+	medians := make([]float64, len(lengths))
+	pdrs := make([]float64, len(lengths))
+	for i := 0; i < b.N; i++ {
+		for li, l := range lengths {
+			cfg := core.DefaultConfig(2)
+			cfg.AppFrameLen = l
+			opts := experiments.DefaultInterferenceOptions("A")
+			opts.FlowSets = 6
+			opts.DiGSConfig = &cfg
+			rs, err := experiments.RunInterferenceSingle(experiments.DiGS, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			medians[li] = metrics.Quantile(experiments.AllLatenciesMs(rs), 0.5)
+			pdrs[li] = metrics.Mean(experiments.PDRs(rs))
+		}
+	}
+	b.ReportMetric(medians[0], "latency-ms-L97")
+	b.ReportMetric(medians[1], "latency-ms-L151")
+	b.ReportMetric(medians[2], "latency-ms-L307")
+	b.ReportMetric(pdrs[1], "pdr-L151")
+}
+
+// BenchmarkAblationAttempts varies A, the transmission attempts scheduled
+// per packet per slotframe (Eq. 4): A=2 drops the backup attempt's
+// redundancy budget, A=4 doubles the primary retries.
+func BenchmarkAblationAttempts(b *testing.B) {
+	attempts := []int{2, 3, 4}
+	pdrs := make([]float64, len(attempts))
+	for i := 0; i < b.N; i++ {
+		for ai, a := range attempts {
+			cfg := core.DefaultConfig(2)
+			cfg.Attempts = a
+			opts := experiments.DefaultInterferenceOptions("A")
+			opts.FlowSets = 6
+			opts.DiGSConfig = &cfg
+			rs, err := experiments.RunInterferenceSingle(experiments.DiGS, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pdrs[ai] = metrics.Mean(experiments.PDRs(rs))
+		}
+	}
+	b.ReportMetric(pdrs[0], "pdr-A2")
+	b.ReportMetric(pdrs[1], "pdr-A3")
+	b.ReportMetric(pdrs[2], "pdr-A4")
+}

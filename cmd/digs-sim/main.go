@@ -1,0 +1,282 @@
+// Command digs-sim runs one WSAN scenario: it builds a topology, boots the
+// chosen protocol stack (DiGS or the Orchestra baseline), optionally adds
+// WiFi jammers and a node failure, drives periodic uplink flows and prints
+// the resulting reliability, latency and energy figures.
+//
+// Examples:
+//
+//	digs-sim -topology testbed-a -protocol digs -duration 2m
+//	digs-sim -topology testbed-b -protocol orchestra -jammers 3
+//	digs-sim -topology random-150 -protocol digs -flows 20 -period 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/digs-net/digs/internal/core"
+	"github.com/digs-net/digs/internal/flows"
+	"github.com/digs-net/digs/internal/interference"
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/metrics"
+	"github.com/digs-net/digs/internal/orchestra"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+	"github.com/digs-net/digs/internal/whart"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "digs-sim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	topology string
+	protocol string
+	duration time.Duration
+	period   time.Duration
+	flows    int
+	jammers  int
+	failNode int
+	seed     int64
+	verbose  bool
+}
+
+func run() error {
+	var opts options
+	flag.StringVar(&opts.topology, "topology", "testbed-a",
+		"deployment: testbed-a, testbed-b, half-testbed-a, half-testbed-b, random-150")
+	flag.StringVar(&opts.protocol, "protocol", "digs", "stack: digs, orchestra or whart (static centralized)")
+	flag.DurationVar(&opts.duration, "duration", 2*time.Minute, "measurement window")
+	flag.DurationVar(&opts.period, "period", 5*time.Second, "packet period per flow")
+	flag.IntVar(&opts.flows, "flows", 0, "number of flows (0 = the testbed's suggested sources)")
+	flag.IntVar(&opts.jammers, "jammers", 0, "WiFi jammers to enable (0..3)")
+	flag.IntVar(&opts.failNode, "fail", 0, "node ID to fail mid-run (0 = none)")
+	flag.Int64Var(&opts.seed, "seed", 1, "simulation seed")
+	flag.BoolVar(&opts.verbose, "v", false, "print per-flow results")
+	dumpNode := flag.Int("dump-schedule", 0,
+		"print the combined-schedule roles of this node for one hyperperiod window and exit")
+	flag.Parse()
+
+	topo, err := pickTopology(opts.topology)
+	if err != nil {
+		return err
+	}
+
+	nw := sim.NewNetwork(topo, opts.seed)
+	var (
+		macNode   func(i int) *mac.Node
+		joined    func() int
+		onDeliver func(func(sim.ASN, *sim.Frame))
+		schedule  func(id int, asn sim.ASN) mac.Assignment
+	)
+	switch opts.protocol {
+	case "digs":
+		net, err := core.Build(nw, core.DefaultConfig(topo.NumAPs), mac.DefaultConfig(), opts.seed)
+		if err != nil {
+			return err
+		}
+		macNode = func(i int) *mac.Node { return net.Nodes[i] }
+		joined = net.JoinedCount
+		onDeliver = net.OnDeliver
+		schedule = func(id int, asn sim.ASN) mac.Assignment {
+			return net.Stacks[id].Assignment(asn)
+		}
+	case "orchestra":
+		net, err := orchestra.Build(nw, orchestra.DefaultConfig(), mac.DefaultConfig(), opts.seed)
+		if err != nil {
+			return err
+		}
+		macNode = func(i int) *mac.Node { return net.Nodes[i] }
+		joined = net.JoinedCount
+		onDeliver = net.OnDeliver
+	case "whart":
+		// The centralized baseline needs its flows up front: the Network
+		// Manager computes the TDMA schedule for them.
+		var fl []whart.Flow
+		srcs := topo.SuggestedSources
+		if opts.flows > 0 {
+			rng := newRand(opts.seed)
+			rf, err := flows.RandomSet(topo, opts.flows, opts.period, rng)
+			if err != nil {
+				return err
+			}
+			srcs = srcs[:0]
+			for _, f := range rf {
+				srcs = append(srcs, f.Source)
+			}
+		}
+		for i, src := range srcs {
+			fl = append(fl, whart.Flow{
+				ID: uint16(i + 1), Source: src,
+				PeriodSlots: sim.SlotsFor(opts.period),
+			})
+		}
+		net, err := whart.Build(nw, fl, mac.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		macNode = func(i int) *mac.Node { return net.Nodes[i] }
+		// Static stacks have their schedule pre-installed; "joined" means
+		// time-synchronised.
+		joined = func() int {
+			n := 0
+			for i := 1; i <= topo.N(); i++ {
+				if ok, _ := net.Nodes[i].Synced(); ok {
+					n++
+				}
+			}
+			return n
+		}
+		onDeliver = net.OnDeliver
+	default:
+		return fmt.Errorf("unknown protocol %q", opts.protocol)
+	}
+
+	fmt.Printf("topology %s: %d nodes (%d APs), protocol %s\n",
+		topo.Name, topo.N(), topo.NumAPs, opts.protocol)
+
+	// Formation.
+	formSlots, ok := nw.RunUntil(sim.SlotsFor(6*time.Minute), func() bool {
+		return joined() == topo.N()
+	})
+	if !ok {
+		return fmt.Errorf("only %d/%d nodes joined during formation", joined(), topo.N())
+	}
+	fmt.Printf("network formed in %v\n", sim.TimeAt(formSlots))
+	nw.Run(sim.SlotsFor(30 * time.Second))
+
+	if *dumpNode > 0 {
+		if schedule == nil {
+			return fmt.Errorf("-dump-schedule is only supported for -protocol digs")
+		}
+		return dumpSchedule(nw, schedule, *dumpNode)
+	}
+
+	// Interference.
+	for j := 0; j < opts.jammers && j < len(topo.SuggestedJammers); j++ {
+		wifiCh := []int{1, 6, 11}[j%3]
+		nw.AddInterferer(&interference.Window{
+			Source:   interference.NewWiFiJammer(topo, topo.SuggestedJammers[j], wifiCh, opts.seed+int64(j)),
+			StartASN: nw.ASN(),
+		})
+		fmt.Printf("jammer on node %d (WiFi channel %d)\n", topo.SuggestedJammers[j], wifiCh)
+	}
+
+	// Flows.
+	var fset []flows.Flow
+	if opts.flows <= 0 && len(topo.SuggestedSources) > 0 {
+		fset = flows.FixedSet(topo.SuggestedSources, opts.period)
+	} else {
+		n := opts.flows
+		if n <= 0 {
+			n = 8
+		}
+		rng := newRand(opts.seed)
+		fset, err = flows.RandomSet(topo, n, opts.period, rng)
+		if err != nil {
+			return err
+		}
+	}
+
+	col := metrics.NewCollector()
+	onDeliver(func(asn sim.ASN, f *sim.Frame) { col.Delivered(f.FlowID, f.Seq, asn) })
+	packets := int(opts.duration / opts.period)
+	flows.Schedule(nw, fset, packets, func(f flows.Flow, seq uint16, asn sim.ASN) {
+		col.Sent(f.ID, seq, asn)
+		_ = macNode(int(f.Source)).InjectData(&sim.Frame{
+			Origin: f.Source, FlowID: f.ID, Seq: seq, BornASN: asn,
+		})
+	})
+
+	// Optional mid-run failure.
+	if opts.failNode > 0 {
+		half := nw.ASN() + sim.SlotsFor(opts.duration/2)
+		victim := topology.NodeID(opts.failNode)
+		nw.At(half, func() {
+			nw.Fail(victim)
+			fmt.Printf("node %d failed at %v\n", victim, sim.TimeAt(half))
+		})
+	}
+
+	startEnergy := totalEnergy(macNode, topo.N())
+	start := nw.ASN()
+	nw.Run(sim.SlotsFor(opts.duration + 15*time.Second))
+	elapsed := sim.TimeAt(nw.ASN() - start)
+	energy := totalEnergy(macNode, topo.N()) - startEnergy
+
+	// Report.
+	fmt.Printf("\n=== results (%v window, %d flows, %v period) ===\n",
+		opts.duration, len(fset), opts.period)
+	fmt.Printf("PDR:                 %.3f (%d/%d packets)\n",
+		col.PDR(), col.DeliveredCount(), col.SentCount())
+	lats := metrics.DurationsToMillis(col.Latencies())
+	if len(lats) > 0 {
+		fmt.Printf("latency median:      %.0f ms  (p90 %.0f ms, max %.0f ms)\n",
+			metrics.Quantile(lats, 0.5), metrics.Quantile(lats, 0.9), metrics.Max(lats))
+	}
+	fmt.Printf("power per packet:    %.3f mW\n",
+		metrics.PowerPerPacketMW(energy, elapsed, col.DeliveredCount()))
+	if opts.verbose {
+		for _, f := range fset {
+			fmt.Printf("  flow %2d (node %3d): PDR %.3f\n", f.ID, f.Source, col.FlowPDR(f.ID))
+		}
+	}
+	return nil
+}
+
+// dumpSchedule prints the node's combined-schedule decisions for the next
+// 600 slots (6 seconds): the autonomous schedule made visible.
+func dumpSchedule(nw *sim.Network, schedule func(int, sim.ASN) mac.Assignment, id int) error {
+	if id < 1 || id > nw.Topology().N() {
+		return fmt.Errorf("node %d outside the topology", id)
+	}
+	names := map[mac.SlotRole]string{
+		mac.RoleSleep: ".", mac.RoleTxEB: "E", mac.RoleRxEB: "e",
+		mac.RoleShared: "S", mac.RoleTxData: "T", mac.RoleRxData: "R",
+	}
+	fmt.Printf("combined schedule of node %d from ASN %d "+
+		"(E/e = EB tx/rx, S = shared, T/R = data tx/rx, . = sleep):\n", id, nw.ASN())
+	base := nw.ASN()
+	for row := 0; row < 12; row++ {
+		fmt.Printf("  %7d  ", base+int64(row*50))
+		for col := 0; col < 50; col++ {
+			a := schedule(id, base+int64(row*50+col))
+			fmt.Print(names[a.Role])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func pickTopology(name string) (*topology.Topology, error) {
+	switch name {
+	case "testbed-a":
+		return topology.TestbedA(), nil
+	case "testbed-b":
+		return topology.TestbedB(), nil
+	case "half-testbed-a":
+		return topology.HalfTestbedA(), nil
+	case "half-testbed-b":
+		return topology.HalfTestbedB(), nil
+	case "random-150":
+		return topology.NewRandom(150, 300, 300, 7), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func totalEnergy(macNode func(i int) *mac.Node, n int) float64 {
+	total := 0.0
+	for i := 1; i <= n; i++ {
+		total += macNode(i).Stats().EnergyJoules
+	}
+	return total
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

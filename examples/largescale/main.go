@@ -1,0 +1,46 @@
+// Large scale: the paper's Section VII-D study in miniature — 150 field
+// devices in a 300 m x 300 m area with five wide-band disturbers toggling
+// every five minutes, DiGS vs Orchestra side by side.
+//
+//	go run ./examples/largescale
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/digs-net/digs/internal/experiments"
+	"github.com/digs-net/digs/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "largescale:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	opts := experiments.DefaultLargeScaleOptions()
+	opts.FlowSets = 4 // keep the example interactive; digs-bench -fig 12 -full scales up
+	fmt.Printf("150 nodes over %.0f m x %.0f m, %d disturbers, %d flow sets x %d flows\n",
+		opts.AreaM, opts.AreaM, opts.Disturbers, opts.FlowSets, opts.FlowsPerSet)
+	fmt.Println("running both protocol stacks (this takes a minute)...")
+
+	res, err := experiments.RunFig12(opts)
+	if err != nil {
+		return err
+	}
+
+	report := func(name string, rs []experiments.FlowSetResult) {
+		pdrs := experiments.PDRs(rs)
+		lats := experiments.AllLatenciesMs(rs)
+		fmt.Printf("%-10s PDR mean %.3f (worst set %.3f), median latency %.0f ms, "+
+			"duty/packet %.4f%%\n",
+			name, metrics.Mean(pdrs), metrics.Min(pdrs), metrics.Quantile(lats, 0.5),
+			metrics.Quantile(experiments.DutiesPerPacket(rs), 0.5))
+	}
+	report("DiGS", res.DiGS)
+	report("Orchestra", res.Orchestra)
+	return nil
+}

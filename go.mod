@@ -1,0 +1,3 @@
+module github.com/digs-net/digs
+
+go 1.22

@@ -1,0 +1,60 @@
+package core
+
+import "math"
+
+// This file implements the performance-analysis formulas of Section VI-B.
+
+// ContentionProbability is Eq. (5): the probability that the shared
+// routing slot suffers contention, for average Poisson traffic load T on
+// the slot, N fully-connected nodes and slotframe length L.
+func ContentionProbability(trafficLoad float64, numNodes int, frameLen int64) float64 {
+	if trafficLoad <= 0 || numNodes <= 0 || frameLen <= 0 {
+		return 0
+	}
+	if frameLen >= int64(numNodes) {
+		return 1 - math.Exp(-trafficLoad*float64(frameLen)/float64(numNodes))
+	}
+	return 1 - math.Exp(-trafficLoad)
+}
+
+// SlotframeLoad describes one higher-priority slotframe for Eq. (6): how
+// many of its slots are active per period.
+type SlotframeLoad struct {
+	ActiveSlots int
+	Length      int64
+}
+
+// conflictProbability is p(conf_{A,B}): the chance a given slot of A
+// coincides with an active slot of B, for coprime slotframe lengths.
+func (l SlotframeLoad) conflictProbability() float64 {
+	if l.Length <= 0 {
+		return 0
+	}
+	p := float64(l.ActiveSlots) / float64(l.Length)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// SkipProbability is Eq. (6): the probability that a slot of slotframe A
+// is skipped during combination because some higher-priority slotframe
+// claims it.
+func SkipProbability(higherPriority []SlotframeLoad) float64 {
+	keep := 1.0
+	for _, b := range higherPriority {
+		keep *= 1 - b.conflictProbability()
+	}
+	return 1 - keep
+}
+
+// ExpectedAppSkip computes the Eq. (6) skip probability for an application
+// slot under the default DiGS configuration: it competes with the node's
+// sync slots (one TX + one RX per sync slotframe) and the shared routing
+// slot (one per routing slotframe).
+func ExpectedAppSkip(cfg Config) float64 {
+	return SkipProbability([]SlotframeLoad{
+		{ActiveSlots: 2, Length: cfg.SyncFrameLen},
+		{ActiveSlots: 1, Length: cfg.RoutingFrameLen},
+	})
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestContentionProbabilityEquationFive(t *testing.T) {
+	// L >= N branch: p = 1 - e^{-T*L/N}.
+	got := ContentionProbability(0.5, 10, 20)
+	want := 1 - math.Exp(-0.5*20.0/10.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("L>=N branch = %v, want %v", got, want)
+	}
+	// L < N branch: p = 1 - e^{-T}.
+	got = ContentionProbability(0.5, 100, 20)
+	want = 1 - math.Exp(-0.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("L<N branch = %v, want %v", got, want)
+	}
+	// Degenerate inputs.
+	if ContentionProbability(0, 10, 20) != 0 {
+		t.Fatal("zero load must give zero contention")
+	}
+	if ContentionProbability(0.5, 0, 20) != 0 {
+		t.Fatal("zero nodes must give zero contention")
+	}
+}
+
+func TestContentionProbabilityMonotoneInLoad(t *testing.T) {
+	prev := -1.0
+	for load := 0.1; load < 5; load += 0.1 {
+		p := ContentionProbability(load, 50, 47)
+		if p <= prev {
+			t.Fatalf("contention not increasing at load %.1f", load)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("contention %.3f outside [0,1]", p)
+		}
+		prev = p
+	}
+}
+
+func TestSkipProbabilityEquationSix(t *testing.T) {
+	// No higher-priority slotframes: never skipped.
+	if got := SkipProbability(nil); got != 0 {
+		t.Fatalf("skip with no competitors = %v, want 0", got)
+	}
+	// One competitor with 2 active slots out of 10: p = 0.2.
+	got := SkipProbability([]SlotframeLoad{{ActiveSlots: 2, Length: 10}})
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("single competitor = %v, want 0.2", got)
+	}
+	// Two competitors compose: 1 - (1-0.2)(1-0.1) = 0.28.
+	got = SkipProbability([]SlotframeLoad{
+		{ActiveSlots: 2, Length: 10},
+		{ActiveSlots: 1, Length: 10},
+	})
+	if math.Abs(got-0.28) > 1e-12 {
+		t.Fatalf("two competitors = %v, want 0.28", got)
+	}
+	// Saturated competitor clamps at 1.
+	got = SkipProbability([]SlotframeLoad{{ActiveSlots: 20, Length: 10}})
+	if got != 1 {
+		t.Fatalf("saturated competitor = %v, want 1", got)
+	}
+}
+
+func TestExpectedAppSkipIsSmallForPaperConfig(t *testing.T) {
+	// The paper argues the skip probability is very low in practice for
+	// the 557/47/151 configuration; with 2 sync slots and 1 shared slot
+	// it is 2/557 + 1/47 - overlap ~ 2.5%.
+	p := ExpectedAppSkip(DefaultConfig(2))
+	if p <= 0 || p > 0.05 {
+		t.Fatalf("expected app skip = %.4f, want small but positive (<5%%)", p)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/trickle"
+)
+
+// Config holds the DiGS stack parameters. The defaults reproduce the
+// paper's evaluation setup (Section VII): slotframe lengths 557 / 47 / 151
+// and the WirelessHART rule of three transmission attempts per packet, the
+// first two over the primary route and the last over the backup route.
+type Config struct {
+	// NumAPs is the number of access points (they hold the lowest IDs).
+	NumAPs int
+
+	// SyncFrameLen, RoutingFrameLen and AppFrameLen are the three
+	// slotframe periods in slots. They should be pairwise coprime so no
+	// traffic class is starved by schedule combination.
+	SyncFrameLen    int64
+	RoutingFrameLen int64
+	AppFrameLen     int64
+
+	// Attempts is A: transmission attempts scheduled per packet per app
+	// slotframe. Attempts 1..A-1 use the best parent, attempt A the
+	// second-best.
+	Attempts int
+
+	// Trickle controls join-in beaconing, in slot units. A firing latches
+	// a join-in that goes out in the next shared slot the node wins.
+	Trickle trickle.Config
+
+	// NeighborTimeout and ChildTimeout expire stale routing state.
+	NeighborTimeout time.Duration
+	ChildTimeout    time.Duration
+
+	// MaintainEvery is how often expiry and reselection run.
+	MaintainEvery time.Duration
+
+	// RankGranularity is the MinHopRankIncrease analogue: the per-hop rank
+	// step is the link ETX scaled by this factor. 1 reproduces the paper's
+	// +1-per-hop exposition; the default 4 gives the finer strata RPL
+	// implementations use, which widens backup-parent eligibility.
+	RankGranularity int
+
+	// DisableBackup turns off the backup route (ablation: all attempts go
+	// to the best parent, isolating the value of graph routing's route
+	// diversity).
+	DisableBackup bool
+
+	// PlainETX advertises the primary path's accumulated ETX instead of
+	// the Eq. (1) weighted blend (ablation for the weighted cost).
+	PlainETX bool
+}
+
+// DefaultConfig returns the paper's evaluation configuration.
+func DefaultConfig(numAPs int) Config {
+	return Config{
+		NumAPs:          numAPs,
+		SyncFrameLen:    557,
+		RoutingFrameLen: 47,
+		AppFrameLen:     151,
+		Attempts:        3,
+		// Imin 1 s, Imax ~2 min.
+		Trickle:         trickle.Config{IminSlots: 100, Doublings: 7, K: 6},
+		NeighborTimeout: 5 * time.Minute,
+		ChildTimeout:    5 * time.Minute,
+		MaintainEvery:   5 * time.Second,
+		RankGranularity: 4,
+	}
+}
+
+// Validate checks the configuration for structural problems.
+func (c Config) Validate() error {
+	if c.NumAPs < 1 {
+		return fmt.Errorf("digs config: NumAPs %d, want >= 1", c.NumAPs)
+	}
+	if c.SyncFrameLen <= 0 || c.RoutingFrameLen <= 0 || c.AppFrameLen <= 0 {
+		return fmt.Errorf("digs config: slotframe lengths must be positive (%d, %d, %d)",
+			c.SyncFrameLen, c.RoutingFrameLen, c.AppFrameLen)
+	}
+	if c.Attempts < 1 {
+		return fmt.Errorf("digs config: Attempts %d, want >= 1", c.Attempts)
+	}
+	if gcd(c.SyncFrameLen, c.RoutingFrameLen) != 1 ||
+		gcd(c.SyncFrameLen, c.AppFrameLen) != 1 ||
+		gcd(c.RoutingFrameLen, c.AppFrameLen) != 1 {
+		return fmt.Errorf("digs config: slotframe lengths %d, %d, %d must be pairwise coprime",
+			c.SyncFrameLen, c.RoutingFrameLen, c.AppFrameLen)
+	}
+	return nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func (c Config) neighborTimeoutSlots() sim.ASN { return sim.SlotsFor(c.NeighborTimeout) }
+func (c Config) childTimeoutSlots() sim.ASN    { return sim.SlotsFor(c.ChildTimeout) }
+func (c Config) maintainSlots() sim.ASN        { return sim.SlotsFor(c.MaintainEvery) }

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"math"
+
+	"github.com/digs-net/digs/internal/link"
+	"github.com/digs-net/digs/internal/phy"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// parentSwitchMargin is the accumulated-ETX improvement a challenger needs
+// to displace the incumbent best parent (route-flap damping).
+const parentSwitchMargin = 1.25
+
+// neighborEntry caches the last advertisement heard from a neighbour.
+type neighborEntry struct {
+	rank      uint16
+	etxw      float64
+	lastHeard sim.ASN
+}
+
+// childEntry tracks a downstream node that selected us as a parent.
+type childEntry struct {
+	role      ParentRole
+	lastHeard sim.ASN
+}
+
+// Router holds one node's DiGS graph-routing state and implements
+// Algorithm 1: parents are re-evaluated from the neighbour table whenever
+// an advertisement arrives or a transmission outcome moves a link's ETX.
+type Router struct {
+	id   topology.NodeID
+	isAP bool
+
+	rank uint16
+	etxw float64
+
+	best       topology.NodeID // 0 when none
+	second     topology.NodeID // 0 when none
+	etxaBest   float64
+	etxaSecond float64
+
+	est       *link.Estimator
+	neighbors map[topology.NodeID]neighborEntry
+	children  map[topology.NodeID]childEntry
+
+	neighborTimeout sim.ASN
+	childTimeout    sim.ASN
+
+	// rankScale is the RPL MinHopRankIncrease analogue: the rank step per
+	// hop is max(1, round(linkETX * rankScale)). The paper's exposition
+	// uses +1 per hop (scale such that a perfect link adds 1); the RPL
+	// implementations DiGS builds on scale rank by link cost, which gives
+	// the fine-grained strata that make backup parents widely available.
+	rankScale int
+
+	// plainETX advertises the primary accumulated ETX instead of the
+	// Eq. (1) weighted blend (ablation knob).
+	plainETX bool
+
+	// firstParentAt records when the node first selected a best parent
+	// (the paper's Figure 13 joining-time metric).
+	firstParentAt sim.ASN
+	hasParentedAt bool
+
+	// parentChanges counts best/second reselections (control-plane churn).
+	parentChanges int64
+
+	childVersion int64
+}
+
+// NewRouter creates the routing state for one node. Access points are
+// graph roots: rank 1, ETXw 0 (Algorithm 1 initialisation). rankScale is
+// the MinHopRankIncrease analogue: 1 reproduces the paper's +1-per-hop
+// example ranks, larger values give finer strata.
+func NewRouter(id topology.NodeID, isAP bool, neighborTimeout, childTimeout sim.ASN, rankScale int) *Router {
+	if rankScale < 1 {
+		rankScale = 1
+	}
+	r := &Router{
+		id:              id,
+		isAP:            isAP,
+		rank:            RankInfinity,
+		etxw:            math.Inf(1),
+		est:             link.NewEstimator(),
+		neighbors:       make(map[topology.NodeID]neighborEntry),
+		children:        make(map[topology.NodeID]childEntry),
+		neighborTimeout: neighborTimeout,
+		childTimeout:    childTimeout,
+		rankScale:       rankScale,
+	}
+	if isAP {
+		r.rank = 1
+		r.etxw = 0
+	}
+	return r
+}
+
+// rankIncrease is the rank step for a hop over a link with the given ETX.
+func (r *Router) rankIncrease(linkETX float64) uint16 {
+	inc := int(linkETX*float64(r.rankScale) + 0.5)
+	if inc < 1 {
+		inc = 1
+	}
+	if r.rankScale > 1 && inc < r.rankScale {
+		inc = r.rankScale
+	}
+	return uint16(inc)
+}
+
+// Rank returns the node's current rank (RankInfinity before joining).
+func (r *Router) Rank() uint16 { return r.rank }
+
+// ETXw returns the node's weighted ETX (Eq. 1).
+func (r *Router) ETXw() float64 { return r.etxw }
+
+// Parents returns the best and second-best parents (0 when unset).
+func (r *Router) Parents() (best, second topology.NodeID) { return r.best, r.second }
+
+// Joined reports whether the node has a best parent (or is an AP).
+func (r *Router) Joined() bool { return r.isAP || r.best != 0 }
+
+// FirstParentAt returns when the node first acquired a best parent.
+func (r *Router) FirstParentAt() (sim.ASN, bool) { return r.firstParentAt, r.hasParentedAt }
+
+// ParentChanges returns the number of best/second parent reselections.
+func (r *Router) ParentChanges() int64 { return r.parentChanges }
+
+// Children returns the IDs of current children and the role this node
+// plays for each.
+func (r *Router) Children() map[topology.NodeID]ParentRole {
+	out := make(map[topology.NodeID]ParentRole, len(r.children))
+	for id, c := range r.children {
+		out[id] = c.role
+	}
+	return out
+}
+
+// Advertisement returns the join-in payload this node currently
+// advertises, and whether it should advertise at all (only joined nodes
+// broadcast join-in messages).
+func (r *Router) Advertisement() (JoinIn, bool) {
+	if !r.Joined() {
+		return JoinIn{}, false
+	}
+	etxw := r.etxw
+	if math.IsInf(etxw, 1) {
+		return JoinIn{}, false
+	}
+	return JoinIn{Rank: r.rank, ETXw: etxw}, true
+}
+
+// OnJoinIn folds a received join-in into the neighbour table and
+// re-evaluates parents. It returns true when the best or second-best
+// parent changed (the caller resets Trickle and emits joined-callbacks).
+func (r *Router) OnJoinIn(asn sim.ASN, from topology.NodeID, j JoinIn, rssiDBm float64) bool {
+	r.est.Observe(from, rssiDBm)
+	r.neighbors[from] = neighborEntry{rank: j.Rank, etxw: j.ETXw, lastHeard: asn}
+	if r.isAP {
+		return false
+	}
+	return r.reselect(asn)
+}
+
+// OnChildCallback records a joined-callback from a child.
+func (r *Router) OnChildCallback(asn sim.ASN, from topology.NodeID, cb JoinedCallback) {
+	if old, ok := r.children[from]; !ok || old.role != cb.Role {
+		r.childVersion++
+	}
+	r.children[from] = childEntry{role: cb.Role, lastHeard: asn}
+}
+
+// ChildVersion increments whenever the child set or roles change; schedule
+// caches key on it.
+func (r *Router) ChildVersion() int64 { return r.childVersion }
+
+// RefreshChild bumps a child's liveness on any traffic from it.
+func (r *Router) RefreshChild(asn sim.ASN, from topology.NodeID) {
+	if c, ok := r.children[from]; ok {
+		c.lastHeard = asn
+		r.children[from] = c
+	}
+}
+
+// Observe feeds link-quality information from any received frame.
+func (r *Router) Observe(from topology.NodeID, rssiDBm float64) {
+	r.est.Observe(from, rssiDBm)
+}
+
+// LinkETX exposes the current link estimate towards a neighbour.
+func (r *Router) LinkETX(n topology.NodeID) float64 {
+	return r.est.ETX(n)
+}
+
+// OnTxResult folds a unicast outcome into the link estimator and, on
+// failure, re-evaluates parents (the paper penalises ETX on transmission
+// errors, which is what eventually routes around degraded links). It
+// returns true when parents changed.
+func (r *Router) OnTxResult(asn sim.ASN, to topology.NodeID, acked bool) bool {
+	r.est.TxResult(to, acked)
+	if r.isAP || acked {
+		return false
+	}
+	return r.reselect(asn)
+}
+
+// Maintain expires stale neighbours and children; call it periodically.
+// It returns true when parents changed as a result.
+func (r *Router) Maintain(asn sim.ASN) bool {
+	for id, n := range r.neighbors {
+		if asn-n.lastHeard > r.neighborTimeout {
+			delete(r.neighbors, id)
+			r.est.Forget(id)
+		}
+	}
+	for id, c := range r.children {
+		if asn-c.lastHeard > r.childTimeout {
+			delete(r.children, id)
+			r.childVersion++
+		}
+	}
+	if r.isAP {
+		return false
+	}
+	return r.reselect(asn)
+}
+
+// accETX returns the accumulated ETX to the access points through a
+// neighbour: link ETX plus the neighbour's advertised weighted ETX
+// (Table I: ETXa(n, i) = ETX(n, i) + ETXw(i)).
+func (r *Router) accETX(n topology.NodeID, e neighborEntry) float64 {
+	l := r.est.ETX(n)
+	if l >= phy.ETXUnreachable {
+		return math.Inf(1)
+	}
+	return l + e.etxw
+}
+
+// reselect recomputes best and second-best parents from the neighbour
+// table, following Algorithm 1's selection rules:
+//
+//   - the best parent minimises accumulated ETX;
+//   - rank becomes the best parent's rank + 1;
+//   - the second-best parent minimises accumulated ETX among remaining
+//     neighbours whose rank is strictly smaller than the node's own rank
+//     (the no-same-rank-links rule that keeps the graph loop-free);
+//   - ETXw follows Eq. (1) with the weights of Eqs. (2) and (3).
+func (r *Router) reselect(asn sim.ASN) bool {
+	oldBest, oldSecond := r.best, r.second
+
+	best := topology.NodeID(0)
+	bestETXa := math.Inf(1)
+	for id, e := range r.neighbors {
+		if e.rank >= RankInfinity {
+			continue
+		}
+		// The no-same-rank-links rule (Figure 6): routing links must go
+		// strictly towards the access points. A detached node (rank
+		// infinity) may adopt anyone.
+		if r.rank < RankInfinity && e.rank >= r.rank {
+			continue
+		}
+		if a := r.accETX(id, e); a < bestETXa {
+			best, bestETXa = id, a
+		}
+	}
+
+	// Hysteresis: keep the incumbent best parent unless the challenger
+	// improves on it decisively. Without this, single lost frames on
+	// healthy links flap the primary route (and with it the children's
+	// listening schedules).
+	if oldBest != 0 && best != oldBest {
+		if e, ok := r.neighbors[oldBest]; ok && e.rank < RankInfinity && e.rank < r.rank {
+			if a := r.accETX(oldBest, e); !math.IsInf(a, 1) && bestETXa > a-parentSwitchMargin {
+				best, bestETXa = oldBest, a
+			}
+		}
+	}
+
+	if best == 0 {
+		r.best, r.second = 0, 0
+		r.rank = RankInfinity
+		r.etxw = math.Inf(1)
+		r.etxaBest, r.etxaSecond = math.Inf(1), math.Inf(1)
+		return oldBest != 0 || oldSecond != 0
+	}
+
+	rank := r.neighbors[best].rank + r.rankIncrease(r.est.ETX(best))
+	if rank < r.neighbors[best].rank || rank >= RankInfinity {
+		rank = RankInfinity - 1 // saturate, never wrap
+	}
+	second := topology.NodeID(0)
+	secondETXa := math.Inf(1)
+	for id, e := range r.neighbors {
+		if id == best || e.rank >= RankInfinity {
+			continue
+		}
+		if uint16(e.rank) >= rank {
+			continue // loop avoidance: parents must be strictly closer
+		}
+		if a := r.accETX(id, e); a < secondETXa {
+			second, secondETXa = id, a
+		}
+	}
+	// Hysteresis for the backup too: every switch restarts the
+	// joined-callback confirmation with the new parent, so flapping the
+	// backup role costs real attempt-3 coverage.
+	if oldSecond != 0 && second != oldSecond && oldSecond != best {
+		if e, ok := r.neighbors[oldSecond]; ok && e.rank < RankInfinity && e.rank < rank {
+			if a := r.accETX(oldSecond, e); !math.IsInf(a, 1) && secondETXa > a-parentSwitchMargin {
+				second, secondETXa = oldSecond, a
+			}
+		}
+	}
+
+	r.best, r.second = best, second
+	r.rank = rank
+	r.etxaBest = bestETXa
+	r.etxaSecond = secondETXa
+	if r.plainETX {
+		r.etxw = bestETXa
+	} else {
+		r.etxw = weightedETX(r.est.ETX(best), bestETXa, secondETXa)
+	}
+
+	if !r.hasParentedAt {
+		r.hasParentedAt = true
+		r.firstParentAt = asn
+	}
+	changed := best != oldBest || second != oldSecond
+	if changed {
+		r.parentChanges++
+	}
+	return changed
+}
+
+// weightedETX computes Eq. (1): the advertised cost blends the primary and
+// backup accumulated ETX by the probability that the first two transmission
+// attempts (primary route) succeed versus fail.
+func weightedETX(etxBestLink, etxaBest, etxaSecond float64) float64 {
+	if math.IsInf(etxaBest, 1) {
+		return math.Inf(1)
+	}
+	if math.IsInf(etxaSecond, 1) {
+		// No backup parent: the primary path carries all the weight.
+		return etxaBest
+	}
+	fail := 1 - 1/etxBestLink
+	w2 := fail * fail // Eq. (3): first two attempts fail
+	w1 := 1 - w2      // Eq. (2)
+	return w1*etxaBest + w2*etxaSecond
+}

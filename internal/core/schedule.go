@@ -1,0 +1,175 @@
+package core
+
+import (
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Channel offsets per traffic class; distinct lanes keep a node's EB from
+// colliding with another node's data slot that happens to share the ASN.
+const (
+	syncChannelOffset    = 0
+	routingChannelOffset = 1
+	appChannelOffset     = 2
+
+	// appLanes spreads application cells over several channel offsets,
+	// derived from the transmitting node's ID. When the network outgrows
+	// the application slotframe (the paper's 150-node study: 3*150 slots
+	// wrap mod 151), nodes sharing a wrapped slot then still use distinct
+	// channels — the standard autonomous-TSCH practice (Orchestra, ALICE).
+	appLanes = 12
+)
+
+// appLane returns the channel-offset lane of a node's application cells;
+// both the sender and its parents derive it from the sender's ID alone.
+func appLane(id topology.NodeID) uint8 {
+	return appChannelOffset + uint8((int64(id)*13)%appLanes)
+}
+
+// Slotframe priorities: the paper gives synchronisation traffic the
+// highest priority and application traffic the lowest (Section VI).
+const (
+	syncPriority    = 0
+	routingPriority = 1
+	appPriority     = 2
+)
+
+// AppTxSlot returns the application-slotframe slot offset for the given
+// node's p-th transmission attempt, per the paper's Eq. (4):
+//
+//	s = A*(NodeID - N_AP) - A + p
+//
+// mapped onto 0-based slot offsets and wrapped to the slotframe length.
+// Nodes whose slots exceed the slotframe length wrap around and may share
+// slots; the paper's configurations avoid this (A*(N-N_AP) < L_app).
+func AppTxSlot(id topology.NodeID, numAPs, attempts, p int, frameLen int64) int64 {
+	s := int64(attempts)*int64(int(id)-numAPs) - int64(attempts) + int64(p)
+	// s is 1-based per the paper; slot offsets are 0-based.
+	return ((s-1)%frameLen + frameLen) % frameLen
+}
+
+// scheduler derives the node's combined TSCH schedule from purely local
+// state: its own ID (sync and app transmit slots), its best parent (sync
+// listen slot) and its children (app listen slots). No negotiation with
+// neighbours ever happens, which is the paper's headline property.
+type scheduler struct {
+	id     topology.NodeID
+	isAP   bool
+	cfg    Config
+	router *Router
+
+	combiner *mac.Combiner
+
+	// Cached app-slotframe maps, rebuilt when the child set changes.
+	txSlots      map[int64]int             // slot offset -> attempt number
+	rxSlots      map[int64]topology.NodeID // slot offset -> transmitting child
+	cacheVersion int64
+	cacheValid   bool
+}
+
+func newScheduler(id topology.NodeID, isAP bool, cfg Config, router *Router) *scheduler {
+	s := &scheduler{id: id, isAP: isAP, cfg: cfg, router: router}
+	s.txSlots = make(map[int64]int, cfg.Attempts)
+	if !isAP {
+		for p := 1; p <= cfg.Attempts; p++ {
+			s.txSlots[AppTxSlot(id, cfg.NumAPs, cfg.Attempts, p, cfg.AppFrameLen)] = p
+		}
+	}
+	s.combiner = mac.NewCombiner(
+		mac.Slotframe{
+			Length:        cfg.SyncFrameLen,
+			Priority:      syncPriority,
+			ChannelOffset: syncChannelOffset,
+			Role:          s.syncRole,
+		},
+		mac.Slotframe{
+			Length:        cfg.RoutingFrameLen,
+			Priority:      routingPriority,
+			ChannelOffset: routingChannelOffset,
+			Role:          s.routingRole,
+		},
+		mac.Slotframe{
+			Length:        cfg.AppFrameLen,
+			Priority:      appPriority,
+			ChannelOffset: appChannelOffset,
+			Role:          s.appRole,
+		},
+	)
+	return s
+}
+
+// Assignment resolves the combined schedule for a slot. Application cells
+// get their channel lane from the transmitting node's ID.
+func (s *scheduler) Assignment(asn sim.ASN) mac.Assignment {
+	a := s.combiner.Assignment(asn)
+	switch a.Role {
+	case mac.RoleTxData:
+		a.ChannelOffset = appLane(s.id)
+	case mac.RoleRxData:
+		if child, ok := s.rxSlots[asn%s.cfg.AppFrameLen]; ok {
+			a.ChannelOffset = appLane(child)
+		}
+	}
+	return a
+}
+
+// syncRole: node i broadcasts its EB in slot i-1 of the sync slotframe and
+// listens in its best parent's slot (Section VI "Assigning Slots for
+// Synchronization").
+func (s *scheduler) syncRole(offset int64, _ sim.ASN) (mac.SlotRole, int) {
+	if offset == int64(s.id-1)%s.cfg.SyncFrameLen {
+		return mac.RoleTxEB, 0
+	}
+	if best, _ := s.router.Parents(); best != 0 &&
+		offset == int64(best-1)%s.cfg.SyncFrameLen {
+		return mac.RoleRxEB, 0
+	}
+	return mac.RoleSleep, 0
+}
+
+// routingRole: one fixed shared slot per routing slotframe for everyone
+// (Section VI "Assigning Slots for Routing").
+func (s *scheduler) routingRole(offset int64, _ sim.ASN) (mac.SlotRole, int) {
+	if offset == 0 {
+		return mac.RoleShared, 0
+	}
+	return mac.RoleSleep, 0
+}
+
+// appRole: transmit in this node's Eq. (4) slots, listen in the Eq. (4)
+// slots of every child (attempts 1..A-1 when we are its best parent, the
+// final attempt when we are its backup).
+func (s *scheduler) appRole(offset int64, _ sim.ASN) (mac.SlotRole, int) {
+	if p, ok := s.txSlots[offset]; ok {
+		return mac.RoleTxData, p
+	}
+	s.refreshRxCache()
+	if _, ok := s.rxSlots[offset]; ok {
+		return mac.RoleRxData, 0
+	}
+	return mac.RoleSleep, 0
+}
+
+func (s *scheduler) refreshRxCache() {
+	v := s.router.ChildVersion()
+	if s.cacheValid && v == s.cacheVersion {
+		return
+	}
+	s.rxSlots = make(map[int64]topology.NodeID)
+	for child, role := range s.router.Children() {
+		switch role {
+		case RoleBestParent:
+			for p := 1; p < s.cfg.Attempts; p++ {
+				s.rxSlots[AppTxSlot(child, s.cfg.NumAPs, s.cfg.Attempts, p, s.cfg.AppFrameLen)] = child
+			}
+			if s.cfg.Attempts == 1 {
+				s.rxSlots[AppTxSlot(child, s.cfg.NumAPs, s.cfg.Attempts, 1, s.cfg.AppFrameLen)] = child
+			}
+		case RoleSecondParent:
+			s.rxSlots[AppTxSlot(child, s.cfg.NumAPs, s.cfg.Attempts, s.cfg.Attempts, s.cfg.AppFrameLen)] = child
+		}
+	}
+	s.cacheVersion = v
+	s.cacheValid = true
+}

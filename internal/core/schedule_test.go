@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+	"github.com/digs-net/digs/internal/trickle"
+)
+
+// fig7Config is the worked example of the paper's Figure 7: slotframe
+// lengths 61 / 11 / 7, two access points, three attempts per packet.
+func fig7Config() Config {
+	cfg := DefaultConfig(2)
+	cfg.SyncFrameLen = 61
+	cfg.RoutingFrameLen = 11
+	cfg.AppFrameLen = 7
+	return cfg
+}
+
+func newStack(t *testing.T, id int, isAP bool, cfg Config) *Stack {
+	t.Helper()
+	s, err := NewStack(topoID(id), isAP, cfg, rand.New(rand.NewSource(int64(id))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAppTxSlotEquationFour(t *testing.T) {
+	// Figure 7: N_AP = 2, A = 3, L_app = 7. Node #3 owns slots 1..3
+	// (1-based) = offsets 0..2; node #4 owns slots 4..6 = offsets 3..5.
+	tests := []struct {
+		node    int
+		attempt int
+		want    int64
+	}{
+		{3, 1, 0}, {3, 2, 1}, {3, 3, 2},
+		{4, 1, 3}, {4, 2, 4}, {4, 3, 5},
+	}
+	for _, tt := range tests {
+		got := AppTxSlot(topoID(tt.node), 2, 3, tt.attempt, 7)
+		if got != tt.want {
+			t.Fatalf("AppTxSlot(node %d, attempt %d) = %d, want %d",
+				tt.node, tt.attempt, got, tt.want)
+		}
+	}
+}
+
+func TestAppTxSlotWrapsModuloFrame(t *testing.T) {
+	// Node 60 with A=3, NAP=2, L=151: base slot 3*58-3+1 = 172 -> wraps.
+	got := AppTxSlot(topoID(60), 2, 3, 1, 151)
+	if got != (172-1)%151 {
+		t.Fatalf("wrapped slot = %d, want %d", got, (172-1)%151)
+	}
+	if got < 0 || got >= 151 {
+		t.Fatalf("slot %d outside frame", got)
+	}
+}
+
+// TestScheduleExampleFig7 reproduces the paper's Figure 7(e) combined
+// schedule: at slot 0, nodes #1 and #3 use the slot for synchronisation
+// traffic (highest priority) while #2 and #4 use it for routing.
+func TestScheduleExampleFig7(t *testing.T) {
+	cfg := fig7Config()
+	s1 := newStack(t, 1, true, cfg)
+	s2 := newStack(t, 2, true, cfg)
+	s3 := newStack(t, 3, false, cfg)
+	s4 := newStack(t, 4, false, cfg)
+
+	// Wire the Figure 7(a) graph: #3 primary -> #1, backup -> #2;
+	// #4 primary -> #2, backup -> #1.
+	wireJoin := func(s *Stack, best, second int, bestETX, secondETX float64) {
+		s.Router().OnJoinIn(0, topoID(best), JoinIn{Rank: 1, ETXw: 0}, rssForETX(bestETX))
+		s.Router().OnJoinIn(0, topoID(second), JoinIn{Rank: 1, ETXw: 0}, rssForETX(secondETX))
+	}
+	wireJoin(s3, 1, 2, 1.0, 1.5)
+	wireJoin(s4, 2, 1, 1.0, 1.5)
+	// Complete the joined-callback confirmation handshake so data may
+	// flow to the parents.
+	confirm := func(s *Stack, best, second int) {
+		cb := &sim.Frame{Kind: sim.KindJoinedCallback}
+		s.OnTxResult(0, cb, topoID(best), true)
+		s.OnTxResult(0, cb, topoID(second), true)
+	}
+	confirm(s3, 1, 2)
+	confirm(s4, 2, 1)
+	s1.Router().OnChildCallback(0, 3, JoinedCallback{Role: RoleBestParent})
+	s1.Router().OnChildCallback(0, 4, JoinedCallback{Role: RoleSecondParent})
+	s2.Router().OnChildCallback(0, 4, JoinedCallback{Role: RoleBestParent})
+	s2.Router().OnChildCallback(0, 3, JoinedCallback{Role: RoleSecondParent})
+
+	// Slot 0 (ASN 0): #1 transmits its EB, #3 listens for it (sync wins
+	// over the shared routing slot); #2 and #4 get the routing slot.
+	if got := s1.Assignment(0).Role; got != mac.RoleTxEB {
+		t.Fatalf("node 1 slot 0 = %v, want TxEB", got)
+	}
+	if got := s3.Assignment(0).Role; got != mac.RoleRxEB {
+		t.Fatalf("node 3 slot 0 = %v, want RxEB", got)
+	}
+	if got := s2.Assignment(0).Role; got != mac.RoleShared {
+		t.Fatalf("node 2 slot 0 = %v, want Shared", got)
+	}
+	if got := s4.Assignment(0).Role; got != mac.RoleShared {
+		t.Fatalf("node 4 slot 0 = %v, want Shared", got)
+	}
+
+	// Node #3 broadcasts its own EB in the third sync slot (offset 2).
+	if got := s3.Assignment(2).Role; got != mac.RoleTxEB {
+		t.Fatalf("node 3 slot 2 = %v, want TxEB", got)
+	}
+
+	// ASN 7: app slotframe offset 0 again, no sync/routing conflict.
+	// #3 transmits its first attempt; #1 (its best parent) listens.
+	a3 := s3.Assignment(7)
+	if a3.Role != mac.RoleTxData || a3.Attempt != 1 {
+		t.Fatalf("node 3 slot 7 = %+v, want TxData attempt 1", a3)
+	}
+	if got := s1.Assignment(7).Role; got != mac.RoleRxData {
+		t.Fatalf("node 1 slot 7 = %v, want RxData", got)
+	}
+
+	// #3's third attempt (offset 2 of the app frame, e.g. ASN 16) goes to
+	// the backup parent #2, which must listen.
+	a3 = s3.Assignment(16)
+	if a3.Role != mac.RoleTxData || a3.Attempt != 3 {
+		t.Fatalf("node 3 slot 16 = %+v, want TxData attempt 3", a3)
+	}
+	if got := s2.Assignment(16).Role; got != mac.RoleRxData {
+		t.Fatalf("node 2 slot 16 = %v, want RxData", got)
+	}
+	// And routing confirms: attempt 3 targets the backup parent.
+	if hop, ok := s3.NextHop(0, 3); !ok || hop != 2 {
+		t.Fatalf("node 3 attempt 3 next hop = (%d, %v), want (2, true)", hop, ok)
+	}
+	if hop, ok := s3.NextHop(0, 1); !ok || hop != 1 {
+		t.Fatalf("node 3 attempt 1 next hop = (%d, %v), want (1, true)", hop, ok)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(2)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := cfg
+	bad.SyncFrameLen = 10
+	bad.RoutingFrameLen = 4 // gcd 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted non-coprime slotframe lengths")
+	}
+	bad = cfg
+	bad.NumAPs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted zero APs")
+	}
+	bad = cfg
+	bad.Attempts = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted zero attempts")
+	}
+	bad = cfg
+	bad.AppFrameLen = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted zero-length slotframe")
+	}
+}
+
+func TestTrickleGatesJoinIn(t *testing.T) {
+	cfg := fig7Config()
+	cfg.Trickle = trickle.Config{IminSlots: 20, Doublings: 5, K: 0}
+	s := newStack(t, 3, false, cfg)
+	s.OnSynced(0)
+
+	// Join via the public frame path so the stack queues its callback.
+	join := &sim.Frame{Kind: sim.KindJoinIn, Src: 1,
+		Payload: JoinIn{Rank: 1, ETXw: 0}.Marshal()}
+	s.OnFrame(0, join, rssForETX(1.0))
+
+	// The first shared frames must be the joined-callback to the parent
+	// (a persistence coin may defer it a few slots), with acknowledgement
+	// required.
+	var f *sim.Frame
+	var needAck bool
+	for i := 0; i < 32 && f == nil; i++ {
+		f, needAck = s.SharedFrame(sim.ASN(i))
+	}
+	if f == nil || f.Kind != sim.KindJoinedCallback || f.Dst != 1 {
+		t.Fatalf("expected joined-callback to node 1, got %+v", f)
+	}
+	if !needAck {
+		t.Fatal("joined-callback must be acknowledged")
+	}
+	s.OnTxResult(0, f, f.Dst, true)
+
+	// Walk the slot loop: Assignment advances Trickle each slot; shared
+	// slots (offset 0 of the routing frame) drain the latch. The join-in
+	// rate must decay from startup to steady state.
+	fires := func(fromASN, slots int64) int {
+		n := 0
+		for asn := fromASN; asn < fromASN+slots; asn++ {
+			s.Assignment(asn)
+			if asn%cfg.RoutingFrameLen == 0 {
+				if f, _ := s.SharedFrame(asn); f != nil && f.Kind == sim.KindJoinIn {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	early := fires(1, 500)
+	late := fires(50000, 500)
+	if early == 0 {
+		t.Fatal("no join-in beacons after joining")
+	}
+	if late >= early {
+		t.Fatalf("join-in rate did not decay: early %d, late %d", early, late)
+	}
+}
+
+func topoID(i int) topology.NodeID { return topology.NodeID(i) }

@@ -1,0 +1,86 @@
+// Package core implements the paper's contribution: DiGS distributed
+// graph routing (Section V, Algorithm 1) and the autonomous transmission
+// scheduling that derives each node's TSCH schedule purely from local state
+// (Section VI). The Stack type plugs both into the shared TSCH MAC.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// RankInfinity marks a node that has not joined the routing graph.
+const RankInfinity = math.MaxUint16
+
+// JoinIn is the payload of a join-in message: the sender's rank and
+// weighted ETX, which receivers use to compute accumulated ETX values
+// (Algorithm 1).
+type JoinIn struct {
+	Rank uint16
+	ETXw float64
+}
+
+const joinInSize = 2 + 4
+
+// Marshal encodes the join-in payload.
+func (j JoinIn) Marshal() []byte {
+	buf := make([]byte, joinInSize)
+	binary.BigEndian.PutUint16(buf[0:2], j.Rank)
+	binary.BigEndian.PutUint32(buf[2:6], math.Float32bits(float32(j.ETXw)))
+	return buf
+}
+
+// UnmarshalJoinIn decodes a join-in payload.
+func UnmarshalJoinIn(b []byte) (JoinIn, error) {
+	if len(b) != joinInSize {
+		return JoinIn{}, fmt.Errorf("join-in payload: %d bytes, want %d", len(b), joinInSize)
+	}
+	etxw := float64(math.Float32frombits(binary.BigEndian.Uint32(b[2:6])))
+	if math.IsNaN(etxw) || etxw < 0 {
+		return JoinIn{}, fmt.Errorf("join-in payload: invalid ETXw %v", etxw)
+	}
+	return JoinIn{
+		Rank: binary.BigEndian.Uint16(b[0:2]),
+		ETXw: etxw,
+	}, nil
+}
+
+// ParentRole says which routing role the callback sender assigned to the
+// callback's receiver.
+type ParentRole uint8
+
+// Parent roles.
+const (
+	// RoleBestParent marks the receiver as the sender's primary parent.
+	RoleBestParent ParentRole = iota + 1
+	// RoleSecondParent marks the receiver as the sender's backup parent.
+	RoleSecondParent
+)
+
+// JoinedCallback is the payload of a joined-callback message, informing a
+// selected parent of its role so it can schedule receive slots for the
+// child.
+type JoinedCallback struct {
+	Role ParentRole
+}
+
+const joinedCallbackSize = 1
+
+// Marshal encodes the joined-callback payload.
+func (c JoinedCallback) Marshal() []byte {
+	return []byte{byte(c.Role)}
+}
+
+// UnmarshalJoinedCallback decodes a joined-callback payload.
+func UnmarshalJoinedCallback(b []byte) (JoinedCallback, error) {
+	if len(b) != joinedCallbackSize {
+		return JoinedCallback{}, fmt.Errorf("joined-callback payload: %d bytes, want %d",
+			len(b), joinedCallbackSize)
+	}
+	role := ParentRole(b[0])
+	if role != RoleBestParent && role != RoleSecondParent {
+		return JoinedCallback{}, fmt.Errorf("joined-callback payload: unknown role %d", role)
+	}
+	return JoinedCallback{Role: role}, nil
+}

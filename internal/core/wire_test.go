@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJoinInRoundTrip(t *testing.T) {
+	f := func(rank uint16, etxw float32) bool {
+		if etxw < 0 || math.IsNaN(float64(etxw)) || math.IsInf(float64(etxw), 0) {
+			etxw = 2.5
+		}
+		in := JoinIn{Rank: rank, ETXw: float64(etxw)}
+		out, err := UnmarshalJoinIn(in.Marshal())
+		if err != nil {
+			return false
+		}
+		return out.Rank == in.Rank && math.Abs(out.ETXw-in.ETXw) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinInRejectsBadPayload(t *testing.T) {
+	if _, err := UnmarshalJoinIn([]byte{1, 2, 3}); err == nil {
+		t.Fatal("accepted short payload")
+	}
+	if _, err := UnmarshalJoinIn(nil); err == nil {
+		t.Fatal("accepted nil payload")
+	}
+	// NaN ETXw must be rejected.
+	bad := JoinIn{Rank: 1, ETXw: 1}.Marshal()
+	bad[2], bad[3], bad[4], bad[5] = 0x7f, 0xc0, 0x00, 0x00 // float32 NaN
+	if _, err := UnmarshalJoinIn(bad); err == nil {
+		t.Fatal("accepted NaN ETXw")
+	}
+}
+
+func TestJoinedCallbackRoundTrip(t *testing.T) {
+	for _, role := range []ParentRole{RoleBestParent, RoleSecondParent} {
+		out, err := UnmarshalJoinedCallback(JoinedCallback{Role: role}.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Role != role {
+			t.Fatalf("round trip role %d -> %d", role, out.Role)
+		}
+	}
+}
+
+func TestJoinedCallbackRejectsBadPayload(t *testing.T) {
+	if _, err := UnmarshalJoinedCallback([]byte{}); err == nil {
+		t.Fatal("accepted empty payload")
+	}
+	if _, err := UnmarshalJoinedCallback([]byte{99}); err == nil {
+		t.Fatal("accepted unknown role")
+	}
+	if _, err := UnmarshalJoinedCallback([]byte{1, 2}); err == nil {
+		t.Fatal("accepted oversized payload")
+	}
+}

@@ -1,0 +1,297 @@
+// Package experiments reproduces the paper's evaluation: one runner per
+// figure of Section VII (plus the Figure 3/4/5 empirical study of Section
+// IV). Each runner builds the relevant topology, boots DiGS and/or the
+// Orchestra baseline on the shared simulator, applies the figure's
+// interference or failure scenario, and returns the series the figure
+// plots.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/digs-net/digs/internal/core"
+	"github.com/digs-net/digs/internal/flows"
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/metrics"
+	"github.com/digs-net/digs/internal/orchestra"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Protocol selects the stack under test.
+type Protocol int
+
+// Protocols.
+const (
+	// DiGS is the paper's contribution.
+	DiGS Protocol = iota + 1
+	// Orchestra is the RPL + Orchestra baseline.
+	Orchestra
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case DiGS:
+		return "DiGS"
+	case Orchestra:
+		return "Orchestra"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// stackNet is the protocol-independent view the runners need.
+type stackNet interface {
+	JoinedCount() int
+	OnDeliver(fn func(sim.ASN, *sim.Frame))
+	MACNode(i int) *mac.Node
+	JoinTime(i int) (sim.ASN, bool)
+	ParentChangesTotal() int64
+	ParentChangesOf(ids []topology.NodeID) int64
+}
+
+type digsNet struct{ *core.Network }
+
+func (d digsNet) MACNode(i int) *mac.Node { return d.Nodes[i] }
+func (d digsNet) JoinTime(i int) (sim.ASN, bool) {
+	return d.Stacks[i].Router().FirstParentAt()
+}
+func (d digsNet) ParentChangesTotal() int64 {
+	var total int64
+	for _, s := range d.Stacks[1:] {
+		total += s.Router().ParentChanges()
+	}
+	return total
+}
+
+func (d digsNet) ParentChangesOf(ids []topology.NodeID) int64 {
+	var total int64
+	for _, id := range ids {
+		total += d.Stacks[id].Router().ParentChanges()
+	}
+	return total
+}
+
+type orchNet struct{ *orchestra.Network }
+
+func (o orchNet) MACNode(i int) *mac.Node { return o.Nodes[i] }
+func (o orchNet) JoinTime(i int) (sim.ASN, bool) {
+	return o.Stacks[i].Router().FirstParentAt()
+}
+func (o orchNet) ParentChangesTotal() int64 {
+	var total int64
+	for _, s := range o.Stacks[1:] {
+		total += s.Router().ParentChanges()
+	}
+	return total
+}
+
+func (o orchNet) ParentChangesOf(ids []topology.NodeID) int64 {
+	var total int64
+	for _, id := range ids {
+		total += o.Stacks[id].Router().ParentChanges()
+	}
+	return total
+}
+
+// buildNetwork attaches the chosen protocol stack to a fresh network.
+func buildNetwork(p Protocol, topo *topology.Topology, seed int64) (*sim.Network, stackNet, error) {
+	nw := sim.NewNetwork(topo, seed)
+	switch p {
+	case DiGS:
+		// DiGS schedules three attempts per slotframe where Orchestra has
+		// one, so equal-time retry persistence means a 3x attempt budget.
+		macCfg := mac.DefaultConfig()
+		macCfg.MaxTxPerPacket *= 3
+		net, err := core.Build(nw, core.DefaultConfig(topo.NumAPs), macCfg, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nw, digsNet{net}, nil
+	case Orchestra:
+		net, err := orchestra.Build(nw, orchestra.DefaultConfig(), mac.DefaultConfig(), seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nw, orchNet{net}, nil
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown protocol %d", p)
+	}
+}
+
+// converge runs the network until every node has joined (or the budget
+// runs out). It returns an error when convergence fails: the experiment
+// would otherwise measure a half-formed network.
+func converge(nw *sim.Network, net stackNet, budget time.Duration) error {
+	return convergeFraction(nw, net, budget, 1.0)
+}
+
+// convergeFraction accepts partial convergence: at least the given
+// fraction of nodes joined (large sparse deployments can have corner
+// stragglers that take tens of minutes, just as physical ones do).
+func convergeFraction(nw *sim.Network, net stackNet, budget time.Duration, frac float64) error {
+	topo := nw.Topology()
+	want := int(math.Ceil(frac * float64(topo.N())))
+	if _, ok := nw.RunUntil(sim.SlotsFor(budget), func() bool {
+		return net.JoinedCount() >= want
+	}); !ok {
+		return fmt.Errorf("experiments: only %d/%d nodes joined within %v (want %d)",
+			net.JoinedCount(), topo.N(), budget, want)
+	}
+	return nil
+}
+
+// netStats sums MAC counters across all nodes.
+type netStats struct {
+	energyJ   float64
+	radioOn   time.Duration
+	delivered int64
+}
+
+func snapshot(net stackNet, n int) netStats {
+	var s netStats
+	for i := 1; i <= n; i++ {
+		st := net.MACNode(i).Stats()
+		s.energyJ += st.EnergyJoules
+		s.radioOn += st.RadioOnTime
+		s.delivered += st.SinkDelivered
+	}
+	return s
+}
+
+// FlowSetResult is one flow set's measurement (one sample of the paper's
+// CDFs).
+type FlowSetResult struct {
+	PDR              float64
+	Latencies        []time.Duration
+	PowerPerPacketMW float64
+	DutyPerPacketPct float64
+	DeliveredPackets int
+	GeneratedPackets int
+}
+
+// FlowSetOptions parameterise a flow-set measurement campaign.
+type FlowSetOptions struct {
+	FlowSets     int
+	FlowsPerSet  int
+	PacketPeriod time.Duration
+	// PacketsPerFlow per flow set window.
+	PacketsPerFlow int
+	// Drain is extra time after the last generation for in-flight packets.
+	Drain time.Duration
+	Seed  int64
+	// FixedSources, when set, uses these sources for every flow set
+	// instead of random draws.
+	FixedSources []topology.NodeID
+	// ExcludeSources are never drawn as random sources (e.g. motes
+	// repurposed as jammers).
+	ExcludeSources []topology.NodeID
+}
+
+// runFlowSets runs a sequence of flow sets on an already-converged
+// network, one after another (the network stays up, as a real deployment
+// would), and returns one result per flow set.
+func runFlowSets(nw *sim.Network, net stackNet, opts FlowSetOptions) ([]FlowSetResult, error) {
+	topo := nw.Topology()
+	rng := rand.New(rand.NewSource(opts.Seed*31 + 7))
+	results := make([]FlowSetResult, 0, opts.FlowSets)
+
+	for set := 0; set < opts.FlowSets; set++ {
+		var fset []flows.Flow
+		if opts.FixedSources != nil {
+			fset = flows.FixedSet(opts.FixedSources, opts.PacketPeriod)
+		} else {
+			var err error
+			fset, err = flows.RandomSet(topo, opts.FlowsPerSet, opts.PacketPeriod, rng,
+				opts.ExcludeSources...)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		col := metrics.NewCollector()
+		net.OnDeliver(func(asn sim.ASN, f *sim.Frame) {
+			col.Delivered(f.FlowID, f.Seq, asn)
+		})
+		// Sequence numbers must be unique across windows: the MAC's
+		// duplicate suppression remembers (origin, flow, seq) end-to-end.
+		seqBase := uint16(set * opts.PacketsPerFlow)
+		flows.Schedule(nw, fset, opts.PacketsPerFlow, func(f flows.Flow, seq uint16, asn sim.ASN) {
+			seq += seqBase
+			col.Sent(f.ID, seq, asn)
+			_ = net.MACNode(int(f.Source)).InjectData(&sim.Frame{
+				Origin: f.Source, FlowID: f.ID, Seq: seq, BornASN: asn,
+			})
+		})
+
+		before := snapshot(net, topo.N())
+		window := opts.PacketPeriod*time.Duration(opts.PacketsPerFlow) + opts.Drain
+		startASN := nw.ASN()
+		nw.Run(sim.SlotsFor(window))
+		after := snapshot(net, topo.N())
+		elapsed := sim.TimeAt(nw.ASN() - startASN)
+		net.OnDeliver(nil)
+
+		// Quiesce: drain every forwarding queue before the next flow set
+		// so one set's congestion does not bleed into the next (the
+		// paper's flow sets are independent measurements).
+		nw.RunUntil(sim.SlotsFor(3*time.Minute), func() bool {
+			for i := 1; i <= topo.N(); i++ {
+				if net.MACNode(i).QueueLen() > 0 {
+					return false
+				}
+			}
+			return true
+		})
+		results = append(results, FlowSetResult{
+			PDR:              col.PDR(),
+			Latencies:        col.Latencies(),
+			PowerPerPacketMW: metrics.PowerPerPacketMW(after.energyJ-before.energyJ, elapsed, col.DeliveredCount()),
+			DutyPerPacketPct: metrics.DutyCyclePerPacket(after.radioOn-before.radioOn, topo.N(), elapsed, col.DeliveredCount()),
+			DeliveredPackets: col.DeliveredCount(),
+			GeneratedPackets: col.SentCount(),
+		})
+	}
+	return results, nil
+}
+
+// PDRs extracts the per-flow-set PDR series.
+func PDRs(rs []FlowSetResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.PDR
+	}
+	return out
+}
+
+// AllLatenciesMs pools every packet latency across flow sets, in
+// milliseconds.
+func AllLatenciesMs(rs []FlowSetResult) []float64 {
+	var out []float64
+	for _, r := range rs {
+		out = append(out, metrics.DurationsToMillis(r.Latencies)...)
+	}
+	return out
+}
+
+// PowersPerPacket extracts the per-flow-set power-per-packet series.
+func PowersPerPacket(rs []FlowSetResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.PowerPerPacketMW
+	}
+	return out
+}
+
+// DutiesPerPacket extracts the per-flow-set duty-cycle-per-packet series.
+func DutiesPerPacket(rs []FlowSetResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.DutyPerPacketPct
+	}
+	return out
+}

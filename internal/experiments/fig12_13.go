@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/digs-net/digs/internal/interference"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// LargeScaleOptions parameterise the Figure 12 simulation study: 150 nodes
+// in a 300 m x 300 m field with five Cooja-style disturbers.
+type LargeScaleOptions struct {
+	Nodes          int
+	AreaM          float64
+	Disturbers     int
+	FlowSets       int
+	FlowsPerSet    int
+	PacketsPerFlow int
+	Seed           int64
+}
+
+// DefaultLargeScaleOptions mirrors the paper's setup with an
+// interactive-sized flow-set count (paper: 300 flow sets).
+func DefaultLargeScaleOptions() LargeScaleOptions {
+	return LargeScaleOptions{
+		Nodes:          150,
+		AreaM:          300,
+		Disturbers:     5,
+		FlowSets:       10,
+		FlowsPerSet:    20,
+		PacketsPerFlow: 12,
+		Seed:           7,
+	}
+}
+
+// RunFig12 reproduces Figure 12: DiGS vs Orchestra at 150-node scale with
+// periodic wide-band disturbers (10 s packet period per the paper).
+func RunFig12(opts LargeScaleOptions) (*InterferenceResult, error) {
+	out := &InterferenceResult{}
+	for _, proto := range []Protocol{DiGS, Orchestra} {
+		rs, err := runLargeScale(proto, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", proto, err)
+		}
+		if proto == DiGS {
+			out.DiGS = rs
+		} else {
+			out.Orchestra = rs
+		}
+	}
+	return out, nil
+}
+
+func runLargeScale(proto Protocol, opts LargeScaleOptions) ([]FlowSetResult, error) {
+	topo := topology.NewRandom(opts.Nodes, opts.AreaM, opts.AreaM, opts.Seed)
+	nw, net, err := buildNetwork(proto, topo, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := convergeFraction(nw, net, 8*time.Minute, 0.98); err != nil {
+		return nil, err
+	}
+	nw.Run(sim.SlotsFor(30 * time.Second))
+
+	// Disturbers: placed at spread-out field devices, toggling on/off
+	// every 5 minutes with staggered phases.
+	start := nw.ASN()
+	for d := 0; d < opts.Disturbers; d++ {
+		at := topology.NodeID(topo.NumAPs + 1 + d*(opts.Nodes/opts.Disturbers))
+		nw.AddInterferer(&interference.Window{
+			Source:   interference.NewCoojaDisturber(topo, at, d),
+			StartASN: start,
+		})
+	}
+	nw.Run(sim.SlotsFor(30 * time.Second))
+
+	return runFlowSets(nw, net, FlowSetOptions{
+		FlowSets:       opts.FlowSets,
+		FlowsPerSet:    opts.FlowsPerSet,
+		PacketPeriod:   10 * time.Second,
+		PacketsPerFlow: opts.PacketsPerFlow,
+		Drain:          20 * time.Second,
+		Seed:           opts.Seed,
+	})
+}
+
+// JoinTimesResult holds Figure 13's joining-time samples per protocol.
+type JoinTimesResult struct {
+	DiGS      []time.Duration
+	Orchestra []time.Duration
+}
+
+// RunFig13 reproduces Figure 13: the time each of Testbed A's field
+// devices needs to synchronise and select its preferred parent(s), under
+// both stacks, from a cold start.
+func RunFig13(seed int64) (*JoinTimesResult, error) {
+	out := &JoinTimesResult{}
+	for _, proto := range []Protocol{DiGS, Orchestra} {
+		topo := testbedATopo()
+		nw, net, err := buildNetwork(proto, topo, seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := converge(nw, net, 300*time.Second); err != nil {
+			return nil, fmt.Errorf("%v: %w", proto, err)
+		}
+		var times []time.Duration
+		for i := topo.NumAPs + 1; i <= topo.N(); i++ {
+			at, ok := net.JoinTime(i)
+			if !ok {
+				return nil, fmt.Errorf("%v: node %d joined without a join time", proto, i)
+			}
+			times = append(times, sim.TimeAt(at))
+		}
+		if proto == DiGS {
+			out.DiGS = times
+		} else {
+			out.Orchestra = times
+		}
+	}
+	return out, nil
+}

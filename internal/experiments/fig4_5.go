@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/digs-net/digs/internal/flows"
+	"github.com/digs-net/digs/internal/interference"
+	"github.com/digs-net/digs/internal/metrics"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// RepairOptions parameterise the Section IV empirical study (Figures 4
+// and 5): Orchestra's repair behaviour when WiFi jammers switch on.
+type RepairOptions struct {
+	// JammerCounts are the jammer population sizes to test (paper: 1..4).
+	JammerCounts []int
+	// Repetitions per jammer count (paper: 3).
+	Repetitions int
+	// Protocol under test; the paper measures Orchestra here, but the
+	// runner accepts DiGS for the comparison benches.
+	Protocol Protocol
+	Seed     int64
+}
+
+// DefaultRepairOptions mirrors the paper's setup.
+func DefaultRepairOptions() RepairOptions {
+	return RepairOptions{
+		JammerCounts: []int{1, 2, 3, 4},
+		Repetitions:  3,
+		Protocol:     Orchestra,
+		Seed:         1,
+	}
+}
+
+// RepairResult is one repetition's outcome.
+type RepairResult struct {
+	Jammers    int
+	RepairTime time.Duration
+	// FlowPDRs are the 8 data flows' delivery rates during the repair
+	// window (Figure 5's boxplot samples).
+	FlowPDRs []float64
+}
+
+// RunFig4And5 reproduces Figures 4 and 5: for each jammer count, let the
+// network converge, switch the jammers on, and measure (a) the repair time
+// — how long routing keeps changing after the interference starts — and
+// (b) the PDR of 8 data flows during the repair window.
+func RunFig4And5(opts RepairOptions) ([]RepairResult, error) {
+	var results []RepairResult
+	for _, jc := range opts.JammerCounts {
+		for rep := 0; rep < opts.Repetitions; rep++ {
+			seed := opts.Seed*1000 + int64(jc)*100 + int64(rep)
+			r, err := runRepair(jc, opts.Protocol, seed)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}
+
+// repairStabilityWindow is how long routing must stay quiet for the repair
+// to be considered complete.
+const repairStabilityWindow = 15 * time.Second
+
+// repairBudget bounds the repair measurement.
+const repairBudget = 150 * time.Second
+
+func runRepair(jammerCount int, proto Protocol, seed int64) (RepairResult, error) {
+	topo := testbedATopo()
+	nw, net, err := buildNetwork(proto, topo, seed)
+	if err != nil {
+		return RepairResult{}, err
+	}
+	if err := converge(nw, net, 240*time.Second); err != nil {
+		return RepairResult{}, err
+	}
+	// Let routing settle before the disturbance.
+	nw.Run(sim.SlotsFor(60 * time.Second))
+
+	// Arm the jammers to start now.
+	jamStart := nw.ASN()
+	for j := 0; j < jammerCount && j < len(topo.SuggestedJammers); j++ {
+		nw.AddInterferer(&interference.Window{
+			Source:   interference.NewWiFiJammer(topo, topo.SuggestedJammers[j], wifiChannelFor(j), seed+int64(j)),
+			StartASN: jamStart,
+		})
+	}
+
+	// Traffic during the repair: the paper's 8 flows at 5 s period.
+	col := metrics.NewCollector()
+	net.OnDeliver(func(asn sim.ASN, f *sim.Frame) { col.Delivered(f.FlowID, f.Seq, asn) })
+	fset := flows.FixedSet(topo.SuggestedSources, 5*time.Second)
+	packets := int(repairBudget / (5 * time.Second))
+	flows.Schedule(nw, fset, packets, func(f flows.Flow, seq uint16, asn sim.ASN) {
+		col.Sent(f.ID, seq, asn)
+		_ = net.MACNode(int(f.Source)).InjectData(&sim.Frame{
+			Origin: f.Source, FlowID: f.ID, Seq: seq, BornASN: asn,
+		})
+	})
+
+	// Watch routing churn among the nodes the jammers actually disturb:
+	// the repair ends when their parent changes stop. (Network-wide
+	// counters would extend the repair with unrelated Trickle noise.)
+	cohort := jamCohort(nw, jammerCount)
+	windowPolls := int(repairStabilityWindow / time.Second)
+	history := []int64{net.ParentChangesOf(cohort)}
+	repair := repairBudget // censored at the budget if churn never calms
+	for nw.ASN() < jamStart+sim.SlotsFor(repairBudget) {
+		nw.Run(100) // poll once per second
+		history = append(history, net.ParentChangesOf(cohort))
+		if len(history) <= windowPolls {
+			continue
+		}
+		// Repaired when the disturbed region's routing churn has calmed
+		// to at most one change per stability window (under sustained
+		// jamming the estimators keep micro-adjusting, so demanding total
+		// silence would never terminate).
+		recent := history[len(history)-1] - history[len(history)-1-windowPolls]
+		if recent <= 1 {
+			repair = sim.TimeAt(nw.ASN()-jamStart) - repairStabilityWindow
+			break
+		}
+	}
+	net.OnDeliver(nil)
+
+	pdrs := make([]float64, 0, len(fset))
+	for _, f := range fset {
+		pdrs = append(pdrs, col.FlowPDR(f.ID))
+	}
+	return RepairResult{Jammers: jammerCount, RepairTime: repair, FlowPDRs: pdrs}, nil
+}
+
+// jamCohort returns the field devices within disruption range of the
+// active jammers.
+func jamCohort(nw *sim.Network, jammerCount int) []topology.NodeID {
+	topo := nw.Topology()
+	const disruptionRadiusM = 18.0
+	var out []topology.NodeID
+	for i := topo.NumAPs + 1; i <= topo.N(); i++ {
+		id := topology.NodeID(i)
+		for j := 0; j < jammerCount && j < len(topo.SuggestedJammers); j++ {
+			if topo.Distance(id, topo.SuggestedJammers[j]) <= disruptionRadiusM {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// wifiChannelFor spreads jammers across the common WiFi channels.
+func wifiChannelFor(i int) int {
+	return []int{1, 6, 11, 6}[i%4]
+}
+
+// RepairTimesSeconds extracts the Figure 4 CDF samples.
+func RepairTimesSeconds(rs []RepairResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.RepairTime.Seconds()
+	}
+	return out
+}

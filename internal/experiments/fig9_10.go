@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/digs-net/digs/internal/core"
+	"github.com/digs-net/digs/internal/flows"
+	"github.com/digs-net/digs/internal/interference"
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/metrics"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+func testbedATopo() *topology.Topology { return topology.TestbedA() }
+func testbedBTopo() *topology.Topology { return topology.TestbedB() }
+
+// InterferenceOptions parameterise the Figure 9 / Figure 10 campaigns:
+// DiGS vs Orchestra under WiFi jamming.
+type InterferenceOptions struct {
+	// Testbed selects "A" (Figure 9) or "B" (Figure 10).
+	Testbed string
+	// FlowSets per protocol (paper: 300 on A, 220 on B).
+	FlowSets int
+	// FlowsPerSet (paper: 8 on A, 6 on B).
+	FlowsPerSet int
+	// PacketsPerFlow per flow set window.
+	PacketsPerFlow int
+	Seed           int64
+
+	// DiGSConfig overrides the DiGS stack configuration (ablation
+	// studies); nil uses the default.
+	DiGSConfig *core.Config
+}
+
+// DefaultInterferenceOptions returns a campaign sized for interactive use;
+// raise FlowSets to the paper's 300/220 for full fidelity.
+func DefaultInterferenceOptions(testbed string) InterferenceOptions {
+	opts := InterferenceOptions{
+		Testbed:        testbed,
+		FlowSets:       30,
+		FlowsPerSet:    8,
+		PacketsPerFlow: 12,
+		Seed:           1,
+	}
+	if testbed == "B" {
+		opts.FlowsPerSet = 6
+	}
+	return opts
+}
+
+// InterferenceResult holds both protocols' flow-set series.
+type InterferenceResult struct {
+	DiGS      []FlowSetResult
+	Orchestra []FlowSetResult
+}
+
+// RunInterference reproduces Figure 9 (Testbed A) or Figure 10 (Testbed
+// B): both stacks run the same flow-set campaign under three WiFi jammers
+// at the Figure 8 positions.
+func RunInterference(opts InterferenceOptions) (*InterferenceResult, error) {
+	out := &InterferenceResult{}
+	for _, proto := range []Protocol{DiGS, Orchestra} {
+		rs, err := runInterferenceCampaign(proto, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", proto, err)
+		}
+		if proto == DiGS {
+			out.DiGS = rs
+		} else {
+			out.Orchestra = rs
+		}
+	}
+	return out, nil
+}
+
+// RunInterferenceSingle runs one protocol's interference campaign alone
+// (used by the ablation benchmarks, which vary the DiGS configuration).
+func RunInterferenceSingle(proto Protocol, opts InterferenceOptions) ([]FlowSetResult, error) {
+	return runInterferenceCampaign(proto, opts)
+}
+
+func runInterferenceCampaign(proto Protocol, opts InterferenceOptions) ([]FlowSetResult, error) {
+	topo := testbedATopo()
+	if opts.Testbed == "B" {
+		topo = testbedBTopo()
+	}
+	var nw *sim.Network
+	var net stackNet
+	var err error
+	if proto == DiGS && opts.DiGSConfig != nil {
+		nw = sim.NewNetwork(topo, opts.Seed)
+		var cn *core.Network
+		cn, err = core.Build(nw, *opts.DiGSConfig, mac.DefaultConfig(), opts.Seed)
+		net = digsNet{cn}
+	} else {
+		nw, net, err = buildNetwork(proto, topo, opts.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := converge(nw, net, 240*time.Second); err != nil {
+		return nil, err
+	}
+	nw.Run(sim.SlotsFor(30 * time.Second))
+
+	// Jammers on for the whole measurement campaign. The motes running
+	// JamLab stop participating in the network (they are repurposed).
+	start := nw.ASN()
+	for j, at := range topo.SuggestedJammers {
+		nw.AddInterferer(&interference.Window{
+			Source:   interference.NewWiFiJammer(topo, at, wifiChannelFor(j), opts.Seed+int64(j)),
+			StartASN: start,
+		})
+		nw.Fail(at)
+	}
+	// Let the stacks reach steady state under the new interference before
+	// measuring, with unmeasured priming traffic flowing: link estimators
+	// learn from data transmissions, so an idle settling period would
+	// leave the pre-jam routes in place and bill the whole adaptation to
+	// the first measured flow set. (On the physical testbeds the flows
+	// run continuously.)
+	primeRng := rand.New(rand.NewSource(opts.Seed*131 + 3))
+	for round := 0; round < 3; round++ {
+		prime, err := flows.RandomSet(topo, opts.FlowsPerSet, 5*time.Second, primeRng,
+			topo.SuggestedJammers...)
+		if err != nil {
+			return nil, err
+		}
+		seqBase := uint16(50000 + round*100)
+		flows.Schedule(nw, prime, 14, func(f flows.Flow, seq uint16, asn sim.ASN) {
+			_ = net.MACNode(int(f.Source)).InjectData(&sim.Frame{
+				Origin: f.Source, FlowID: f.ID, Seq: seqBase + seq, BornASN: asn,
+			})
+		})
+		nw.Run(sim.SlotsFor(80 * time.Second))
+	}
+	// Drain priming residue before the first measured set.
+	nw.RunUntil(sim.SlotsFor(2*time.Minute), func() bool {
+		for i := 1; i <= topo.N(); i++ {
+			if net.MACNode(i).QueueLen() > 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	return runFlowSets(nw, net, FlowSetOptions{
+		FlowSets:       opts.FlowSets,
+		FlowsPerSet:    opts.FlowsPerSet,
+		PacketPeriod:   5 * time.Second,
+		PacketsPerFlow: opts.PacketsPerFlow,
+		Drain:          15 * time.Second,
+		Seed:           opts.Seed,
+		ExcludeSources: topo.SuggestedJammers,
+	})
+}
+
+// MicrobenchResult is Figure 9(f) / 11(b): which packet sequence numbers
+// of each flow arrived around a disturbance.
+type MicrobenchResult struct {
+	// Delivered[flowIndex][seq] for seq in [FromSeq, ToSeq].
+	Delivered map[uint16]map[uint16]bool
+	FromSeq   uint16
+	ToSeq     uint16
+}
+
+// RunFig9f reproduces the Figure 9(f) micro-benchmark: 8 flows sending
+// continuously; a jammer burst hits while packets 74..84 are in the air;
+// the result records which of those packets each flow delivered.
+func RunFig9f(proto Protocol, seed int64) (*MicrobenchResult, error) {
+	topo := testbedATopo()
+	nw, net, err := buildNetwork(proto, topo, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := converge(nw, net, 240*time.Second); err != nil {
+		return nil, err
+	}
+	nw.Run(sim.SlotsFor(30 * time.Second))
+
+	const period = 5 * time.Second
+	col := metrics.NewCollector()
+	net.OnDeliver(func(asn sim.ASN, f *sim.Frame) { col.Delivered(f.FlowID, f.Seq, asn) })
+	fset := flows.FixedSet(topo.SuggestedSources, period)
+	const totalPackets = 90
+	base := nw.ASN()
+	flows.Schedule(nw, fset, totalPackets, func(f flows.Flow, seq uint16, asn sim.ASN) {
+		col.Sent(f.ID, seq, asn)
+		_ = net.MACNode(int(f.Source)).InjectData(&sim.Frame{
+			Origin: f.Source, FlowID: f.ID, Seq: seq, BornASN: asn,
+		})
+	})
+
+	// Heavy jammer burst while packets ~75..81 are generated: each jammer
+	// position radiates on two WiFi channels at once (a saturated
+	// backhaul), which is what makes the baseline lose packets outright.
+	burstStart := base + sim.SlotsFor(period)*74
+	burstStop := base + sim.SlotsFor(period)*79
+	for j, at := range topo.SuggestedJammers {
+		for k, wifiCh := range []int{wifiChannelFor(j), wifiChannelFor(j + 1)} {
+			nw.AddInterferer(&interference.Window{
+				Source:   interference.NewWiFiJammer(topo, at, wifiCh, seed+int64(j*2+k)),
+				StartASN: burstStart,
+				StopASN:  burstStop,
+			})
+		}
+	}
+
+	nw.Run(sim.SlotsFor(period*totalPackets + 20*time.Second))
+	net.OnDeliver(nil)
+
+	out := &MicrobenchResult{
+		Delivered: make(map[uint16]map[uint16]bool, len(fset)),
+		FromSeq:   74,
+		ToSeq:     84,
+	}
+	for _, f := range fset {
+		seqs := col.DeliveredSeqs(f.ID)
+		window := make(map[uint16]bool)
+		for s := out.FromSeq; s <= out.ToSeq; s++ {
+			window[s] = seqs[s]
+		}
+		out.Delivered[f.ID] = window
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package flows
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+func TestRandomSetDistinctFieldSources(t *testing.T) {
+	topo := topology.TestbedA()
+	rng := rand.New(rand.NewSource(1))
+	set, err := RandomSet(topo, 8, 5*time.Second, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 8 {
+		t.Fatalf("got %d flows, want 8", len(set))
+	}
+	seen := map[topology.NodeID]bool{}
+	for _, f := range set {
+		if topo.IsAP(f.Source) {
+			t.Fatalf("flow %d sources from an AP", f.ID)
+		}
+		if seen[f.Source] {
+			t.Fatalf("duplicate source %d", f.Source)
+		}
+		seen[f.Source] = true
+		if f.Period != 5*time.Second {
+			t.Fatalf("flow %d period %v", f.ID, f.Period)
+		}
+	}
+}
+
+func TestRandomSetRejectsOversizedRequest(t *testing.T) {
+	topo := topology.TestbedA()
+	if _, err := RandomSet(topo, 1000, time.Second, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("accepted more flows than field devices")
+	}
+}
+
+func TestFixedSet(t *testing.T) {
+	set := FixedSet([]topology.NodeID{5, 9}, time.Second)
+	if len(set) != 2 || set[0].Source != 5 || set[1].Source != 9 {
+		t.Fatalf("FixedSet = %+v", set)
+	}
+	if set[0].ID != 1 || set[1].ID != 2 {
+		t.Fatalf("flow IDs = %d, %d; want 1, 2", set[0].ID, set[1].ID)
+	}
+}
+
+func TestScheduleEmitsAllPackets(t *testing.T) {
+	topo := topology.TestbedA()
+	nw := sim.NewNetwork(topo, 1)
+	set := FixedSet([]topology.NodeID{5, 9}, time.Second)
+
+	type gen struct {
+		flow uint16
+		seq  uint16
+		asn  sim.ASN
+	}
+	var got []gen
+	Schedule(nw, set, 3, func(f Flow, seq uint16, asn sim.ASN) {
+		got = append(got, gen{f.ID, seq, asn})
+	})
+	nw.Run(sim.SlotsFor(5 * time.Second))
+
+	if len(got) != 6 {
+		t.Fatalf("generated %d packets, want 6", len(got))
+	}
+	// Sequences per flow are 0,1,2 at one-period spacing; flows are
+	// staggered within the period.
+	perFlow := map[uint16][]gen{}
+	for _, g := range got {
+		perFlow[g.flow] = append(perFlow[g.flow], g)
+	}
+	for id, gs := range perFlow {
+		if len(gs) != 3 {
+			t.Fatalf("flow %d generated %d packets", id, len(gs))
+		}
+		for i := 1; i < len(gs); i++ {
+			if gs[i].asn-gs[i-1].asn != sim.SlotsFor(time.Second) {
+				t.Fatalf("flow %d spacing %d slots", id, gs[i].asn-gs[i-1].asn)
+			}
+		}
+	}
+	if perFlow[1][0].asn == perFlow[2][0].asn {
+		t.Fatal("flows not staggered")
+	}
+}

@@ -1,0 +1,36 @@
+package interference
+
+import (
+	"github.com/digs-net/digs/internal/phy"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Window gates another interferer to a slot range, so experiments can form
+// the network cleanly and then switch jamming on (and optionally off).
+type Window struct {
+	// Source is the wrapped interferer.
+	Source sim.Interferer
+	// StartASN is the first slot the source radiates in.
+	StartASN sim.ASN
+	// StopASN disables the source from this slot on; zero means never.
+	StopASN sim.ASN
+}
+
+var _ sim.Interferer = (*Window)(nil)
+
+// ActiveOn implements sim.Interferer.
+func (w *Window) ActiveOn(asn sim.ASN, ch phy.Channel) bool {
+	if asn < w.StartASN {
+		return false
+	}
+	if w.StopASN != 0 && asn >= w.StopASN {
+		return false
+	}
+	return w.Source.ActiveOn(asn, ch)
+}
+
+// PowerAtDBm implements sim.Interferer.
+func (w *Window) PowerAtDBm(at topology.NodeID) float64 {
+	return w.Source.PowerAtDBm(at)
+}

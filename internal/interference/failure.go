@@ -1,0 +1,30 @@
+package interference
+
+import (
+	"time"
+
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// FailureEvent is one scheduled node death (and optional recovery).
+type FailureEvent struct {
+	Node topology.NodeID
+	At   time.Duration
+	// RecoverAfter restores the node this long after the failure; zero
+	// means the node stays dead.
+	RecoverAfter time.Duration
+}
+
+// ScheduleFailures registers the given failure events on the network,
+// relative to the network's current time.
+func ScheduleFailures(nw *sim.Network, events []FailureEvent) {
+	base := nw.ASN()
+	for _, ev := range events {
+		ev := ev
+		nw.At(base+sim.SlotsFor(ev.At), func() { nw.Fail(ev.Node) })
+		if ev.RecoverAfter > 0 {
+			nw.At(base+sim.SlotsFor(ev.At+ev.RecoverAfter), func() { nw.Restore(ev.Node) })
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package mac
+
+import (
+	"fmt"
+
+	"github.com/digs-net/digs/internal/phy"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Broadcast graph: the third graph type the paper names (footnote 2) —
+// gateway-to-all dissemination for configuration changes, superframe
+// updates and alarms. The implementation is an epidemic relay over a
+// dedicated broadcast slotframe: every node listens once per frame in a
+// common broadcast slot and, while it holds a fresh bulletin, rebroadcasts
+// it a fixed number of times with a persistence coin (the slot is shared,
+// so the coin plays the CSMA role). Duplicate suppression by
+// (origin, sequence) stops the flood.
+
+// broadcastRelayCount is how many times each node repeats a bulletin.
+const broadcastRelayCount = 3
+
+// BroadcastKind marks dissemination frames inside KindCommand space: a
+// broadcast bulletin is a command frame with Dst == topology.Broadcast.
+
+// Broadcast queues a network-wide bulletin for dissemination. Requires the
+// broadcast slotframe (Config.BroadcastFrameLen > 0). Typically called on
+// an access point, but any node may originate one.
+func (n *Node) Broadcast(payload []byte) error {
+	if n.cfg.BroadcastFrameLen <= 0 {
+		return fmt.Errorf("node %d: broadcast disabled", n.id)
+	}
+	n.bcastSeq++
+	n.bcastOut = &bulletin{
+		frame: &sim.Frame{
+			Kind:    sim.KindCommand,
+			Origin:  n.id,
+			Dst:     topology.Broadcast,
+			Seq:     n.bcastSeq,
+			Payload: payload,
+		},
+		remaining: broadcastRelayCount,
+	}
+	// The originator delivers to itself (it is part of "all nodes").
+	n.markBulletinSeen(n.bcastOut.frame)
+	return nil
+}
+
+type bulletin struct {
+	frame     *sim.Frame
+	remaining int
+}
+
+// broadcastSlot is the common slot offset of the broadcast slotframe.
+const broadcastSlot = 1
+
+// broadcastChannelOffset keeps the flood off the unicast lanes.
+const broadcastChannelOffset = 15
+
+// planBroadcast fills protocol-idle slots with the broadcast cell.
+func (n *Node) planBroadcast(asn sim.ASN) (sim.RadioOp, bool) {
+	frameLen := int64(n.cfg.BroadcastFrameLen)
+	if asn%frameLen != broadcastSlot {
+		return sim.RadioOp{}, false
+	}
+	ch := phy.HopChannel(asn, broadcastChannelOffset)
+	if n.bcastOut != nil && n.bcastOut.remaining > 0 && n.rngCoin() {
+		n.bcastOut.remaining--
+		out := n.bcastOut.frame
+		if n.bcastOut.remaining == 0 {
+			n.bcastOut = nil
+		}
+		return sim.RadioOp{Kind: sim.OpTx, Channel: ch, Frame: out}, true
+	}
+	return sim.RadioOp{Kind: sim.OpRx, Channel: ch}, true
+}
+
+// rngCoin flips the persistence coin without a per-node RNG: derived from
+// the node ID and the relay counter so behaviour stays deterministic.
+func (n *Node) rngCoin() bool {
+	n.coinState = n.coinState*6364136223846793005 + 1442695040888963407
+	return (n.coinState>>33)&1 == 0
+}
+
+// receiveBroadcast handles an arriving bulletin: deliver once, then relay.
+func (n *Node) receiveBroadcast(asn sim.ASN, f *sim.Frame) {
+	if !n.markBulletinSeen(f) {
+		n.stats.Duplicates++
+		return
+	}
+	n.stats.BulletinsDelivered++
+	if n.BulletinSink != nil {
+		n.BulletinSink(asn, f)
+	}
+	n.bcastOut = &bulletin{
+		frame: &sim.Frame{
+			Kind:    sim.KindCommand,
+			Origin:  f.Origin,
+			Dst:     topology.Broadcast,
+			Seq:     f.Seq,
+			Payload: f.Payload,
+		},
+		remaining: broadcastRelayCount,
+	}
+}
+
+// markBulletinSeen records the bulletin identity; false when already seen.
+func (n *Node) markBulletinSeen(f *sim.Frame) bool {
+	key := seenKey{origin: f.Origin, flow: 0xFFFE, seq: f.Seq}
+	if _, dup := n.seen[key]; dup {
+		return false
+	}
+	n.seen[key] = struct{}{}
+	return true
+}

@@ -1,0 +1,94 @@
+package mac
+
+import (
+	"testing"
+
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+func broadcastChain(t *testing.T, n int) (*sim.Network, []*Node) {
+	t.Helper()
+	topo := lineTopology(t, n)
+	nw := sim.NewNetwork(topo, 1)
+	cfg := DefaultConfig()
+	cfg.BroadcastFrameLen = 23
+	nodes := make([]*Node, n+1)
+	for i := 1; i <= n; i++ {
+		id := topology.NodeID(i)
+		p := &staticProto{id: id, parent: topology.NodeID(i - 1)}
+		nodes[i] = NewNode(id, i == 1, p, cfg)
+		if err := nw.Attach(nodes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Run(500) // join
+	return nw, nodes
+}
+
+func TestBroadcastDisabledByDefault(t *testing.T) {
+	topo := lineTopology(t, 2)
+	nw := sim.NewNetwork(topo, 1)
+	n1 := NewNode(1, true, &staticProto{id: 1}, DefaultConfig())
+	if err := nw.Attach(n1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Broadcast([]byte{1}); err == nil {
+		t.Fatal("broadcast accepted while disabled")
+	}
+}
+
+func TestBroadcastFloodsTheChain(t *testing.T) {
+	nw, nodes := broadcastChain(t, 5)
+	got := map[topology.NodeID][]byte{}
+	for i := 2; i <= 5; i++ {
+		id := topology.NodeID(i)
+		nodes[i].BulletinSink = func(_ sim.ASN, f *sim.Frame) { got[id] = f.Payload }
+	}
+	if err := nodes[1].Broadcast([]byte{0xC0, 0xDE}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(2000)
+
+	for i := 2; i <= 5; i++ {
+		payload, ok := got[topology.NodeID(i)]
+		if !ok {
+			t.Fatalf("bulletin never reached node %d", i)
+		}
+		if len(payload) != 2 || payload[0] != 0xC0 {
+			t.Fatalf("node %d got corrupted payload %v", i, payload)
+		}
+		if nodes[i].Stats().BulletinsDelivered != 1 {
+			t.Fatalf("node %d delivered %d bulletins, want 1",
+				i, nodes[i].Stats().BulletinsDelivered)
+		}
+	}
+}
+
+func TestBroadcastDeliveredExactlyOnce(t *testing.T) {
+	nw, nodes := broadcastChain(t, 3)
+	count := 0
+	nodes[3].BulletinSink = func(sim.ASN, *sim.Frame) { count++ }
+	if err := nodes[1].Broadcast([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Run(2000)
+	if count != 1 {
+		t.Fatalf("bulletin delivered %d times to node 3, want exactly 1", count)
+	}
+}
+
+func TestSequentialBroadcastsAllArrive(t *testing.T) {
+	nw, nodes := broadcastChain(t, 3)
+	var seqs []uint16
+	nodes[3].BulletinSink = func(_ sim.ASN, f *sim.Frame) { seqs = append(seqs, f.Seq) }
+	for k := 0; k < 3; k++ {
+		if err := nodes[1].Broadcast([]byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+		nw.Run(2000)
+	}
+	if len(seqs) != 3 {
+		t.Fatalf("node 3 received %d bulletins, want 3 (%v)", len(seqs), seqs)
+	}
+}

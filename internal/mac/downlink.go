@@ -1,0 +1,137 @@
+package mac
+
+import (
+	"fmt"
+
+	"github.com/digs-net/digs/internal/phy"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Downlink support: WSANs carry actuation commands from the gateway to
+// field devices, not just sensor data upward. The paper's Section V
+// (footnote 2) notes the downlink graph follows the same method as the
+// uplink graph; this implementation follows the WirelessHART practice of
+// source-routing downlink commands over the paths the gateway learned
+// from uplink traffic (every forwarded data frame records its route).
+//
+// Scheduling stays autonomous: a downlink slotframe gives every node one
+// command listen slot derived from its own ID; a node holding a command
+// transmits in the next hop's slot. The slotframe has the lowest priority
+// — it only uses slots the protocol schedule leaves idle.
+
+// downSlot returns the downlink-slotframe slot a node listens in.
+func downSlot(id topology.NodeID, frameLen int64) int64 {
+	return (int64(id) * 31) % frameLen
+}
+
+// downChannelOffset keeps command cells off the protocol lanes' slot-0
+// collisions; the owner's ID picks the lane.
+func downChannelOffset(id topology.NodeID) uint8 {
+	return 1 + uint8((int64(id)*7)%14)
+}
+
+// SendCommand queues a downlink command to be source-routed along the
+// given path (excluding this node, ending at the destination). Requires a
+// downlink slotframe (Config.DownlinkFrameLen > 0).
+func (n *Node) SendCommand(route []topology.NodeID, payload []byte) error {
+	if n.cfg.DownlinkFrameLen <= 0 {
+		return fmt.Errorf("node %d: downlink disabled", n.id)
+	}
+	if len(route) == 0 {
+		return fmt.Errorf("node %d: empty command route", n.id)
+	}
+	if len(n.downQueue) >= n.cfg.QueueCap {
+		n.stats.DroppedQueue++
+		return fmt.Errorf("node %d: downlink queue full", n.id)
+	}
+	n.downSeq++
+	f := &sim.Frame{
+		Kind:    sim.KindCommand,
+		Origin:  n.id,
+		Seq:     n.downSeq,
+		Route:   append([]topology.NodeID(nil), route...),
+		Payload: payload,
+	}
+	n.downQueue = append(n.downQueue, queuedPacket{frame: f})
+	return nil
+}
+
+// planDownlink fills slots the protocol schedule leaves idle with command
+// cells.
+func (n *Node) planDownlink(asn sim.ASN) sim.RadioOp {
+	frameLen := int64(n.cfg.DownlinkFrameLen)
+	offset := asn % frameLen
+
+	if len(n.downQueue) > 0 {
+		head := &n.downQueue[0]
+		next := head.frame.Route[0]
+		if offset == downSlot(next, frameLen) {
+			head.frame.Src = n.id
+			head.frame.Dst = next
+			return sim.RadioOp{
+				Kind:    sim.OpTx,
+				Channel: phy.HopChannel(asn, downChannelOffset(next)),
+				Frame:   head.frame,
+				NeedAck: true,
+			}
+		}
+	}
+	if offset == downSlot(n.id, frameLen) {
+		return sim.RadioOp{
+			Kind:    sim.OpRx,
+			Channel: phy.HopChannel(asn, downChannelOffset(n.id)),
+		}
+	}
+	return sim.Sleep()
+}
+
+// receiveCommand handles an arriving downlink command: deliver it if this
+// node is the destination, otherwise advance the source route and keep
+// relaying.
+func (n *Node) receiveCommand(asn sim.ASN, f *sim.Frame) {
+	key := seenKey{origin: f.Origin, flow: 0xFFFF, seq: f.Seq}
+	if _, dup := n.seen[key]; dup {
+		n.stats.Duplicates++
+		return
+	}
+	n.seen[key] = struct{}{}
+
+	if len(f.Route) <= 1 {
+		// Final hop: this node is the command's destination.
+		n.stats.CommandsDelivered++
+		if n.CommandSink != nil {
+			n.CommandSink(asn, f)
+		}
+		return
+	}
+	if len(n.downQueue) >= n.cfg.QueueCap {
+		n.stats.DroppedQueue++
+		return
+	}
+	fwd := &sim.Frame{
+		Kind:    sim.KindCommand,
+		Origin:  f.Origin,
+		Seq:     f.Seq,
+		BornASN: f.BornASN,
+		Route:   append([]topology.NodeID(nil), f.Route[1:]...),
+		Payload: f.Payload,
+	}
+	n.downQueue = append(n.downQueue, queuedPacket{frame: fwd})
+}
+
+// downlinkTxDone folds a command transmission outcome.
+func (n *Node) downlinkTxDone(acked bool) {
+	if len(n.downQueue) == 0 {
+		return
+	}
+	if acked {
+		n.downQueue = n.downQueue[1:]
+		return
+	}
+	n.downQueue[0].txCount++
+	if n.downQueue[0].txCount >= n.cfg.MaxTxPerPacket {
+		n.stats.DroppedRetries++
+		n.downQueue = n.downQueue[1:]
+	}
+}

@@ -1,0 +1,370 @@
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/digs-net/digs/internal/phy"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Config tunes MAC behaviour.
+type Config struct {
+	// QueueCap bounds the data forwarding queue (TelosB-class memory).
+	QueueCap int
+	// MaxTxPerPacket bounds total transmission attempts before a data
+	// packet is dropped.
+	MaxTxPerPacket int
+	// DownlinkFrameLen enables the downlink command slotframe when
+	// positive: every node listens once per frame in a slot derived from
+	// its ID, and source-routed commands ride the slots the protocol
+	// schedule leaves idle. Zero disables downlink entirely.
+	DownlinkFrameLen int
+	// BroadcastFrameLen enables the network-wide dissemination slotframe
+	// (the paper's broadcast graph) when positive. Zero disables it.
+	BroadcastFrameLen int
+}
+
+// DefaultConfig returns the MAC configuration used across the evaluation.
+func DefaultConfig() Config {
+	return Config{QueueCap: 16, MaxTxPerPacket: 30}
+}
+
+// Stats aggregates a node's lifetime counters for the energy, duty-cycle
+// and loss metrics.
+type Stats struct {
+	EnergyJoules  float64
+	RadioOnTime   time.Duration
+	Slots         int64
+	TxData        int64
+	TxControl     int64
+	RxFrames      int64
+	Generated     int64
+	Forwarded     int64
+	SinkDelivered int64
+	// CommandsDelivered counts downlink commands that reached this node as
+	// their destination.
+	CommandsDelivered int64
+	// BulletinsDelivered counts broadcast bulletins received (once each).
+	BulletinsDelivered int64
+	DroppedQueue       int64
+	DroppedRetries     int64
+	Duplicates         int64
+}
+
+// DutyCycle returns the fraction of elapsed time the radio was on.
+func (s Stats) DutyCycle() float64 {
+	if s.Slots == 0 {
+		return 0
+	}
+	return float64(s.RadioOnTime) / float64(time.Duration(s.Slots)*phy.SlotDuration)
+}
+
+type seenKey struct {
+	origin topology.NodeID
+	flow   uint16
+	seq    uint16
+}
+
+type queuedPacket struct {
+	frame   *sim.Frame
+	txCount int
+	// from is the neighbour this packet was received from (0 when locally
+	// generated). Split-horizon rule: never forward a packet back to the
+	// node it came from — transient routing loops would otherwise bounce
+	// it until duplicate suppression eats it.
+	from topology.NodeID
+	// blocked counts transmit opportunities skipped by split horizon; a
+	// packet stuck behind it for too long is dropped (the route never
+	// recovered).
+	blocked int
+}
+
+// maxBlockedOpportunities bounds how long split horizon may park a packet.
+const maxBlockedOpportunities = 90
+
+// Node is one TSCH device: it executes a Protocol's schedule, manages the
+// data queue with retransmissions and duplicate suppression, performs EB
+// time synchronisation and accounts radio energy. It implements
+// sim.Device.
+type Node struct {
+	id    topology.NodeID
+	isAP  bool
+	proto Protocol
+	cfg   Config
+
+	synced   bool
+	syncedAt sim.ASN
+
+	queue []queuedPacket
+	seen  map[seenKey]struct{}
+
+	// downQueue holds source-routed downlink commands in transit.
+	downQueue []queuedPacket
+	downSeq   uint16
+
+	stats Stats
+
+	// Sink receives data frames arriving at an access point. Experiments
+	// set it on AP nodes.
+	Sink func(asn sim.ASN, f *sim.Frame)
+
+	// CommandSink receives downlink commands addressed to this node.
+	CommandSink func(asn sim.ASN, f *sim.Frame)
+
+	// BulletinSink receives network-wide broadcast bulletins.
+	BulletinSink func(asn sim.ASN, f *sim.Frame)
+
+	// bcastOut is the bulletin currently being relayed; coinState drives
+	// the deterministic persistence coin.
+	bcastOut  *bulletin
+	bcastSeq  uint16
+	coinState uint64
+}
+
+var _ sim.Device = (*Node)(nil)
+
+// NewNode creates a MAC node for the given protocol. Access points start
+// synchronised: they are the network's time source.
+func NewNode(id topology.NodeID, isAP bool, proto Protocol, cfg Config) *Node {
+	n := &Node{
+		id:        id,
+		isAP:      isAP,
+		proto:     proto,
+		cfg:       cfg,
+		seen:      make(map[seenKey]struct{}),
+		coinState: uint64(id)*0x9e3779b97f4a7c15 + 1,
+	}
+	if isAP {
+		n.synced = true
+		proto.OnSynced(0)
+	}
+	return n
+}
+
+// ID implements sim.Device.
+func (n *Node) ID() topology.NodeID { return n.id }
+
+// IsAP reports whether the node is an access point.
+func (n *Node) IsAP() bool { return n.isAP }
+
+// Synced reports whether the node has joined the TSCH network, and since
+// which slot.
+func (n *Node) Synced() (bool, sim.ASN) { return n.synced, n.syncedAt }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// QueueLen returns the current data queue depth.
+func (n *Node) QueueLen() int { return len(n.queue) }
+
+// InjectData queues a locally generated application packet. The caller
+// fills Origin, FlowID, Seq and BornASN.
+func (n *Node) InjectData(f *sim.Frame) error {
+	n.stats.Generated++
+	if len(n.queue) >= n.cfg.QueueCap {
+		n.stats.DroppedQueue++
+		return fmt.Errorf("node %d: data queue full", n.id)
+	}
+	f.Kind = sim.KindData
+	n.queue = append(n.queue, queuedPacket{frame: f})
+	return nil
+}
+
+// scanDwellSlots is how long a joining node camps on one channel before
+// rotating to the next (a 5 s dwell, standard passive-scan behaviour).
+const scanDwellSlots = 500
+
+// Plan implements sim.Device.
+func (n *Node) Plan(asn sim.ASN) sim.RadioOp {
+	if !n.synced {
+		// Passive scan: camp on one channel at a time. Beacons hop, so
+		// the scanner statistically catches one after a few EB periods.
+		idx := (int64(n.id)*7 + asn/scanDwellSlots) % phy.NumChannels
+		return sim.RadioOp{Kind: sim.OpScan, Channel: phy.DefaultHoppingSequence[idx]}
+	}
+	a := n.proto.Assignment(asn)
+	op := n.planProtocol(asn, a)
+	if op.Kind != sim.OpSleep {
+		return op
+	}
+	// Idle slot: the broadcast cell outranks downlink (alarms and
+	// reconfiguration beat individual commands).
+	if n.cfg.BroadcastFrameLen > 0 {
+		if bop, ok := n.planBroadcast(asn); ok {
+			return bop
+		}
+	}
+	if n.cfg.DownlinkFrameLen > 0 {
+		return n.planDownlink(asn)
+	}
+	return op
+}
+
+// planProtocol turns the protocol's slot assignment into a radio
+// operation.
+func (n *Node) planProtocol(asn sim.ASN, a Assignment) sim.RadioOp {
+	switch a.Role {
+	case RoleTxEB:
+		return sim.RadioOp{
+			Kind:    sim.OpTx,
+			Channel: phy.HopChannel(asn, a.ChannelOffset),
+			Frame: &sim.Frame{
+				Kind:    sim.KindEB,
+				Src:     n.id,
+				Dst:     topology.Broadcast,
+				Payload: n.proto.EBPayload(),
+			},
+		}
+	case RoleRxEB, RoleRxData:
+		return sim.RadioOp{Kind: sim.OpRx, Channel: phy.HopChannel(asn, a.ChannelOffset)}
+	case RoleShared:
+		f, needAck := n.proto.SharedFrame(asn)
+		if f == nil {
+			return sim.RadioOp{Kind: sim.OpRx, Channel: phy.HopChannel(asn, a.ChannelOffset)}
+		}
+		f.Src = n.id
+		return sim.RadioOp{
+			Kind:    sim.OpTx,
+			Channel: phy.HopChannel(asn, a.ChannelOffset),
+			Frame:   f,
+			NeedAck: needAck && f.Dst != topology.Broadcast,
+		}
+	case RoleTxData:
+		if len(n.queue) == 0 {
+			return sim.Sleep()
+		}
+		hop, ok := n.proto.NextHop(asn, a.Attempt)
+		if !ok {
+			return sim.Sleep()
+		}
+		head := &n.queue[0]
+		if hop == head.from {
+			// Split horizon: wait for an attempt that goes elsewhere.
+			head.blocked++
+			if head.blocked >= maxBlockedOpportunities {
+				n.stats.DroppedRetries++
+				n.queue = n.queue[1:]
+			}
+			return sim.Sleep()
+		}
+		head.frame.Src = n.id
+		head.frame.Dst = hop
+		return sim.RadioOp{
+			Kind:    sim.OpTx,
+			Channel: phy.HopChannel(asn, a.ChannelOffset),
+			Frame:   head.frame,
+			NeedAck: true,
+		}
+	default:
+		return sim.Sleep()
+	}
+}
+
+// EndSlot implements sim.Device.
+func (n *Node) EndSlot(asn sim.ASN, rep sim.SlotReport) {
+	n.stats.Slots++
+	n.stats.EnergyJoules += phy.EnergyJoules(rep.Activity)
+	n.stats.RadioOnTime += phy.RadioOnTime(rep.Activity)
+
+	if rep.Received != nil {
+		n.receive(asn, rep.Received, rep.RSSI)
+	}
+	if rep.Op.Kind == sim.OpTx && rep.Op.Frame != nil {
+		n.txDone(asn, rep.Op, rep.Acked)
+	}
+}
+
+func (n *Node) receive(asn sim.ASN, f *sim.Frame, rssi float64) {
+	n.stats.RxFrames++
+	if !n.synced {
+		// EBs are the canonical sync source; broadcast routing beacons
+		// are periodic enough to serve as one too (they carry the same
+		// timeslot template in 802.15.4e networks).
+		if f.Kind != sim.KindEB && f.Kind != sim.KindJoinIn {
+			return
+		}
+		n.synced = true
+		n.syncedAt = asn
+		n.proto.OnSynced(asn)
+	}
+	n.proto.OnFrame(asn, f, rssi)
+	if f.Kind == sim.KindCommand {
+		if f.Broadcast() {
+			n.receiveBroadcast(asn, f)
+		} else {
+			n.receiveCommand(asn, f)
+		}
+		return
+	}
+	if f.Kind != sim.KindData {
+		return
+	}
+
+	key := seenKey{origin: f.Origin, flow: f.FlowID, seq: f.Seq}
+	if _, dup := n.seen[key]; dup {
+		n.stats.Duplicates++
+		return
+	}
+	n.seen[key] = struct{}{}
+
+	if n.isAP {
+		n.stats.SinkDelivered++
+		if n.Sink != nil {
+			n.Sink(asn, f)
+		}
+		return
+	}
+	// Forward: copy the end-to-end identity into a fresh frame owned by
+	// this node's queue.
+	if len(n.queue) >= n.cfg.QueueCap {
+		n.stats.DroppedQueue++
+		return
+	}
+	fwd := &sim.Frame{
+		Kind:    sim.KindData,
+		Origin:  f.Origin,
+		FlowID:  f.FlowID,
+		Seq:     f.Seq,
+		BornASN: f.BornASN,
+		Payload: f.Payload,
+		// Record route: gateways learn downlink paths from the hops data
+		// frames accumulate on the way up.
+		Route: append(append([]topology.NodeID(nil), f.Route...), f.Src),
+	}
+	n.queue = append(n.queue, queuedPacket{frame: fwd, from: f.Src})
+	n.stats.Forwarded++
+}
+
+func (n *Node) txDone(asn sim.ASN, op sim.RadioOp, acked bool) {
+	f := op.Frame
+	if f.Kind == sim.KindCommand {
+		n.stats.TxData++
+		if !f.Broadcast() {
+			n.downlinkTxDone(acked)
+		}
+		return
+	}
+	if f.Kind == sim.KindData {
+		n.stats.TxData++
+		if len(n.queue) == 0 || n.queue[0].frame != f {
+			return // queue changed underneath (should not happen)
+		}
+		n.proto.OnTxResult(asn, f, f.Dst, acked)
+		if acked {
+			n.queue = n.queue[1:]
+			return
+		}
+		n.queue[0].txCount++
+		if n.queue[0].txCount >= n.cfg.MaxTxPerPacket {
+			n.stats.DroppedRetries++
+			n.queue = n.queue[1:]
+		}
+		return
+	}
+	n.stats.TxControl++
+	if op.NeedAck {
+		n.proto.OnTxResult(asn, f, f.Dst, acked)
+	}
+}

@@ -1,0 +1,131 @@
+// Package mac implements the TSCH medium access layer shared by every
+// protocol stack in this repository: slotframe-based schedules with
+// dedicated and shared slots, channel hopping, enhanced-beacon time
+// synchronisation, per-packet retransmission, duplicate suppression and
+// radio energy accounting. Protocols (DiGS, Orchestra, WirelessHART) plug
+// in through the Protocol interface: they decide the slot roles and the
+// routing, the MAC executes them.
+package mac
+
+import (
+	"sort"
+
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// SlotRole says what a node does in a slot of its combined schedule.
+type SlotRole int
+
+// Slot roles.
+const (
+	// RoleSleep keeps the radio off.
+	RoleSleep SlotRole = iota + 1
+	// RoleTxEB broadcasts an enhanced beacon.
+	RoleTxEB
+	// RoleRxEB listens for the time-source neighbour's beacon.
+	RoleRxEB
+	// RoleShared is a shared slot: transmit a pending routing frame or
+	// listen (CSMA-style contention happens naturally on the medium).
+	RoleShared
+	// RoleTxData transmits the head-of-queue data packet.
+	RoleTxData
+	// RoleRxData listens for a data packet.
+	RoleRxData
+)
+
+// Assignment is the resolved decision for one slot.
+type Assignment struct {
+	Role SlotRole
+	// ChannelOffset selects the hopping sequence lane.
+	ChannelOffset uint8
+	// Attempt numbers the transmission attempt within the slotframe for
+	// RoleTxData (1-based); DiGS routes attempt 3 over the backup parent.
+	Attempt int
+}
+
+// sleepAssignment is the default when no slotframe claims a slot.
+var sleepAssignment = Assignment{Role: RoleSleep}
+
+// Slotframe is one periodic schedule layer. Each protocol builds its
+// combined schedule out of several slotframes with distinct priorities, as
+// in the paper's Section VI: the highest-priority non-sleeping layer wins
+// each slot, locally and independently at every node.
+type Slotframe struct {
+	// Length is the slotframe period in slots.
+	Length int64
+	// Priority orders layers during combination; lower wins. The paper
+	// uses sync < routing < application.
+	Priority int
+	// ChannelOffset is the hopping lane for slots owned by this layer.
+	ChannelOffset uint8
+	// Role maps the slot offset within this slotframe to a role, or
+	// RoleSleep when the layer does not use the slot. It may consult live
+	// routing state (parents change at runtime).
+	Role func(offset int64, asn sim.ASN) (SlotRole, int)
+}
+
+// Combiner resolves the per-slot winner among slotframes, implementing the
+// paper's priority-based local schedule combination.
+type Combiner struct {
+	frames []Slotframe
+}
+
+// NewCombiner builds a combiner; frames are sorted by priority once.
+func NewCombiner(frames ...Slotframe) *Combiner {
+	sorted := make([]Slotframe, len(frames))
+	copy(sorted, frames)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Priority < sorted[j].Priority
+	})
+	return &Combiner{frames: sorted}
+}
+
+// Assignment returns the winning assignment for the slot.
+func (c *Combiner) Assignment(asn sim.ASN) Assignment {
+	for _, f := range c.frames {
+		role, attempt := f.Role(asn%f.Length, asn)
+		if role == RoleSleep {
+			continue
+		}
+		return Assignment{Role: role, ChannelOffset: f.ChannelOffset, Attempt: attempt}
+	}
+	return sleepAssignment
+}
+
+// Protocol is the routing/scheduling brain a MAC node executes. All calls
+// happen from the simulation loop, never concurrently.
+type Protocol interface {
+	// Assignment returns the node's combined-schedule decision for the
+	// slot. Only called once the node is synchronised.
+	Assignment(asn sim.ASN) Assignment
+
+	// OnSynced tells the protocol the node has joined the TSCH network
+	// (heard its first EB) and may begin routing.
+	OnSynced(asn sim.ASN)
+
+	// EBPayload returns the routing metadata to embed in this node's
+	// enhanced beacons (the 802.15.4e join metric: rank and path cost),
+	// or nil for none.
+	EBPayload() []byte
+
+	// OnFrame delivers a received protocol or data frame for routing-state
+	// updates (parent selection, link estimation). Data frames are also
+	// handled by the MAC (forwarding); protocols typically use them only
+	// to refresh link statistics.
+	OnFrame(asn sim.ASN, f *sim.Frame, rssiDBm float64)
+
+	// SharedFrame returns the routing frame to transmit in a shared slot,
+	// or nil to listen instead. NeedAck is true for unicast control
+	// frames.
+	SharedFrame(asn sim.ASN) (f *sim.Frame, needAck bool)
+
+	// NextHop returns the forwarding destination for the given data
+	// transmission attempt (1-based) in the given slot, or false when the
+	// node has no route.
+	NextHop(asn sim.ASN, attempt int) (topology.NodeID, bool)
+
+	// OnTxResult reports the outcome of a unicast transmission so the
+	// protocol can update link estimates and trigger repairs.
+	OnTxResult(asn sim.ASN, f *sim.Frame, to topology.NodeID, acked bool)
+}

@@ -1,0 +1,99 @@
+package mac
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Wire format. The simulator passes frames as structs for speed, but every
+// frame must fit a real 802.15.4 MPDU; this codec defines the byte layout
+// and the size budget, and the test suite round-trips every transmitted
+// frame through it (TestEveryTransmittedFrameIsCodable).
+//
+// Layout (big endian):
+//
+//	kind    uint8
+//	src     uint16
+//	dst     uint16
+//	seq     uint16
+//	origin  uint16
+//	flow    uint16
+//	born    uint40 (slot numbers to ~348 years)
+//	nroute  uint8, then nroute * uint16 route entries
+//	payload the rest
+const (
+	// MaxFramePayload is the MPDU capacity available above the PHY header
+	// (127 bytes a-MaxPHYPacketSize minus FCS).
+	MaxFramePayload = 125
+
+	frameHeaderSize = 1 + 2 + 2 + 2 + 2 + 2 + 5 + 1
+)
+
+// EncodeFrame serializes a frame. It fails when the frame exceeds the
+// 802.15.4 MPDU budget (over-long source routes or payloads).
+func EncodeFrame(f *sim.Frame) ([]byte, error) {
+	size := frameHeaderSize + 2*len(f.Route) + len(f.Payload)
+	if size > MaxFramePayload {
+		return nil, fmt.Errorf("frame %d bytes exceeds the %d-byte MPDU budget "+
+			"(route %d hops, payload %d bytes)",
+			size, MaxFramePayload, len(f.Route), len(f.Payload))
+	}
+	if len(f.Route) > 255 {
+		return nil, fmt.Errorf("route of %d hops does not fit the length octet", len(f.Route))
+	}
+	if f.BornASN < 0 || f.BornASN >= 1<<40 {
+		return nil, fmt.Errorf("born ASN %d outside the 40-bit field", f.BornASN)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(f.Kind))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(f.Src))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(f.Dst))
+	buf = binary.BigEndian.AppendUint16(buf, f.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(f.Origin))
+	buf = binary.BigEndian.AppendUint16(buf, f.FlowID)
+	buf = append(buf,
+		byte(f.BornASN>>32), byte(f.BornASN>>24), byte(f.BornASN>>16),
+		byte(f.BornASN>>8), byte(f.BornASN))
+	buf = append(buf, byte(len(f.Route)))
+	for _, hop := range f.Route {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(hop))
+	}
+	buf = append(buf, f.Payload...)
+	return buf, nil
+}
+
+// DecodeFrame parses a serialized frame.
+func DecodeFrame(b []byte) (*sim.Frame, error) {
+	if len(b) < frameHeaderSize {
+		return nil, fmt.Errorf("frame of %d bytes below the %d-byte header", len(b), frameHeaderSize)
+	}
+	f := &sim.Frame{
+		Kind:   sim.FrameKind(b[0]),
+		Src:    topology.NodeID(binary.BigEndian.Uint16(b[1:3])),
+		Dst:    topology.NodeID(binary.BigEndian.Uint16(b[3:5])),
+		Seq:    binary.BigEndian.Uint16(b[5:7]),
+		Origin: topology.NodeID(binary.BigEndian.Uint16(b[7:9])),
+		FlowID: binary.BigEndian.Uint16(b[9:11]),
+	}
+	f.BornASN = int64(b[11])<<32 | int64(b[12])<<24 | int64(b[13])<<16 |
+		int64(b[14])<<8 | int64(b[15])
+	nroute := int(b[16])
+	rest := b[frameHeaderSize:]
+	if len(rest) < 2*nroute {
+		return nil, fmt.Errorf("frame truncated: %d route hops claimed, %d bytes left",
+			nroute, len(rest))
+	}
+	if nroute > 0 {
+		f.Route = make([]topology.NodeID, nroute)
+		for i := 0; i < nroute; i++ {
+			f.Route[i] = topology.NodeID(binary.BigEndian.Uint16(rest[2*i : 2*i+2]))
+		}
+	}
+	if payload := rest[2*nroute:]; len(payload) > 0 {
+		f.Payload = append([]byte(nil), payload...)
+	}
+	return f, nil
+}

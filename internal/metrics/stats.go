@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CDFPoint is one point of an empirical cumulative distribution function.
+type CDFPoint struct {
+	Value float64
+	// P is the cumulative probability at Value.
+	P float64
+}
+
+// CDF computes the empirical CDF of the samples (sorted by value).
+func CDF(samples []float64) []CDFPoint {
+	if len(samples) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, P: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// Quantile returns the p-quantile (0..1) of the samples using linear
+// interpolation. It returns NaN for empty input.
+func Quantile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// Min and Max return the extremes (NaN for empty input).
+func Min(samples []float64) float64 { return Quantile(samples, 0) }
+
+// Max returns the largest sample.
+func Max(samples []float64) float64 { return Quantile(samples, 1) }
+
+// Boxplot summarises samples the way the paper's boxplot figures do.
+type Boxplot struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// NewBoxplot computes the five-number summary.
+func NewBoxplot(samples []float64) Boxplot {
+	return Boxplot{
+		Min:    Quantile(samples, 0),
+		Q1:     Quantile(samples, 0.25),
+		Median: Quantile(samples, 0.5),
+		Q3:     Quantile(samples, 0.75),
+		Max:    Quantile(samples, 1),
+	}
+}
+
+// DurationsToMillis converts durations to float milliseconds for the
+// statistics helpers.
+func DurationsToMillis(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// FractionAbove returns the share of samples strictly greater than x.
+func FractionAbove(samples []float64, x float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range samples {
+		if v > x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(samples))
+}
+
+// StdErr returns the standard error of the mean (NaN for fewer than two
+// samples).
+func StdErr(samples []float64) float64 {
+	n := len(samples)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(samples)
+	ss := 0.0
+	for _, v := range samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+}
+
+// SparkCDF renders an ASCII cumulative-distribution strip: each column is
+// a decile of the probability axis, showing the sample value there.
+func SparkCDF(samples []float64, format string) string {
+	if len(samples) == 0 {
+		return "(no samples)"
+	}
+	var b strings.Builder
+	for p := 1; p <= 10; p++ {
+		if p > 1 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "p%d0=", p)
+		fmt.Fprintf(&b, format, Quantile(samples, float64(p)/10))
+	}
+	return b.String()
+}

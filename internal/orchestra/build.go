@@ -1,0 +1,65 @@
+package orchestra
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Network bundles the per-node MAC and Orchestra instances running over
+// one simulated network.
+type Network struct {
+	Nodes  []*mac.Node // indexed by node ID, entry 0 nil
+	Stacks []*Stack    // indexed by node ID, entry 0 nil
+}
+
+// Build attaches a full Orchestra stack to every node of the network's
+// topology (access points act as RPL roots).
+func Build(nw *sim.Network, cfg Config, macCfg mac.Config, seed int64) (*Network, error) {
+	topo := nw.Topology()
+	out := &Network{
+		Nodes:  make([]*mac.Node, topo.N()+1),
+		Stacks: make([]*Stack, topo.N()+1),
+	}
+	for i := 1; i <= topo.N(); i++ {
+		id := topology.NodeID(i)
+		isRoot := topo.IsAP(id)
+		stack, err := NewStack(id, isRoot, cfg, rand.New(rand.NewSource(seed*6151+int64(i))))
+		if err != nil {
+			return nil, err
+		}
+		node := mac.NewNode(id, isRoot, stack, macCfg)
+		if err := nw.Attach(node); err != nil {
+			return nil, fmt.Errorf("orchestra build: %w", err)
+		}
+		out.Nodes[i] = node
+		out.Stacks[i] = stack
+	}
+	return out, nil
+}
+
+// OnDeliver installs the sink callback on every access point.
+func (n *Network) OnDeliver(fn func(asn sim.ASN, f *sim.Frame)) {
+	for _, node := range n.Nodes[1:] {
+		if node.IsAP() {
+			node.Sink = fn
+		}
+	}
+}
+
+// JoinedCount returns how many nodes are synchronised and in the DODAG.
+func (n *Network) JoinedCount() int {
+	joined := 0
+	for i, node := range n.Nodes {
+		if node == nil {
+			continue
+		}
+		if synced, _ := node.Synced(); synced && n.Stacks[i].Router().Joined() {
+			joined++
+		}
+	}
+	return joined
+}

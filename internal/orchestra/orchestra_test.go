@@ -1,0 +1,220 @@
+package orchestra
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/rpl"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+func TestRxSlotStableAndInRange(t *testing.T) {
+	seen := map[int64]int{}
+	for id := 1; id <= 200; id++ {
+		s := RxSlot(topology.NodeID(id), 151)
+		if s < 0 || s >= 151 {
+			t.Fatalf("RxSlot(%d) = %d outside frame", id, s)
+		}
+		seen[s]++
+	}
+	// The hash must spread nodes over many distinct slots.
+	if len(seen) < 100 {
+		t.Fatalf("receiver-based hash uses only %d distinct slots for 200 nodes", len(seen))
+	}
+}
+
+func TestUnicastRolesReceiverBasedMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReceiverBased = true
+	s, err := NewStack(9, false, cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give it a parent (node 4).
+	s.Router().OnDIO(0, 4, rpl.DIO{Rank: 1, PathETX: 0}, -60)
+
+	own := RxSlot(9, cfg.UnicastFrameLen)
+	parent := RxSlot(4, cfg.UnicastFrameLen)
+	if role, _ := s.unicastRole(own, 0); role != mac.RoleRxData {
+		t.Fatalf("own slot role = %v, want RxData", role)
+	}
+	if role, _ := s.unicastRole(parent, 0); role != mac.RoleTxData {
+		t.Fatalf("parent slot role = %v, want TxData", role)
+	}
+	if role, _ := s.unicastRole((own+parent+1)%cfg.UnicastFrameLen+2, 0); role == mac.RoleTxData {
+		t.Fatal("unrelated slot marked TxData")
+	}
+}
+
+func TestUnicastRolesSenderBasedMode(t *testing.T) {
+	cfg := DefaultConfig() // sender-based by default
+	s, err := NewStack(9, false, cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Router().OnDIO(0, 4, rpl.DIO{Rank: 1, PathETX: 0}, -60)
+	// Learn about a potential child: node 12 advertising a higher rank.
+	s.Router().OnDIO(0, 12, rpl.DIO{Rank: 25, PathETX: 4}, -70)
+	s.refreshChildSlots()
+
+	own := RxSlot(9, cfg.UnicastFrameLen)
+	child := RxSlot(12, cfg.UnicastFrameLen)
+	if role, _ := s.unicastRole(own, 0); role != mac.RoleTxData {
+		t.Fatalf("own sender cell role = %v, want TxData", role)
+	}
+	if role, _ := s.unicastRole(child, 0); role != mac.RoleRxData {
+		t.Fatalf("child sender cell role = %v, want RxData", role)
+	}
+}
+
+func TestBackoffSkipsTransmitOpportunities(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReceiverBased = true // backoff applies only to contended cells
+	s, err := NewStack(9, false, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Router().OnDIO(0, 4, rpl.DIO{Rank: 1, PathETX: 0}, -60)
+	own := RxSlot(4, cfg.UnicastFrameLen) // we transmit in the parent's cell
+
+	// Force failures until a non-zero backoff is drawn.
+	backedOff := false
+	for i := 0; i < 32 && !backedOff; i++ {
+		s.OnTxResult(0, &sim.Frame{Kind: sim.KindData}, 4, false)
+		if s.txBackoff > 0 {
+			backedOff = true
+		}
+	}
+	if !backedOff {
+		t.Fatal("failures never produced a backoff")
+	}
+	want := s.txBackoff
+	skips := 0
+	for s.txBackoff > 0 {
+		if role, _ := s.unicastRole(own, 0); role != mac.RoleSleep {
+			t.Fatalf("role during backoff = %v, want Sleep", role)
+		}
+		skips++
+	}
+	if skips != want {
+		t.Fatalf("skipped %d opportunities, want %d", skips, want)
+	}
+	if role, _ := s.unicastRole(own, 0); role != mac.RoleTxData {
+		t.Fatalf("role after backoff = %v, want TxData", role)
+	}
+}
+
+func TestNextHopIsAlwaysPreferredParent(t *testing.T) {
+	s, err := NewStack(9, false, DefaultConfig(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.NextHop(0, 1); ok {
+		t.Fatal("next hop before joining")
+	}
+	s.Router().OnDIO(0, 4, rpl.DIO{Rank: 1, PathETX: 0}, -60)
+	for attempt := 1; attempt <= 3; attempt++ {
+		hop, ok := s.NextHop(0, attempt)
+		if !ok || hop != 4 {
+			t.Fatalf("attempt %d next hop = (%d, %v), want (4, true)", attempt, hop, ok)
+		}
+	}
+}
+
+func TestOrchestraConvergesAndDelivers(t *testing.T) {
+	topo := topology.TestbedA()
+	nw := sim.NewNetwork(topo, 19)
+	net, err := Build(nw, DefaultConfig(), mac.DefaultConfig(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := nw.RunUntil(sim.SlotsFor(150*time.Second), func() bool {
+		return net.JoinedCount() == topo.N()
+	}); !done {
+		t.Fatalf("only %d/%d joined", net.JoinedCount(), topo.N())
+	}
+
+	delivered := make(map[[2]uint16]bool)
+	net.OnDeliver(func(_ sim.ASN, f *sim.Frame) {
+		delivered[[2]uint16{f.FlowID, f.Seq}] = true
+	})
+	sent := 0
+	for round := 0; round < 10; round++ {
+		for fi, src := range topo.SuggestedSources {
+			if err := net.Nodes[src].InjectData(&sim.Frame{
+				Origin: src, FlowID: uint16(fi + 1), Seq: uint16(round), BornASN: nw.ASN(),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+		nw.Run(sim.SlotsFor(5 * time.Second))
+	}
+	nw.Run(sim.SlotsFor(5 * time.Second))
+	pdr := float64(len(delivered)) / float64(sent)
+	t.Logf("Orchestra clean-environment PDR: %.3f", pdr)
+	if pdr < 0.9 {
+		t.Fatalf("Orchestra clean PDR %.3f, want >= 0.9", pdr)
+	}
+}
+
+func TestOrchestraFlowDisconnectsOnParentFailure(t *testing.T) {
+	// The paper's Figure 11 contrast: with a single preferred parent and
+	// no backup route, killing the parent interrupts delivery until RPL
+	// repairs. Immediately after the failure, packets must be lost.
+	topo := topology.TestbedA()
+	nw := sim.NewNetwork(topo, 23)
+	net, err := Build(nw, DefaultConfig(), mac.DefaultConfig(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := nw.RunUntil(sim.SlotsFor(150*time.Second), func() bool {
+		return net.JoinedCount() == topo.N()
+	}); !done {
+		t.Fatal("network did not converge")
+	}
+	var src, victim topology.NodeID
+	for _, s := range topo.SuggestedSources {
+		if p := net.Stacks[s].Router().Parent(); p != 0 && !topo.IsAP(p) {
+			src, victim = s, p
+			break
+		}
+	}
+	if src == 0 {
+		t.Skip("no source routed through a field device in this seed")
+	}
+	delivered := 0
+	net.OnDeliver(func(_ sim.ASN, f *sim.Frame) {
+		if f.Origin == src {
+			delivered++
+		}
+	})
+	nw.Fail(victim)
+	// Two packets in quick succession right after the failure: with a
+	// 12+ second detection window they cannot be delivered in time.
+	for i := 0; i < 2; i++ {
+		_ = net.Nodes[src].InjectData(&sim.Frame{
+			Origin: src, FlowID: 1, Seq: uint16(i), BornASN: nw.ASN(),
+		})
+		nw.Run(sim.SlotsFor(2 * time.Second))
+	}
+	if delivered != 0 {
+		t.Fatalf("delivered %d packets within 4 s of parent failure; Orchestra "+
+			"should still be detecting the loss", delivered)
+	}
+	// Eventually RPL repairs and traffic resumes.
+	nw.Run(sim.SlotsFor(90 * time.Second))
+	resumed := delivered
+	for i := 2; i < 6; i++ {
+		_ = net.Nodes[src].InjectData(&sim.Frame{
+			Origin: src, FlowID: 1, Seq: uint16(i), BornASN: nw.ASN(),
+		})
+		nw.Run(sim.SlotsFor(5 * time.Second))
+	}
+	if delivered-resumed == 0 {
+		t.Fatal("flow never recovered after RPL repair")
+	}
+}

@@ -1,0 +1,58 @@
+package phy
+
+// IEEE 802.15.4 2.4 GHz band: 16 channels numbered 11..26, 5 MHz apart,
+// centred at 2405 + 5*(ch-11) MHz.
+const (
+	// FirstChannel and LastChannel bound the 2.4 GHz channel page.
+	FirstChannel = 11
+	LastChannel  = 26
+	// NumChannels is the size of the TSCH hopping sequence.
+	NumChannels = LastChannel - FirstChannel + 1
+)
+
+// Channel identifies one IEEE 802.15.4 channel (11..26).
+type Channel uint8
+
+// Valid reports whether c is inside the 2.4 GHz channel page.
+func (c Channel) Valid() bool {
+	return c >= FirstChannel && c <= LastChannel
+}
+
+// CenterFrequencyMHz returns the channel centre frequency.
+func (c Channel) CenterFrequencyMHz() float64 {
+	return 2405 + 5*float64(c-FirstChannel)
+}
+
+// DefaultHoppingSequence is the TSCH channel hopping sequence used by all
+// stacks in this repository. It is the IEEE 802.15.4e default sequence for
+// the 2.4 GHz band, which maximises adjacent-hop frequency separation.
+var DefaultHoppingSequence = [NumChannels]Channel{
+	16, 17, 23, 18, 26, 15, 25, 22, 19, 11, 12, 13, 24, 14, 20, 21,
+}
+
+// HopChannel returns the physical channel for the given absolute slot
+// number and channel offset, following the TSCH rule
+// channel = sequence[(ASN + offset) mod len(sequence)].
+func HopChannel(asn int64, channelOffset uint8) Channel {
+	idx := (asn + int64(channelOffset)) % NumChannels
+	if idx < 0 {
+		idx += NumChannels
+	}
+	return DefaultHoppingSequence[idx]
+}
+
+// WiFiOverlap returns the set of 802.15.4 channels blanketed by an IEEE
+// 802.11 transmitter on the given WiFi channel (1, 6 or 11 in practice).
+// A 20 MHz WiFi channel covers four adjacent 802.15.4 channels.
+func WiFiOverlap(wifiChannel int) []Channel {
+	// WiFi channel n is centred at 2407 + 5n MHz and spans +/- 11 MHz.
+	center := 2407.0 + 5.0*float64(wifiChannel)
+	var out []Channel
+	for c := Channel(FirstChannel); c <= LastChannel; c++ {
+		f := c.CenterFrequencyMHz()
+		if f >= center-11 && f <= center+11 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

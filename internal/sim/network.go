@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/digs-net/digs/internal/phy"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Network owns the shared medium and drives attached devices slot by slot.
+type Network struct {
+	topo        *topology.Topology
+	devices     []Device // indexed by node ID; nil when not attached
+	failed      []bool
+	interferers []Interferer
+	rng         *rand.Rand
+	asn         ASN
+
+	// FastFadingSigmaDB adds zero-mean Gaussian fading to each reception,
+	// on top of the topology's static shadowing. It defaults to 2 dB.
+	FastFadingSigmaDB float64
+
+	// Trace, when non-nil, receives an event per transmission, delivery
+	// and collision. It must be fast; it runs inline in the slot loop.
+	Trace func(TraceEvent)
+
+	events map[ASN][]func()
+
+	// scratch buffers reused across slots
+	ops       []RadioOp
+	reports   []SlotReport
+	byChannel map[phy.Channel][]topology.NodeID
+}
+
+// NewNetwork creates an empty network over the given topology, seeded for
+// reproducibility.
+func NewNetwork(topo *topology.Topology, seed int64) *Network {
+	n := topo.N()
+	return &Network{
+		topo:              topo,
+		devices:           make([]Device, n+1),
+		failed:            make([]bool, n+1),
+		rng:               rand.New(rand.NewSource(seed)),
+		FastFadingSigmaDB: 2.0,
+		events:            make(map[ASN][]func()),
+		ops:               make([]RadioOp, n+1),
+		reports:           make([]SlotReport, n+1),
+		byChannel:         make(map[phy.Channel][]topology.NodeID, phy.NumChannels),
+	}
+}
+
+// Topology returns the deployment the network runs over.
+func (nw *Network) Topology() *topology.Topology { return nw.topo }
+
+// ASN returns the current absolute slot number.
+func (nw *Network) ASN() ASN { return nw.asn }
+
+// Attach registers a device. It returns an error if the ID is outside the
+// topology or already attached.
+func (nw *Network) Attach(d Device) error {
+	id := d.ID()
+	if id < 1 || int(id) > nw.topo.N() {
+		return fmt.Errorf("attach device %d: outside topology (1..%d)", id, nw.topo.N())
+	}
+	if nw.devices[id] != nil {
+		return fmt.Errorf("attach device %d: already attached", id)
+	}
+	nw.devices[id] = d
+	return nil
+}
+
+// AddInterferer registers an interference source.
+func (nw *Network) AddInterferer(i Interferer) {
+	nw.interferers = append(nw.interferers, i)
+}
+
+// Fail marks a node as dead: it stops planning, transmitting and receiving.
+func (nw *Network) Fail(id topology.NodeID) {
+	if id >= 1 && int(id) < len(nw.failed) {
+		nw.failed[id] = true
+	}
+}
+
+// Restore brings a failed node back.
+func (nw *Network) Restore(id topology.NodeID) {
+	if id >= 1 && int(id) < len(nw.failed) {
+		nw.failed[id] = false
+	}
+}
+
+// Failed reports whether a node is currently dead.
+func (nw *Network) Failed(id topology.NodeID) bool {
+	return id >= 1 && int(id) < len(nw.failed) && nw.failed[id]
+}
+
+// Run advances the network by the given number of slots.
+func (nw *Network) Run(slots int64) {
+	for i := int64(0); i < slots; i++ {
+		nw.Step()
+	}
+}
+
+// RunUntil advances the network until the predicate returns true or the
+// slot budget is exhausted. It returns the number of slots executed and
+// whether the predicate fired.
+func (nw *Network) RunUntil(maxSlots int64, done func() bool) (int64, bool) {
+	for i := int64(0); i < maxSlots; i++ {
+		if done() {
+			return i, true
+		}
+		nw.Step()
+	}
+	return maxSlots, done()
+}
+
+// At schedules fn to run at the start of the given slot (failure injection,
+// scenario phase changes, measurement snapshots). Scheduling in the past is
+// a no-op.
+func (nw *Network) At(asn ASN, fn func()) {
+	if asn < nw.asn {
+		return
+	}
+	nw.events[asn] = append(nw.events[asn], fn)
+}
+
+// AfterDuration schedules fn to run the given wall-clock time from now.
+func (nw *Network) AfterDuration(d time.Duration, fn func()) {
+	nw.At(nw.asn+SlotsFor(d), fn)
+}
+
+// Step executes one TSCH slot: plan, resolve the medium, report.
+func (nw *Network) Step() {
+	asn := nw.asn
+	n := nw.topo.N()
+
+	if fns, ok := nw.events[asn]; ok {
+		for _, fn := range fns {
+			fn()
+		}
+		delete(nw.events, asn)
+	}
+
+	// Phase 1: plans.
+	for ch := range nw.byChannel {
+		nw.byChannel[ch] = nw.byChannel[ch][:0]
+	}
+	for id := 1; id <= n; id++ {
+		nw.ops[id] = RadioOp{Kind: OpSleep}
+		nw.reports[id] = SlotReport{}
+		d := nw.devices[id]
+		if d == nil || nw.failed[id] {
+			continue
+		}
+		op := d.Plan(asn)
+		nw.ops[id] = op
+		nw.reports[id].Op = op
+		if op.Kind == OpTx {
+			if op.Frame == nil {
+				// A transmit plan with no frame degrades to sleep.
+				nw.ops[id] = RadioOp{Kind: OpSleep}
+				nw.reports[id].Op = nw.ops[id]
+				continue
+			}
+			nw.byChannel[op.Channel] = append(nw.byChannel[op.Channel], topology.NodeID(id))
+			nw.trace(TraceEvent{ASN: asn, Kind: TraceTx, Src: topology.NodeID(id),
+				Dst: op.Frame.Dst, Frame: op.Frame, Channel: op.Channel})
+		}
+	}
+
+	// Phase 2: resolve receptions per listening device.
+	for id := 1; id <= n; id++ {
+		op := nw.ops[id]
+		if op.Kind != OpRx && op.Kind != OpScan {
+			continue
+		}
+		nw.resolveListener(topology.NodeID(id), op, asn)
+	}
+
+	// Phase 3: transmitter outcomes and energy classes.
+	for id := 1; id <= n; id++ {
+		op := nw.ops[id]
+		rep := &nw.reports[id]
+		switch op.Kind {
+		case OpSleep:
+			rep.Activity = phy.ActivitySleep
+		case OpScan:
+			rep.Activity = phy.ActivityScan
+		case OpRx:
+			if rep.Activity == 0 {
+				rep.Activity = phy.ActivityRxIdle
+			}
+		case OpTx:
+			if op.NeedAck {
+				rep.Activity = phy.ActivityTxAwaitAck
+			} else {
+				rep.Activity = phy.ActivityTx
+			}
+		}
+	}
+
+	// Phase 4: reports.
+	for id := 1; id <= n; id++ {
+		d := nw.devices[id]
+		if d == nil || nw.failed[id] {
+			continue
+		}
+		d.EndSlot(asn, nw.reports[id])
+	}
+	nw.asn++
+}
+
+// resolveListener decides what the listener hears this slot.
+func (nw *Network) resolveListener(listener topology.NodeID, op RadioOp, asn ASN) {
+	rep := &nw.reports[listener]
+
+	// Candidate transmissions: a wide-band scan (channel 0) hears every
+	// channel; synchronised receivers and single-channel scanners only
+	// their channel.
+	var txs []topology.NodeID
+	if op.Kind == OpScan && op.Channel == 0 {
+		for _, list := range nw.byChannel {
+			txs = append(txs, list...)
+		}
+	} else {
+		txs = nw.byChannel[op.Channel]
+	}
+
+	// Detectable frames at this listener, with per-reception fading.
+	type candidate struct {
+		src topology.NodeID
+		rss float64
+		ch  phy.Channel
+	}
+	var cands []candidate
+	for _, src := range txs {
+		if src == listener {
+			continue
+		}
+		rss := nw.topo.RSS(src, listener) + nw.rng.NormFloat64()*nw.FastFadingSigmaDB
+		if rss >= phy.SensitivityDBm {
+			cands = append(cands, candidate{src: src, rss: rss, ch: nw.ops[src].Channel})
+		}
+	}
+	if len(cands) == 0 {
+		return // idle listen
+	}
+
+	// Strongest candidate competes against the rest plus interference.
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].rss > cands[best].rss {
+			best = i
+		}
+	}
+	interf := make([]float64, 0, len(cands)+len(nw.interferers))
+	for i, c := range cands {
+		if i != best && c.ch == cands[best].ch {
+			interf = append(interf, c.rss)
+		}
+	}
+	interf = nw.interferenceAt(listener, cands[best].ch, asn, interf)
+
+	rep.Activity = phy.ActivityRxFrame // energy was spent regardless of decode
+	if phy.SIRdB(cands[best].rss, interf) < phy.CaptureThresholdDB {
+		rep.Collision = true
+		nw.trace(TraceEvent{ASN: asn, Kind: TraceCollision, Dst: listener, Channel: cands[best].ch})
+		return
+	}
+	if nw.rng.Float64() >= phy.PRR(cands[best].rss) {
+		rep.Collision = true // undecodable: counts as noise for the listener
+		return
+	}
+
+	frame := nw.ops[cands[best].src].Frame
+	if !frame.Broadcast() && frame.Dst != listener {
+		// Overheard unicast for someone else: MAC filters it out, but the
+		// energy was spent.
+		return
+	}
+	rep.Received = frame
+	rep.RSSI = cands[best].rss
+	nw.trace(TraceEvent{ASN: asn, Kind: TraceDeliver, Src: cands[best].src,
+		Dst: listener, Frame: frame, Channel: cands[best].ch})
+
+	// ACK for unicast frames addressed to this listener.
+	if frame.Dst == listener && nw.ops[cands[best].src].NeedAck {
+		rep.Activity = phy.ActivityRxFrameAck
+		nw.resolveAck(cands[best].src, listener, cands[best].ch, asn)
+	}
+}
+
+// resolveAck decides whether the ACK from receiver back to sender decodes.
+func (nw *Network) resolveAck(sender, receiver topology.NodeID, ch phy.Channel, asn ASN) {
+	rss := nw.topo.RSS(receiver, sender) + nw.rng.NormFloat64()*nw.FastFadingSigmaDB
+	if rss < phy.SensitivityDBm {
+		return
+	}
+	interf := nw.interferenceAt(sender, ch, asn, nil)
+	if phy.SIRdB(rss, interf) < phy.CaptureThresholdDB {
+		return
+	}
+	// ACKs are short; give them a small robustness bonus over full frames.
+	if nw.rng.Float64() < phy.PRR(rss+1.5) {
+		nw.reports[sender].Acked = true
+	}
+}
+
+// interferenceAt appends the powers of all active interferers covering the
+// channel as heard at the given node.
+func (nw *Network) interferenceAt(at topology.NodeID, ch phy.Channel, asn ASN, into []float64) []float64 {
+	for _, i := range nw.interferers {
+		if !i.ActiveOn(asn, ch) {
+			continue
+		}
+		p := i.PowerAtDBm(at)
+		if p > phy.NoiseFloorDBm {
+			into = append(into, p)
+		}
+	}
+	return into
+}
+
+func (nw *Network) trace(ev TraceEvent) {
+	if nw.Trace != nil {
+		nw.Trace(ev)
+	}
+}

@@ -1,0 +1,486 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/digs-net/digs/internal/phy"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// pairTopology builds a tiny N-node line with 5 m spacing at full power,
+// where adjacent nodes have perfect links.
+func pairTopology(t *testing.T, n int) *topology.Topology {
+	t.Helper()
+	topo := &topology.Topology{
+		Name:       "line",
+		NumAPs:     1,
+		TxPowerDBm: 0,
+	}
+	topo.Nodes = append(topo.Nodes, topology.Node{})
+	for i := 1; i <= n; i++ {
+		topo.Nodes = append(topo.Nodes, topology.Node{
+			ID: topology.NodeID(i), X: float64(i) * 5, IsAP: i == 1,
+		})
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// scriptDevice is a programmable test device.
+type scriptDevice struct {
+	id      topology.NodeID
+	plan    func(asn ASN) RadioOp
+	reports []SlotReport
+}
+
+func (d *scriptDevice) ID() topology.NodeID { return d.id }
+func (d *scriptDevice) Plan(asn ASN) RadioOp {
+	if d.plan == nil {
+		return Sleep()
+	}
+	return d.plan(asn)
+}
+func (d *scriptDevice) EndSlot(_ ASN, rep SlotReport) { d.reports = append(d.reports, rep) }
+
+func txPlan(f *Frame, ch phy.Channel, ack bool) func(ASN) RadioOp {
+	return func(ASN) RadioOp {
+		return RadioOp{Kind: OpTx, Channel: ch, Frame: f, NeedAck: ack}
+	}
+}
+
+func rxPlan(ch phy.Channel) func(ASN) RadioOp {
+	return func(ASN) RadioOp { return RadioOp{Kind: OpRx, Channel: ch} }
+}
+
+func TestUnicastDeliveryAndAck(t *testing.T) {
+	topo := pairTopology(t, 2)
+	nw := NewNetwork(topo, 1)
+	frame := &Frame{Kind: KindData, Src: 2, Dst: 1, Seq: 7}
+	tx := &scriptDevice{id: 2, plan: txPlan(frame, 15, true)}
+	rx := &scriptDevice{id: 1, plan: rxPlan(15)}
+	for _, d := range []Device{tx, rx} {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Run(20)
+
+	acked := 0
+	for _, rep := range tx.reports {
+		if rep.Acked {
+			acked++
+		}
+	}
+	delivered := 0
+	for _, rep := range rx.reports {
+		if rep.Received != nil {
+			if rep.Received.Seq != 7 {
+				t.Fatalf("delivered wrong frame: %+v", rep.Received)
+			}
+			delivered++
+		}
+	}
+	if delivered < 19 {
+		t.Fatalf("perfect 5m link delivered %d/20 frames", delivered)
+	}
+	if acked < 19 {
+		t.Fatalf("perfect 5m link acked %d/20 frames", acked)
+	}
+	// Receiver spent ACK energy; sender waited for ACKs.
+	if rx.reports[0].Activity != phy.ActivityRxFrameAck {
+		t.Fatalf("receiver activity = %v, want RxFrameAck", rx.reports[0].Activity)
+	}
+	if tx.reports[0].Activity != phy.ActivityTxAwaitAck {
+		t.Fatalf("sender activity = %v, want TxAwaitAck", tx.reports[0].Activity)
+	}
+}
+
+func TestBroadcastHasNoAck(t *testing.T) {
+	topo := pairTopology(t, 3)
+	nw := NewNetwork(topo, 1)
+	frame := &Frame{Kind: KindEB, Src: 2, Dst: topology.Broadcast}
+	tx := &scriptDevice{id: 2, plan: txPlan(frame, 15, false)}
+	rx1 := &scriptDevice{id: 1, plan: rxPlan(15)}
+	rx3 := &scriptDevice{id: 3, plan: rxPlan(15)}
+	for _, d := range []Device{tx, rx1, rx3} {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Run(10)
+	for _, rep := range tx.reports {
+		if rep.Acked {
+			t.Fatal("broadcast frame got an ACK")
+		}
+	}
+	for _, rx := range []*scriptDevice{rx1, rx3} {
+		got := 0
+		for _, rep := range rx.reports {
+			if rep.Received != nil {
+				got++
+			}
+		}
+		if got < 9 {
+			t.Fatalf("node %d received %d/10 broadcasts", rx.id, got)
+		}
+	}
+}
+
+func TestWrongChannelHearsNothing(t *testing.T) {
+	topo := pairTopology(t, 2)
+	nw := NewNetwork(topo, 1)
+	frame := &Frame{Kind: KindData, Src: 2, Dst: 1}
+	tx := &scriptDevice{id: 2, plan: txPlan(frame, 15, false)}
+	rx := &scriptDevice{id: 1, plan: rxPlan(20)}
+	for _, d := range []Device{tx, rx} {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Run(10)
+	for _, rep := range rx.reports {
+		if rep.Received != nil {
+			t.Fatal("received a frame on the wrong channel")
+		}
+		if rep.Activity != phy.ActivityRxIdle {
+			t.Fatalf("idle listener activity = %v, want RxIdle", rep.Activity)
+		}
+	}
+}
+
+func TestScanHearsAnyChannel(t *testing.T) {
+	topo := pairTopology(t, 2)
+	nw := NewNetwork(topo, 1)
+	frame := &Frame{Kind: KindEB, Src: 1, Dst: topology.Broadcast}
+	tx := &scriptDevice{id: 1, plan: func(asn ASN) RadioOp {
+		return RadioOp{Kind: OpTx, Channel: phy.HopChannel(asn, 3), Frame: frame}
+	}}
+	rx := &scriptDevice{id: 2, plan: func(ASN) RadioOp { return RadioOp{Kind: OpScan} }}
+	for _, d := range []Device{tx, rx} {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Run(10)
+	got := 0
+	for _, rep := range rx.reports {
+		if rep.Received != nil {
+			got++
+		}
+	}
+	if got < 9 {
+		t.Fatalf("scanner received %d/10 hopped broadcasts", got)
+	}
+}
+
+func TestCollisionBetweenEqualPowerSenders(t *testing.T) {
+	// Nodes 1 and 3 are equidistant from node 2; both transmit to it in
+	// the same slot on the same channel. SIR ~ 0 dB so nothing decodes.
+	topo := pairTopology(t, 3)
+	nw := NewNetwork(topo, 1)
+	nw.FastFadingSigmaDB = 0 // exact symmetry: SIR is exactly 0 dB
+	f1 := &Frame{Kind: KindData, Src: 1, Dst: 2}
+	f3 := &Frame{Kind: KindData, Src: 3, Dst: 2}
+	tx1 := &scriptDevice{id: 1, plan: txPlan(f1, 15, false)}
+	tx3 := &scriptDevice{id: 3, plan: txPlan(f3, 15, false)}
+	rx := &scriptDevice{id: 2, plan: rxPlan(15)}
+	for _, d := range []Device{tx1, tx3, rx} {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Run(50)
+	delivered, collisions := 0, 0
+	for _, rep := range rx.reports {
+		if rep.Received != nil {
+			delivered++
+		}
+		if rep.Collision {
+			collisions++
+		}
+	}
+	if delivered != 0 {
+		t.Fatalf("equal-power collision delivered %d/50 frames; capture should fail", delivered)
+	}
+	if collisions != 50 {
+		t.Fatalf("only %d/50 slots flagged as collisions", collisions)
+	}
+}
+
+func TestCaptureStrongerFrameWins(t *testing.T) {
+	// Node 2 is 5 m from node 1; node 4 is 15 m away. When both transmit,
+	// node 2's frame is ~14 dB stronger at node 1 and should capture.
+	topo := pairTopology(t, 4)
+	nw := NewNetwork(topo, 1)
+	fNear := &Frame{Kind: KindData, Src: 2, Dst: 1}
+	fFar := &Frame{Kind: KindData, Src: 4, Dst: 1}
+	near := &scriptDevice{id: 2, plan: txPlan(fNear, 15, false)}
+	far := &scriptDevice{id: 4, plan: txPlan(fFar, 15, false)}
+	rx := &scriptDevice{id: 1, plan: rxPlan(15)}
+	for _, d := range []Device{near, far, rx} {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Run(50)
+	nearWins := 0
+	for _, rep := range rx.reports {
+		if rep.Received != nil && rep.Received.Src == 2 {
+			nearWins++
+		}
+	}
+	if nearWins < 35 {
+		t.Fatalf("capture effect: near frame decoded %d/50 times, want >= 35", nearWins)
+	}
+}
+
+func TestFailedNodeIsSilentAndDeaf(t *testing.T) {
+	topo := pairTopology(t, 2)
+	nw := NewNetwork(topo, 1)
+	frame := &Frame{Kind: KindData, Src: 2, Dst: 1}
+	tx := &scriptDevice{id: 2, plan: txPlan(frame, 15, false)}
+	rx := &scriptDevice{id: 1, plan: rxPlan(15)}
+	for _, d := range []Device{tx, rx} {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Fail(2)
+	nw.Run(10)
+	for _, rep := range rx.reports {
+		if rep.Received != nil {
+			t.Fatal("received a frame from a failed node")
+		}
+	}
+	if len(tx.reports) != 0 {
+		t.Fatal("failed node still receives slot reports")
+	}
+	nw.Restore(2)
+	nw.Run(10)
+	if len(tx.reports) == 0 {
+		t.Fatal("restored node gets no slot reports")
+	}
+}
+
+func TestScheduledEventsFire(t *testing.T) {
+	topo := pairTopology(t, 2)
+	nw := NewNetwork(topo, 1)
+	var fired []ASN
+	nw.At(5, func() { fired = append(fired, 5) })
+	nw.At(2, func() { fired = append(fired, 2) })
+	nw.AfterDuration(100*time.Millisecond, func() { fired = append(fired, 10) })
+	nw.At(-1, func() { t.Fatal("past event fired") })
+	nw.Run(20)
+	if len(fired) != 3 || fired[0] != 2 || fired[1] != 5 || fired[2] != 10 {
+		t.Fatalf("events fired = %v, want [2 5 10]", fired)
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	topo := pairTopology(t, 2)
+	nw := NewNetwork(topo, 1)
+	if err := nw.Attach(&scriptDevice{id: 99}); err == nil {
+		t.Fatal("attached device outside topology")
+	}
+	if err := nw.Attach(&scriptDevice{id: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Attach(&scriptDevice{id: 1}); err == nil {
+		t.Fatal("attached the same ID twice")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		topo := pairTopology(t, 4)
+		nw := NewNetwork(topo, 42)
+		frame := &Frame{Kind: KindData, Src: 4, Dst: 3}
+		tx := &scriptDevice{id: 4, plan: txPlan(frame, 15, true)}
+		rx := &scriptDevice{id: 3, plan: rxPlan(15)}
+		other := &scriptDevice{id: 2, plan: rxPlan(15)}
+		for _, d := range []Device{tx, rx, other} {
+			if err := nw.Attach(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nw.Run(200)
+		var out []int
+		for i, rep := range rx.reports {
+			if rep.Received != nil {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at delivery %d: slot %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	topo := pairTopology(t, 2)
+	nw := NewNetwork(topo, 1)
+	frame := &Frame{Kind: KindData, Src: 2, Dst: 1}
+	tx := &scriptDevice{id: 2, plan: txPlan(frame, 15, false)}
+	rx := &scriptDevice{id: 1, plan: rxPlan(15)}
+	for _, d := range []Device{tx, rx} {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var txEvents, deliverEvents int
+	nw.Trace = func(ev TraceEvent) {
+		switch ev.Kind {
+		case TraceTx:
+			txEvents++
+		case TraceDeliver:
+			deliverEvents++
+		}
+	}
+	nw.Run(10)
+	if txEvents != 10 {
+		t.Fatalf("traced %d transmissions, want 10", txEvents)
+	}
+	if deliverEvents < 9 {
+		t.Fatalf("traced %d deliveries, want >= 9", deliverEvents)
+	}
+}
+
+func TestOverheardUnicastIsFiltered(t *testing.T) {
+	// Node 3 listens while node 2 unicasts to node 1: node 3 spends RX
+	// energy but must not have the frame delivered.
+	topo := pairTopology(t, 3)
+	nw := NewNetwork(topo, 1)
+	frame := &Frame{Kind: KindData, Src: 2, Dst: 1}
+	tx := &scriptDevice{id: 2, plan: txPlan(frame, 15, false)}
+	rx := &scriptDevice{id: 1, plan: rxPlan(15)}
+	snoop := &scriptDevice{id: 3, plan: rxPlan(15)}
+	for _, d := range []Device{tx, rx, snoop} {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Run(10)
+	for _, rep := range snoop.reports {
+		if rep.Received != nil {
+			t.Fatal("snooper had someone else's unicast delivered")
+		}
+	}
+}
+
+func TestSlotsForAndTimeAt(t *testing.T) {
+	if got := SlotsFor(time.Second); got != 100 {
+		t.Fatalf("SlotsFor(1s) = %d, want 100", got)
+	}
+	if got := TimeAt(100); got != time.Second {
+		t.Fatalf("TimeAt(100) = %v, want 1s", got)
+	}
+}
+
+func TestRunUntilSemantics(t *testing.T) {
+	topo := pairTopology(t, 2)
+	nw := NewNetwork(topo, 1)
+	// Predicate true immediately: zero slots run.
+	ran, ok := nw.RunUntil(100, func() bool { return true })
+	if ran != 0 || !ok {
+		t.Fatalf("immediate predicate: ran %d, ok %v", ran, ok)
+	}
+	// Predicate true after 7 slots.
+	ran, ok = nw.RunUntil(100, func() bool { return nw.ASN() >= 7 })
+	if ran != 7 || !ok {
+		t.Fatalf("delayed predicate: ran %d, ok %v", ran, ok)
+	}
+	// Budget exhaustion.
+	ran, ok = nw.RunUntil(5, func() bool { return false })
+	if ran != 5 || ok {
+		t.Fatalf("exhausted budget: ran %d, ok %v", ran, ok)
+	}
+	if nw.Topology() != topo {
+		t.Fatal("Topology accessor broken")
+	}
+	if nw.Failed(999) {
+		t.Fatal("out-of-range Failed should be false")
+	}
+}
+
+func TestInterfererBelowNoiseFloorIgnored(t *testing.T) {
+	topo := pairTopology(t, 2)
+	nw := NewNetwork(topo, 1)
+	nw.AddInterferer(&quietInterferer{})
+	frame := &Frame{Kind: KindData, Src: 2, Dst: 1}
+	tx := &scriptDevice{id: 2, plan: txPlan(frame, 15, false)}
+	rx := &scriptDevice{id: 1, plan: rxPlan(15)}
+	for _, d := range []Device{tx, rx} {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Run(20)
+	got := 0
+	for _, rep := range rx.reports {
+		if rep.Received != nil {
+			got++
+		}
+	}
+	if got < 19 {
+		t.Fatalf("sub-noise interferer disturbed delivery: %d/20", got)
+	}
+}
+
+type quietInterferer struct{}
+
+func (quietInterferer) ActiveOn(ASN, phy.Channel) bool     { return true }
+func (quietInterferer) PowerAtDBm(topology.NodeID) float64 { return -150 }
+
+func TestStrongInterfererBlocksAcks(t *testing.T) {
+	// An interferer audible only at the SENDER corrupts the ACK path: the
+	// receiver gets the frame but the sender never learns.
+	topo := pairTopology(t, 2)
+	nw := NewNetwork(topo, 1)
+	nw.AddInterferer(&senderSideInterferer{victim: 2})
+	frame := &Frame{Kind: KindData, Src: 2, Dst: 1}
+	tx := &scriptDevice{id: 2, plan: txPlan(frame, 15, true)}
+	rx := &scriptDevice{id: 1, plan: rxPlan(15)}
+	for _, d := range []Device{tx, rx} {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Run(30)
+	received, acked := 0, 0
+	for _, rep := range rx.reports {
+		if rep.Received != nil {
+			received++
+		}
+	}
+	for _, rep := range tx.reports {
+		if rep.Acked {
+			acked++
+		}
+	}
+	if received < 25 {
+		t.Fatalf("receiver side should be clean: %d/30", received)
+	}
+	if acked > 5 {
+		t.Fatalf("sender-side interference should kill ACKs: %d acked", acked)
+	}
+}
+
+type senderSideInterferer struct{ victim topology.NodeID }
+
+func (senderSideInterferer) ActiveOn(ASN, phy.Channel) bool { return true }
+func (s senderSideInterferer) PowerAtDBm(at topology.NodeID) float64 {
+	if at == s.victim {
+		return -40
+	}
+	return -150
+}

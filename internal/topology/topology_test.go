@@ -1,0 +1,196 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/digs-net/digs/internal/phy"
+)
+
+func TestTestbedAStructure(t *testing.T) {
+	tb := TestbedA()
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.N(); got != 50 {
+		t.Fatalf("Testbed A has %d nodes, want 50", got)
+	}
+	if tb.NumAPs != 2 {
+		t.Fatalf("Testbed A has %d APs, want 2", tb.NumAPs)
+	}
+	if len(tb.SuggestedSources) != 8 {
+		t.Fatalf("Testbed A suggests %d sources, want 8", len(tb.SuggestedSources))
+	}
+	if len(tb.SuggestedJammers) != 3 {
+		t.Fatalf("Testbed A suggests %d jammers, want 3", len(tb.SuggestedJammers))
+	}
+}
+
+func TestTestbedBStructure(t *testing.T) {
+	tb := TestbedB()
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.N(); got != 44 {
+		t.Fatalf("Testbed B has %d nodes, want 44", got)
+	}
+	floors := map[int]int{}
+	for _, n := range tb.Nodes[1:] {
+		floors[n.Floor]++
+	}
+	if len(floors) != 2 {
+		t.Fatalf("Testbed B spans %d floors, want 2", len(floors))
+	}
+	// Figure 8(b) names specific labels for APs, sources and jammers.
+	wantLabels := map[int]bool{
+		130: true, 128: true, // APs
+		144: true, 126: true, 136: true, 142: true, 115: true, 106: true, // sources
+		124: true, 141: true, 138: true, // jammers
+	}
+	for _, n := range tb.Nodes[1:] {
+		delete(wantLabels, n.Label)
+	}
+	if len(wantLabels) != 0 {
+		t.Fatalf("Testbed B missing labels from Figure 8(b): %v", wantLabels)
+	}
+	if len(tb.SuggestedSources) != 6 || len(tb.SuggestedJammers) != 3 {
+		t.Fatalf("Testbed B roles: %d sources, %d jammers; want 6, 3",
+			len(tb.SuggestedSources), len(tb.SuggestedJammers))
+	}
+}
+
+func TestHalfTestbedSizes(t *testing.T) {
+	if got := HalfTestbedA().N(); got != 20 {
+		t.Fatalf("Half Testbed A has %d nodes, want 20", got)
+	}
+	if got := HalfTestbedB().N(); got != 19 {
+		t.Fatalf("Half Testbed B has %d nodes, want 19", got)
+	}
+	for _, tb := range []*Topology{HalfTestbedA(), HalfTestbedB()} {
+		if err := tb.Validate(); err != nil {
+			t.Fatalf("%s: %v", tb.Name, err)
+		}
+	}
+}
+
+func TestTestbedsAreConnected(t *testing.T) {
+	// Every deployment must let every node reach an AP over usable links,
+	// otherwise the routing experiments cannot produce the paper's PDRs.
+	for _, tb := range []*Topology{
+		TestbedA(), TestbedB(), HalfTestbedA(), HalfTestbedB(),
+		NewRandom(150, 300, 300, 7),
+	} {
+		ok, missing := tb.Connected(0.5)
+		if !ok {
+			t.Errorf("%s: node %d cannot reach an AP over PRR>=0.5 links", tb.Name, missing)
+		}
+	}
+}
+
+func TestTestbedsAreMultiHop(t *testing.T) {
+	// The evaluation depends on genuinely multi-hop meshes: some node must
+	// be out of direct radio range of both APs.
+	for _, tb := range []*Topology{TestbedA(), TestbedB(), NewRandom(150, 300, 300, 7)} {
+		multihop := false
+		for i := tb.NumAPs + 1; i <= tb.N(); i++ {
+			direct := false
+			for _, ap := range tb.APs() {
+				if tb.PRR(NodeID(i), ap) >= 0.1 {
+					direct = true
+					break
+				}
+			}
+			if !direct {
+				multihop = true
+				break
+			}
+		}
+		if !multihop {
+			t.Errorf("%s: every node reaches an AP directly; not a multi-hop mesh", tb.Name)
+		}
+	}
+}
+
+func TestRSSSymmetricAndDeterministic(t *testing.T) {
+	a, b := TestbedA(), TestbedA()
+	for i := NodeID(1); int(i) <= a.N(); i++ {
+		for j := i + 1; int(j) <= a.N(); j++ {
+			if a.RSS(i, j) != a.RSS(j, i) {
+				t.Fatalf("RSS not symmetric for %d<->%d", i, j)
+			}
+			if a.RSS(i, j) != b.RSS(i, j) {
+				t.Fatalf("RSS not deterministic across instances for %d<->%d", i, j)
+			}
+		}
+	}
+}
+
+func TestNeighborsExcludeSelfAndDead(t *testing.T) {
+	tb := TestbedA()
+	for i := NodeID(1); int(i) <= tb.N(); i++ {
+		for _, n := range tb.Neighbors(i) {
+			if n == i {
+				t.Fatalf("node %d lists itself as neighbour", i)
+			}
+			if tb.RSS(i, n) < phy.SensitivityDBm {
+				t.Fatalf("node %d lists dead link to %d", i, n)
+			}
+		}
+	}
+}
+
+func TestSubsetRenumbersAPsFirst(t *testing.T) {
+	full := TestbedA()
+	sub := Subset(full, "sub", []NodeID{10, 1, 20, 2, 30})
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumAPs != 2 {
+		t.Fatalf("subset has %d APs, want 2", sub.NumAPs)
+	}
+	if !sub.Node(1).IsAP || !sub.Node(2).IsAP || sub.Node(3).IsAP {
+		t.Fatal("subset IDs not ordered APs-first")
+	}
+	if sub.N() != 5 {
+		t.Fatalf("subset has %d nodes, want 5", sub.N())
+	}
+}
+
+func TestRandomTopologyShape(t *testing.T) {
+	tb := NewRandom(150, 300, 300, 7)
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.N() != 152 {
+		t.Fatalf("random topology has %d nodes, want 152 (150 + 2 APs)", tb.N())
+	}
+	for _, n := range tb.Nodes[1:] {
+		if n.X < 0 || n.X > 300 || n.Y < 0 || n.Y > 300 {
+			t.Fatalf("node %d placed outside the field: (%.1f, %.1f)", n.ID, n.X, n.Y)
+		}
+	}
+	// Different seeds give different placements.
+	other := NewRandom(150, 300, 300, 8)
+	same := true
+	for i := 3; i <= 20; i++ {
+		if tb.Node(NodeID(i)).X != other.Node(NodeID(i)).X {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("random topologies with different seeds are identical")
+	}
+}
+
+func TestCrossFloorLinksAreWeaker(t *testing.T) {
+	tb := TestbedB()
+	// Pick two nodes stacked near each other on different floors and two
+	// nodes the same distance apart on one floor; the cross-floor link must
+	// be weaker on average. Use path loss directly to avoid shadowing noise.
+	sameFloor := phy.PathLossDB(10, 0)
+	crossFloor := phy.PathLossDB(10, 1)
+	if crossFloor <= sameFloor {
+		t.Fatal("cross-floor path loss not larger than same-floor")
+	}
+	_ = tb
+}

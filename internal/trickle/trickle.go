@@ -1,0 +1,132 @@
+// Package trickle implements the Trickle algorithm (RFC 6206) in TSCH slot
+// time. DiGS and the RPL baseline both gate their routing beacons (join-in
+// messages / DIOs) with a Trickle timer: transmissions are frequent right
+// after a change (interval Imin) and exponentially rarer in steady state
+// (up to Imin * 2^doublings), with suppression when enough consistent
+// messages from neighbours have already been heard.
+package trickle
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Timer is one Trickle instance, advanced in slot time. It is not safe for
+// concurrent use; each simulated node owns its own timer.
+type Timer struct {
+	iminSlots int64
+	imaxSlots int64
+	k         int
+
+	interval      int64 // current interval length I
+	intervalStart int64 // ASN of interval start
+	fireAt        int64 // chosen slot t in [I/2, I)
+	counter       int   // consistent messages heard this interval
+	started       bool
+
+	rng *rand.Rand
+}
+
+// Config holds Trickle parameters.
+type Config struct {
+	// IminSlots is the minimum interval in slots.
+	IminSlots int64
+	// Doublings is how many times the interval may double (Imax =
+	// Imin * 2^Doublings).
+	Doublings int
+	// K is the redundancy constant: transmission is suppressed when at
+	// least K consistent messages were heard in the interval. K <= 0 means
+	// no suppression.
+	K int
+}
+
+// DefaultConfig matches the paper's Contiki deployment: Imin of 1 s worth
+// of slots doubling up to about 17 minutes, redundancy 10 (effectively
+// rarely suppressing in sparse neighbourhoods).
+func DefaultConfig() Config {
+	return Config{IminSlots: 100, Doublings: 10, K: 10}
+}
+
+// NewTimer creates a Trickle timer. It returns an error for non-positive
+// Imin or negative doublings.
+func NewTimer(cfg Config, rng *rand.Rand) (*Timer, error) {
+	if cfg.IminSlots <= 0 {
+		return nil, fmt.Errorf("trickle: Imin must be positive, got %d", cfg.IminSlots)
+	}
+	if cfg.Doublings < 0 {
+		return nil, fmt.Errorf("trickle: doublings must be non-negative, got %d", cfg.Doublings)
+	}
+	return &Timer{
+		iminSlots: cfg.IminSlots,
+		imaxSlots: cfg.IminSlots << uint(cfg.Doublings),
+		k:         cfg.K,
+		rng:       rng,
+	}, nil
+}
+
+// Start begins the first interval at the given slot, at the minimum
+// interval size (RFC 6206 section 4.2 step 1).
+func (t *Timer) Start(asn int64) {
+	t.interval = t.iminSlots
+	t.begin(asn)
+	t.started = true
+}
+
+// begin starts a new interval of the current size at asn.
+func (t *Timer) begin(asn int64) {
+	t.intervalStart = asn
+	half := t.interval / 2
+	t.fireAt = asn + half + t.rng.Int63n(t.interval-half)
+	t.counter = 0
+}
+
+// Reset reacts to an inconsistency: the interval collapses back to Imin
+// and restarts (RFC 6206 section 4.2 step 6). Resetting an already-minimal
+// interval does nothing, per the RFC.
+func (t *Timer) Reset(asn int64) {
+	if !t.started {
+		t.Start(asn)
+		return
+	}
+	if t.interval == t.iminSlots {
+		return
+	}
+	t.interval = t.iminSlots
+	t.begin(asn)
+}
+
+// Hear records a consistent message from a neighbour (RFC 6206 section 4.2
+// step 3).
+func (t *Timer) Hear() {
+	t.counter++
+}
+
+// Fires advances the timer to the given slot and reports whether the node
+// should transmit in it. It must be called once per slot in order.
+func (t *Timer) Fires(asn int64) bool {
+	if !t.started {
+		return false
+	}
+	if asn >= t.intervalStart+t.interval {
+		// Interval expired: double (capped) and start the next one.
+		t.interval *= 2
+		if t.interval > t.imaxSlots {
+			t.interval = t.imaxSlots
+		}
+		t.begin(asn)
+	}
+	if asn != t.fireAt {
+		return false
+	}
+	return t.k <= 0 || t.counter < t.k
+}
+
+// Interval returns the current interval length in slots (for tests and
+// introspection).
+func (t *Timer) Interval() int64 { return t.interval }
+
+// IntervalStart returns the slot the current interval began at.
+func (t *Timer) IntervalStart() int64 { return t.intervalStart }
+
+// Started reports whether the timer is running.
+func (t *Timer) Started() bool { return t.started }

@@ -1,0 +1,222 @@
+package trickle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newTimer(t *testing.T, cfg Config) *Timer {
+	t.Helper()
+	tr, err := NewTimer(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTimerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewTimer(Config{IminSlots: 0, Doublings: 1}, rng); err == nil {
+		t.Fatal("accepted zero Imin")
+	}
+	if _, err := NewTimer(Config{IminSlots: 10, Doublings: -1}, rng); err == nil {
+		t.Fatal("accepted negative doublings")
+	}
+}
+
+func TestUnstartedTimerNeverFires(t *testing.T) {
+	tr := newTimer(t, Config{IminSlots: 10, Doublings: 2, K: 0})
+	for asn := int64(0); asn < 100; asn++ {
+		if tr.Fires(asn) {
+			t.Fatal("unstarted timer fired")
+		}
+	}
+}
+
+func TestFiresOncePerInterval(t *testing.T) {
+	tr := newTimer(t, Config{IminSlots: 16, Doublings: 0, K: 0})
+	tr.Start(0)
+	fires := 0
+	var fireSlots []int64
+	for asn := int64(0); asn < 160; asn++ {
+		if tr.Fires(asn) {
+			fires++
+			fireSlots = append(fireSlots, asn)
+		}
+	}
+	if fires != 10 {
+		t.Fatalf("fixed 16-slot interval fired %d times in 160 slots, want 10 (%v)", fires, fireSlots)
+	}
+	// Every firing must land in the second half of its interval.
+	for _, s := range fireSlots {
+		off := s % 16
+		if off < 8 {
+			t.Fatalf("fired at offset %d, want in [8,16)", off)
+		}
+	}
+}
+
+func TestIntervalDoublesAndCaps(t *testing.T) {
+	tr := newTimer(t, Config{IminSlots: 10, Doublings: 3, K: 0})
+	tr.Start(0)
+	if tr.Interval() != 10 {
+		t.Fatalf("initial interval %d, want 10", tr.Interval())
+	}
+	// Walk far enough for the interval to cap at 80.
+	for asn := int64(0); asn < 1000; asn++ {
+		tr.Fires(asn)
+	}
+	if tr.Interval() != 80 {
+		t.Fatalf("capped interval %d, want 80", tr.Interval())
+	}
+}
+
+func TestResetCollapsesInterval(t *testing.T) {
+	tr := newTimer(t, Config{IminSlots: 10, Doublings: 3, K: 0})
+	tr.Start(0)
+	asn := int64(0)
+	for ; asn < 500; asn++ {
+		tr.Fires(asn)
+	}
+	if tr.Interval() <= 10 {
+		t.Fatal("interval did not grow before reset")
+	}
+	tr.Reset(asn)
+	if tr.Interval() != 10 {
+		t.Fatalf("reset interval %d, want 10", tr.Interval())
+	}
+	// Reset fires promptly afterwards: within 2*Imin slots.
+	fired := false
+	for end := asn + 20; asn < end; asn++ {
+		if tr.Fires(asn) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("no transmission within 2*Imin after reset")
+	}
+}
+
+func TestResetOnMinimalIntervalIsNoOp(t *testing.T) {
+	tr := newTimer(t, Config{IminSlots: 10, Doublings: 3, K: 0})
+	tr.Start(0)
+	before := tr.Interval()
+	tr.Reset(0)
+	if tr.Interval() != before {
+		t.Fatal("reset on minimal interval changed state")
+	}
+}
+
+func TestResetOnUnstartedStarts(t *testing.T) {
+	tr := newTimer(t, Config{IminSlots: 10, Doublings: 3, K: 0})
+	tr.Reset(5)
+	if !tr.Started() {
+		t.Fatal("reset did not start an unstarted timer")
+	}
+}
+
+func TestSuppressionWithK(t *testing.T) {
+	tr := newTimer(t, Config{IminSlots: 16, Doublings: 0, K: 2})
+	tr.Start(0)
+	// Hear 2 consistent messages every interval: should always suppress.
+	// Fires is evaluated at slot start (plan phase), hears arrive within
+	// the slot, so Fires comes first.
+	fires := 0
+	for asn := int64(0); asn < 320; asn++ {
+		if tr.Fires(asn) {
+			fires++
+		}
+		if asn%16 == 0 {
+			tr.Hear()
+			tr.Hear()
+		}
+	}
+	if fires != 0 {
+		t.Fatalf("suppression failed: fired %d times with k=2 and 2 heard per interval", fires)
+	}
+}
+
+func TestNoSuppressionBelowK(t *testing.T) {
+	tr := newTimer(t, Config{IminSlots: 16, Doublings: 0, K: 3})
+	tr.Start(0)
+	fires := 0
+	for asn := int64(0); asn < 320; asn++ {
+		if tr.Fires(asn) {
+			fires++
+		}
+		if asn%16 == 0 {
+			tr.Hear() // only 1 < k=3
+		}
+	}
+	if fires != 20 {
+		t.Fatalf("fired %d times, want every interval (20)", fires)
+	}
+}
+
+func TestSteadyStateTransmissionRateDrops(t *testing.T) {
+	// The defining Trickle property: the transmission rate decays after
+	// start and stays low until a reset.
+	tr := newTimer(t, Config{IminSlots: 10, Doublings: 6, K: 0})
+	tr.Start(0)
+	countIn := func(from, to int64) int {
+		c := 0
+		for asn := from; asn < to; asn++ {
+			if tr.Fires(asn) {
+				c++
+			}
+		}
+		return c
+	}
+	early := countIn(0, 200)
+	late := countIn(5000, 5200)
+	if late >= early {
+		t.Fatalf("transmission rate did not decay: early %d, late %d", early, late)
+	}
+}
+
+func TestFireAlwaysInSecondHalfProperty(t *testing.T) {
+	// RFC 6206: the transmission time t is always in [I/2, I) of the
+	// current interval, for any configuration and any walk length.
+	for seed := int64(0); seed < 20; seed++ {
+		tr, err := NewTimer(Config{IminSlots: 8, Doublings: 5, K: 0},
+			rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Start(0)
+		for asn := int64(0); asn < 5000; asn++ {
+			fired := tr.Fires(asn)
+			if fired {
+				off := asn - tr.IntervalStart()
+				if off < tr.Interval()/2 || off >= tr.Interval() {
+					t.Fatalf("seed %d: fired at offset %d of interval %d",
+						seed, off, tr.Interval())
+				}
+			}
+		}
+	}
+}
+
+func TestResetStormIsBounded(t *testing.T) {
+	// Even under constant inconsistency resets, at most one transmission
+	// occurs per Imin interval.
+	tr, err := NewTimer(Config{IminSlots: 10, Doublings: 4, K: 0},
+		rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Start(0)
+	fires := 0
+	for asn := int64(0); asn < 1000; asn++ {
+		if asn%3 == 0 {
+			tr.Reset(asn)
+		}
+		if tr.Fires(asn) {
+			fires++
+		}
+	}
+	if fires > 1000/10+2 {
+		t.Fatalf("reset storm produced %d transmissions in 1000 slots", fires)
+	}
+}

@@ -1,0 +1,60 @@
+package whart
+
+import (
+	"fmt"
+
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Network bundles the per-node MAC and static WirelessHART stacks running
+// over one simulated network, executing one centrally computed schedule.
+type Network struct {
+	Nodes  []*mac.Node // indexed by node ID, entry 0 nil
+	Routes *Routes
+	Frame  *Superframe
+}
+
+// Build computes graph routes and a TDMA superframe for the given flows
+// and attaches a static stack to every node. This is the executable form
+// of the WirelessHART baseline: the network runs exactly what the manager
+// computed, with no adaptation.
+func Build(nw *sim.Network, fl []Flow, macCfg mac.Config) (*Network, error) {
+	topo := nw.Topology()
+	routes, err := ComputeGraphRoutes(topo)
+	if err != nil {
+		return nil, err
+	}
+	sf, err := ComputeSchedule(topo, routes, fl)
+	if err != nil {
+		return nil, err
+	}
+	out := &Network{
+		Nodes:  make([]*mac.Node, topo.N()+1),
+		Routes: routes,
+		Frame:  sf,
+	}
+	for i := 1; i <= topo.N(); i++ {
+		id := topology.NodeID(i)
+		stack, err := NewStack(id, topo.IsAP(id), routes, sf)
+		if err != nil {
+			return nil, err
+		}
+		node := mac.NewNode(id, topo.IsAP(id), stack, macCfg)
+		if err := nw.Attach(node); err != nil {
+			return nil, fmt.Errorf("whart build: %w", err)
+		}
+		out.Nodes[i] = node
+	}
+	return out, nil
+}
+
+// OnDeliver installs the sink callback on every access point.
+func (n *Network) OnDeliver(fn func(asn sim.ASN, f *sim.Frame)) {
+	for _, node := range n.Nodes[1:] {
+		if node.IsAP() {
+			node.Sink = fn
+		}
+	}
+}

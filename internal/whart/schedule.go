@@ -1,0 +1,158 @@
+package whart
+
+import (
+	"fmt"
+
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// This file implements the Network Manager's centralized TDMA schedule
+// construction (the counterpart the paper's autonomous scheduling
+// replaces): dedicated slots are allocated hop by hop along each flow's
+// primary path, with a retry slot on the primary route and one on the
+// backup route per hop, following the WirelessHART convention the paper
+// describes in Section V.
+
+// Flow is one periodic uplink data flow.
+type Flow struct {
+	ID     uint16
+	Source topology.NodeID
+	// PeriodSlots is the packet generation period in slots.
+	PeriodSlots int64
+}
+
+// Entry is one allocated cell.
+type Entry struct {
+	Slot          int64
+	ChannelOffset uint8
+	Tx, Rx        topology.NodeID
+	FlowID        uint16
+	// Backup marks retry cells routed over the backup parent.
+	Backup bool
+}
+
+// Superframe is a centrally computed TDMA schedule.
+type Superframe struct {
+	Length  int64
+	Entries []Entry
+}
+
+// maxChannelOffsets bounds parallel cells per slot (frequency reuse).
+const maxChannelOffsets = 8
+
+// ComputeSchedule allocates cells for every flow over the given routes.
+// Per hop it allocates two dedicated cells on the primary route and one on
+// the backup route (transmission, retransmission, backup retransmission —
+// the paper's A=3 rule). Cells conflict when they share a slot and a node,
+// or a slot and a channel offset.
+func ComputeSchedule(topo *topology.Topology, routes *Routes, flows []Flow) (*Superframe, error) {
+	length := int64(1)
+	for _, f := range flows {
+		if f.PeriodSlots <= 0 {
+			return nil, fmt.Errorf("whart schedule: flow %d has period %d", f.ID, f.PeriodSlots)
+		}
+		if f.PeriodSlots > length {
+			length = f.PeriodSlots
+		}
+	}
+
+	sf := &Superframe{Length: length}
+	nodeBusy := make(map[int64]map[topology.NodeID]bool)
+	chBusy := make(map[int64]int)
+
+	occupy := func(slot int64, tx, rx topology.NodeID) (uint8, bool) {
+		nb := nodeBusy[slot]
+		if nb[tx] || nb[rx] {
+			return 0, false
+		}
+		if chBusy[slot] >= maxChannelOffsets {
+			return 0, false
+		}
+		if nb == nil {
+			nb = make(map[topology.NodeID]bool)
+			nodeBusy[slot] = nb
+		}
+		nb[tx], nb[rx] = true, true
+		off := uint8(chBusy[slot])
+		chBusy[slot]++
+		return off, true
+	}
+
+	for _, f := range flows {
+		slot := int64(0)
+		cur := f.Source
+		for !topo.IsAP(cur) {
+			best := routes.Best[cur]
+			second := routes.Second[cur]
+			if best == 0 {
+				return nil, fmt.Errorf("whart schedule: flow %d stuck at node %d", f.ID, cur)
+			}
+			// Three attempts per hop: two primary, one backup.
+			targets := []struct {
+				rx     topology.NodeID
+				backup bool
+			}{{best, false}, {best, false}}
+			if second != 0 {
+				targets = append(targets, struct {
+					rx     topology.NodeID
+					backup bool
+				}{second, true})
+			}
+			for _, tgt := range targets {
+				placed := false
+				for try := int64(0); try < length; try++ {
+					s := (slot + try) % length
+					if off, ok := occupy(s, cur, tgt.rx); ok {
+						sf.Entries = append(sf.Entries, Entry{
+							Slot: s, ChannelOffset: off,
+							Tx: cur, Rx: tgt.rx, FlowID: f.ID, Backup: tgt.backup,
+						})
+						slot = s + 1
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					return nil, fmt.Errorf("whart schedule: no slot for flow %d hop %d->%d",
+						f.ID, cur, tgt.rx)
+				}
+			}
+			cur = best
+		}
+	}
+	return sf, nil
+}
+
+// Validate checks the schedule's structural invariants: no node is in two
+// cells of the same slot and channel offsets never collide within a slot.
+func (sf *Superframe) Validate() error {
+	type slotKey struct {
+		slot int64
+		node topology.NodeID
+	}
+	nodes := make(map[slotKey]bool)
+	type chKey struct {
+		slot int64
+		off  uint8
+	}
+	chans := make(map[chKey]bool)
+	for _, e := range sf.Entries {
+		if e.Slot < 0 || e.Slot >= sf.Length {
+			return fmt.Errorf("whart schedule: slot %d outside superframe", e.Slot)
+		}
+		for _, n := range []topology.NodeID{e.Tx, e.Rx} {
+			k := slotKey{e.Slot, n}
+			if nodes[k] {
+				return fmt.Errorf("whart schedule: node %d double-booked in slot %d", n, e.Slot)
+			}
+			nodes[k] = true
+		}
+		ck := chKey{e.Slot, e.ChannelOffset}
+		if chans[ck] {
+			return fmt.Errorf("whart schedule: channel offset %d reused in slot %d",
+				e.ChannelOffset, e.Slot)
+		}
+		chans[ck] = true
+	}
+	return nil
+}
