@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke baseline clean
+
+## ci: everything the driver checks — vet, build, race-enabled tests, and a
+## one-shot large-scale benchmark smoke run.
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench-smoke: run the heaviest benchmark once to catch bit-rot without
+## paying for a full measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkFig12LargeScale -benchtime=1x .
+
+## baseline: regenerate BENCH_baseline.json — sequential vs parallel
+## wall-clock for reference campaigns, with a bit-identity check.
+baseline:
+	$(GO) run ./cmd/digs-bench -perf-baseline BENCH_baseline.json
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"github.com/digs-net/digs/internal/campaign"
+	"github.com/digs-net/digs/internal/experiments"
+)
+
+// baselineCampaign is one campaign's sequential-vs-parallel timing record.
+type baselineCampaign struct {
+	Name        string  `json:"name"`
+	Jobs        int     `json:"jobs"`
+	SequentialS float64 `json:"sequential_s"`
+	ParallelS   float64 `json:"parallel_s"`
+	Speedup     float64 `json:"speedup"`
+	// Identical reports whether the parallel run reproduced the
+	// sequential run's results bit for bit — the campaign runner's
+	// determinism contract.
+	Identical bool `json:"identical"`
+}
+
+// baselineReport is the BENCH_baseline.json schema future PRs diff against
+// to track the perf trajectory.
+type baselineReport struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	NumCPU      int                `json:"num_cpu"`
+	Workers     int                `json:"workers"`
+	Campaigns   []baselineCampaign `json:"campaigns"`
+}
+
+// writePerfBaseline times reduced campaigns sequentially (one worker) and
+// on the full pool, verifies the outputs are identical, and writes the
+// JSON report. On a single-core machine the speedup is ~1 by construction;
+// the identity check still validates determinism.
+func writePerfBaseline(path string, seed int64) error {
+	workers := campaign.DefaultWorkers()
+	report := baselineReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Workers:     workers,
+		Campaigns:   []baselineCampaign{},
+	}
+
+	// Campaign 1: the acceptance campaign — RunInterference, Testbed A,
+	// 10 flow sets per protocol (two protocol jobs).
+	{
+		run := func(parallel int) (*experiments.InterferenceResult, time.Duration, error) {
+			opts := experiments.DefaultInterferenceOptions("A")
+			opts.FlowSets = 10
+			opts.Seed = seed
+			opts.Parallel = parallel
+			start := time.Now()
+			res, err := experiments.RunInterference(opts)
+			return res, time.Since(start), err
+		}
+		fmt.Fprintln(os.Stderr, "perf-baseline: RunInterference FlowSets=10, sequential...")
+		seqRes, seqT, err := run(1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "perf-baseline: sequential %.1fs; parallel (%d workers)...\n",
+			seqT.Seconds(), workers)
+		parRes, parT, err := run(workers)
+		if err != nil {
+			return err
+		}
+		report.Campaigns = append(report.Campaigns, baselineCampaign{
+			Name:        "RunInterference-testbedA-10sets",
+			Jobs:        2,
+			SequentialS: seqT.Seconds(),
+			ParallelS:   parT.Seconds(),
+			Speedup:     seqT.Seconds() / parT.Seconds(),
+			Identical:   reflect.DeepEqual(seqRes, parRes),
+		})
+	}
+
+	// Campaign 2: RunFig4And5 with one repetition per jammer count (four
+	// independent jobs) — the shape a multi-core pool flattens best.
+	{
+		run := func(parallel int) ([]experiments.RepairResult, time.Duration, error) {
+			opts := experiments.DefaultRepairOptions()
+			opts.Repetitions = 1
+			opts.Seed = seed
+			opts.Parallel = parallel
+			start := time.Now()
+			res, err := experiments.RunFig4And5(opts)
+			return res, time.Since(start), err
+		}
+		fmt.Fprintln(os.Stderr, "perf-baseline: RunFig4And5 4 jammer counts, sequential...")
+		seqRes, seqT, err := run(1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "perf-baseline: sequential %.1fs; parallel (%d workers)...\n",
+			seqT.Seconds(), workers)
+		parRes, parT, err := run(workers)
+		if err != nil {
+			return err
+		}
+		report.Campaigns = append(report.Campaigns, baselineCampaign{
+			Name:        "RunFig4And5-4jammerCounts",
+			Jobs:        4,
+			SequentialS: seqT.Seconds(),
+			ParallelS:   parT.Seconds(),
+			Speedup:     seqT.Seconds() / parT.Seconds(),
+			Identical:   reflect.DeepEqual(seqRes, parRes),
+		})
+	}
+
+	for _, c := range report.Campaigns {
+		if !c.Identical {
+			return fmt.Errorf("perf-baseline: %s: parallel results differ from sequential", c.Name)
+		}
+		fmt.Printf("%-32s jobs=%d  sequential %.1fs  parallel %.1fs  speedup %.2fx  identical=%v\n",
+			c.Name, c.Jobs, c.SequentialS, c.ParallelS, c.Speedup, c.Identical)
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

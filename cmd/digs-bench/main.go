@@ -13,6 +13,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/digs-net/digs/internal/campaign"
 	"github.com/digs-net/digs/internal/experiments"
 	"github.com/digs-net/digs/internal/metrics"
 )
@@ -29,7 +30,16 @@ func run() error {
 		"figure to regenerate: 3, 4, 5, 9, 9f, 10, 11, 11b, 12, 13, whart or all")
 	full := flag.Bool("full", false, "paper-scale campaign sizes (slow)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0,
+		"campaign worker pool size (0 = GOMAXPROCS); campaigns are bit-identical at any setting")
+	baseline := flag.String("perf-baseline", "",
+		"time a reduced campaign sequentially and in parallel, write the JSON report to this file, and exit")
 	flag.Parse()
+
+	campaign.SetDefaultWorkers(*parallel)
+	if *baseline != "" {
+		return writePerfBaseline(*baseline, *seed)
+	}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 	ran := false

@@ -8,15 +8,19 @@
 //	digs-sim -topology testbed-a -protocol digs -duration 2m
 //	digs-sim -topology testbed-b -protocol orchestra -jammers 3
 //	digs-sim -topology random-150 -protocol digs -flows 20 -period 10s
+//	digs-sim -reps 8 -parallel 4    # 8 seeds fanned over 4 workers
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
 
+	"github.com/digs-net/digs/internal/campaign"
 	"github.com/digs-net/digs/internal/core"
 	"github.com/digs-net/digs/internal/flows"
 	"github.com/digs-net/digs/internal/interference"
@@ -47,6 +51,19 @@ type options struct {
 	verbose  bool
 }
 
+// summary is one scenario run's headline numbers.
+type summary struct {
+	Seed      int64
+	Formation time.Duration
+	PDR       float64
+	Delivered int
+	Sent      int
+	LatMedian float64 // ms; NaN-free: zero when no latencies
+	LatP90    float64
+	LatMax    float64
+	PowerMW   float64
+}
+
 func run() error {
 	var opts options
 	flag.StringVar(&opts.topology, "topology", "testbed-a",
@@ -59,16 +76,68 @@ func run() error {
 	flag.IntVar(&opts.failNode, "fail", 0, "node ID to fail mid-run (0 = none)")
 	flag.Int64Var(&opts.seed, "seed", 1, "simulation seed")
 	flag.BoolVar(&opts.verbose, "v", false, "print per-flow results")
+	reps := flag.Int("reps", 1, "independent repetitions (seed, seed+1, ...) aggregated at the end")
+	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS)")
 	dumpNode := flag.Int("dump-schedule", 0,
 		"print the combined-schedule roles of this node for one hyperperiod window and exit")
 	flag.Parse()
 
-	topo, err := pickTopology(opts.topology)
+	campaign.SetDefaultWorkers(*parallel)
+
+	if *reps <= 1 {
+		_, err := runScenario(opts, opts.seed, os.Stdout, *dumpNode)
+		return err
+	}
+	if *dumpNode > 0 {
+		return fmt.Errorf("-dump-schedule is a single-run mode; drop -reps")
+	}
+
+	// Each repetition is an independent run with its own derived seed.
+	// Runs buffer their output so the printed report reads identically
+	// regardless of how the pool interleaved them.
+	type repOut struct {
+		sum summary
+		log bytes.Buffer
+	}
+	outs, err := campaign.Map(campaign.New(0), *reps, func(i int) (*repOut, error) {
+		o := &repOut{}
+		s, err := runScenario(opts, opts.seed+int64(i), &o.log, 0)
+		if err != nil {
+			return nil, fmt.Errorf("rep %d (seed %d): %w", i, opts.seed+int64(i), err)
+		}
+		o.sum = *s
+		return o, nil
+	})
 	if err != nil {
 		return err
 	}
 
-	nw := sim.NewNetwork(topo, opts.seed)
+	var pdrs, medians, powers []float64
+	for i, o := range outs {
+		fmt.Printf("--- rep %d (seed %d) ---\n", i, o.sum.Seed)
+		os.Stdout.Write(o.log.Bytes())
+		pdrs = append(pdrs, o.sum.PDR)
+		medians = append(medians, o.sum.LatMedian)
+		powers = append(powers, o.sum.PowerMW)
+	}
+	fmt.Printf("\n=== aggregate over %d reps (workers=%d) ===\n", *reps, campaign.DefaultWorkers())
+	fmt.Printf("PDR:               mean %.3f  min %.3f  max %.3f\n",
+		metrics.Mean(pdrs), metrics.Min(pdrs), metrics.Max(pdrs))
+	fmt.Printf("latency median:    mean %.0f ms\n", metrics.Mean(medians))
+	fmt.Printf("power per packet:  mean %.3f mW\n", metrics.Mean(powers))
+	return nil
+}
+
+// runScenario executes one full scenario and writes its progress report to
+// w. When dumpNode is non-zero it prints that node's combined schedule and
+// returns early with a nil summary.
+func runScenario(opts options, seed int64, w io.Writer, dumpNode int) (*summary, error) {
+	topo, err := pickTopology(opts.topology)
+	if err != nil {
+		return nil, err
+	}
+
+	nw := sim.NewNetwork(topo, seed)
 	var (
 		macNode   func(i int) *mac.Node
 		joined    func() int
@@ -77,9 +146,9 @@ func run() error {
 	)
 	switch opts.protocol {
 	case "digs":
-		net, err := core.Build(nw, core.DefaultConfig(topo.NumAPs), mac.DefaultConfig(), opts.seed)
+		net, err := core.Build(nw, core.DefaultConfig(topo.NumAPs), mac.DefaultConfig(), seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		macNode = func(i int) *mac.Node { return net.Nodes[i] }
 		joined = net.JoinedCount
@@ -88,9 +157,9 @@ func run() error {
 			return net.Stacks[id].Assignment(asn)
 		}
 	case "orchestra":
-		net, err := orchestra.Build(nw, orchestra.DefaultConfig(), mac.DefaultConfig(), opts.seed)
+		net, err := orchestra.Build(nw, orchestra.DefaultConfig(), mac.DefaultConfig(), seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		macNode = func(i int) *mac.Node { return net.Nodes[i] }
 		joined = net.JoinedCount
@@ -101,10 +170,10 @@ func run() error {
 		var fl []whart.Flow
 		srcs := topo.SuggestedSources
 		if opts.flows > 0 {
-			rng := newRand(opts.seed)
+			rng := newRand(seed)
 			rf, err := flows.RandomSet(topo, opts.flows, opts.period, rng)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			srcs = srcs[:0]
 			for _, f := range rf {
@@ -119,7 +188,7 @@ func run() error {
 		}
 		net, err := whart.Build(nw, fl, mac.DefaultConfig())
 		if err != nil {
-			return err
+			return nil, err
 		}
 		macNode = func(i int) *mac.Node { return net.Nodes[i] }
 		// Static stacks have their schedule pre-installed; "joined" means
@@ -135,10 +204,10 @@ func run() error {
 		}
 		onDeliver = net.OnDeliver
 	default:
-		return fmt.Errorf("unknown protocol %q", opts.protocol)
+		return nil, fmt.Errorf("unknown protocol %q", opts.protocol)
 	}
 
-	fmt.Printf("topology %s: %d nodes (%d APs), protocol %s\n",
+	fmt.Fprintf(w, "topology %s: %d nodes (%d APs), protocol %s\n",
 		topo.Name, topo.N(), topo.NumAPs, opts.protocol)
 
 	// Formation.
@@ -146,26 +215,26 @@ func run() error {
 		return joined() == topo.N()
 	})
 	if !ok {
-		return fmt.Errorf("only %d/%d nodes joined during formation", joined(), topo.N())
+		return nil, fmt.Errorf("only %d/%d nodes joined during formation", joined(), topo.N())
 	}
-	fmt.Printf("network formed in %v\n", sim.TimeAt(formSlots))
+	fmt.Fprintf(w, "network formed in %v\n", sim.TimeAt(formSlots))
 	nw.Run(sim.SlotsFor(30 * time.Second))
 
-	if *dumpNode > 0 {
+	if dumpNode > 0 {
 		if schedule == nil {
-			return fmt.Errorf("-dump-schedule is only supported for -protocol digs")
+			return nil, fmt.Errorf("-dump-schedule is only supported for -protocol digs")
 		}
-		return dumpSchedule(nw, schedule, *dumpNode)
+		return nil, dumpSchedule(w, nw, schedule, dumpNode)
 	}
 
 	// Interference.
 	for j := 0; j < opts.jammers && j < len(topo.SuggestedJammers); j++ {
 		wifiCh := []int{1, 6, 11}[j%3]
 		nw.AddInterferer(&interference.Window{
-			Source:   interference.NewWiFiJammer(topo, topo.SuggestedJammers[j], wifiCh, opts.seed+int64(j)),
+			Source:   interference.NewWiFiJammer(topo, topo.SuggestedJammers[j], wifiCh, seed+int64(j)),
 			StartASN: nw.ASN(),
 		})
-		fmt.Printf("jammer on node %d (WiFi channel %d)\n", topo.SuggestedJammers[j], wifiCh)
+		fmt.Fprintf(w, "jammer on node %d (WiFi channel %d)\n", topo.SuggestedJammers[j], wifiCh)
 	}
 
 	// Flows.
@@ -177,10 +246,10 @@ func run() error {
 		if n <= 0 {
 			n = 8
 		}
-		rng := newRand(opts.seed)
+		rng := newRand(seed)
 		fset, err = flows.RandomSet(topo, n, opts.period, rng)
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 
@@ -200,7 +269,7 @@ func run() error {
 		victim := topology.NodeID(opts.failNode)
 		nw.At(half, func() {
 			nw.Fail(victim)
-			fmt.Printf("node %d failed at %v\n", victim, sim.TimeAt(half))
+			fmt.Fprintf(w, "node %d failed at %v\n", victim, sim.TimeAt(half))
 		})
 	}
 
@@ -211,28 +280,38 @@ func run() error {
 	energy := totalEnergy(macNode, topo.N()) - startEnergy
 
 	// Report.
-	fmt.Printf("\n=== results (%v window, %d flows, %v period) ===\n",
+	sum := &summary{
+		Seed:      seed,
+		Formation: sim.TimeAt(formSlots),
+		PDR:       col.PDR(),
+		Delivered: col.DeliveredCount(),
+		Sent:      col.SentCount(),
+		PowerMW:   metrics.PowerPerPacketMW(energy, elapsed, col.DeliveredCount()),
+	}
+	fmt.Fprintf(w, "\n=== results (%v window, %d flows, %v period) ===\n",
 		opts.duration, len(fset), opts.period)
-	fmt.Printf("PDR:                 %.3f (%d/%d packets)\n",
-		col.PDR(), col.DeliveredCount(), col.SentCount())
+	fmt.Fprintf(w, "PDR:                 %.3f (%d/%d packets)\n",
+		sum.PDR, sum.Delivered, sum.Sent)
 	lats := metrics.DurationsToMillis(col.Latencies())
 	if len(lats) > 0 {
-		fmt.Printf("latency median:      %.0f ms  (p90 %.0f ms, max %.0f ms)\n",
-			metrics.Quantile(lats, 0.5), metrics.Quantile(lats, 0.9), metrics.Max(lats))
+		sum.LatMedian = metrics.Quantile(lats, 0.5)
+		sum.LatP90 = metrics.Quantile(lats, 0.9)
+		sum.LatMax = metrics.Max(lats)
+		fmt.Fprintf(w, "latency median:      %.0f ms  (p90 %.0f ms, max %.0f ms)\n",
+			sum.LatMedian, sum.LatP90, sum.LatMax)
 	}
-	fmt.Printf("power per packet:    %.3f mW\n",
-		metrics.PowerPerPacketMW(energy, elapsed, col.DeliveredCount()))
+	fmt.Fprintf(w, "power per packet:    %.3f mW\n", sum.PowerMW)
 	if opts.verbose {
 		for _, f := range fset {
-			fmt.Printf("  flow %2d (node %3d): PDR %.3f\n", f.ID, f.Source, col.FlowPDR(f.ID))
+			fmt.Fprintf(w, "  flow %2d (node %3d): PDR %.3f\n", f.ID, f.Source, col.FlowPDR(f.ID))
 		}
 	}
-	return nil
+	return sum, nil
 }
 
 // dumpSchedule prints the node's combined-schedule decisions for the next
 // 600 slots (6 seconds): the autonomous schedule made visible.
-func dumpSchedule(nw *sim.Network, schedule func(int, sim.ASN) mac.Assignment, id int) error {
+func dumpSchedule(w io.Writer, nw *sim.Network, schedule func(int, sim.ASN) mac.Assignment, id int) error {
 	if id < 1 || id > nw.Topology().N() {
 		return fmt.Errorf("node %d outside the topology", id)
 	}
@@ -240,16 +319,16 @@ func dumpSchedule(nw *sim.Network, schedule func(int, sim.ASN) mac.Assignment, i
 		mac.RoleSleep: ".", mac.RoleTxEB: "E", mac.RoleRxEB: "e",
 		mac.RoleShared: "S", mac.RoleTxData: "T", mac.RoleRxData: "R",
 	}
-	fmt.Printf("combined schedule of node %d from ASN %d "+
+	fmt.Fprintf(w, "combined schedule of node %d from ASN %d "+
 		"(E/e = EB tx/rx, S = shared, T/R = data tx/rx, . = sleep):\n", id, nw.ASN())
 	base := nw.ASN()
 	for row := 0; row < 12; row++ {
-		fmt.Printf("  %7d  ", base+int64(row*50))
+		fmt.Fprintf(w, "  %7d  ", base+int64(row*50))
 		for col := 0; col < 50; col++ {
 			a := schedule(id, base+int64(row*50+col))
-			fmt.Print(names[a.Role])
+			fmt.Fprint(w, names[a.Role])
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	return nil
 }

@@ -1,0 +1,157 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	r := New(8)
+	got, err := Map(r, 100, func(i int) (int, error) {
+		// Finish out of order on purpose.
+		if i%7 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d results, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int32
+	r := New(workers)
+	_, err := Map(r, 24, func(i int) (struct{}, error) {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		active.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, bound is %d", p, workers)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("boom-3")
+	r := New(4)
+	_, err := Map(r, 10, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, wantErr
+		case 7:
+			return 0, errors.New("boom-7")
+		}
+		return i, nil
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v (lowest failing index)", err, wantErr)
+	}
+}
+
+func TestMapSequentialStopsAtFirstError(t *testing.T) {
+	var ran atomic.Int32
+	r := New(1)
+	_, err := Map(r, 10, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 2 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("sequential path ran %d jobs after an error at index 2, want 3", ran.Load())
+	}
+}
+
+func TestMapParallelMatchesSequential(t *testing.T) {
+	job := func(i int) (string, error) {
+		// A pure function of the index, as the determinism contract
+		// requires of real simulation jobs.
+		return fmt.Sprintf("run-%d-seed-%d", i, Seed(42, i)), nil
+	}
+	seq, err := Map(New(1), 50, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(New(16), 50, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("result %d differs: sequential %q vs parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map[int](New(4), 0, func(int) (int, error) { t.Fatal("job ran"); return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+func TestWorkersDefaults(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	if w := New(0).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("unset runner workers = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	SetDefaultWorkers(5)
+	if w := New(0).Workers(); w != 5 {
+		t.Fatalf("after SetDefaultWorkers(5): %d", w)
+	}
+	if w := New(2).Workers(); w != 2 {
+		t.Fatalf("explicit runner ignores its own bound: %d", w)
+	}
+	SetDefaultWorkers(-3)
+	if w := New(0).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative reset: %d", w)
+	}
+	var nilRunner *Runner
+	if w := nilRunner.Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("nil runner workers = %d", w)
+	}
+}
+
+func TestSeedDerivation(t *testing.T) {
+	if Seed(1, 0) != Seed(1, 0) {
+		t.Fatal("Seed is not deterministic")
+	}
+	seen := map[int64]bool{}
+	for base := int64(0); base < 4; base++ {
+		for run := 0; run < 64; run++ {
+			s := Seed(base, run)
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d run=%d", base, run)
+			}
+			seen[s] = true
+		}
+	}
+}

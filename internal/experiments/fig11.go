@@ -3,6 +3,7 @@ package experiments
 import (
 	"time"
 
+	"github.com/digs-net/digs/internal/campaign"
 	"github.com/digs-net/digs/internal/core"
 	"github.com/digs-net/digs/internal/mac"
 
@@ -21,6 +22,9 @@ type FailureOptions struct {
 	Seed        int64
 	// DiGSConfig overrides the DiGS stack configuration (ablations).
 	DiGSConfig *core.Config
+	// Parallel bounds the campaign worker pool; 0 uses the process-wide
+	// default (GOMAXPROCS or the -parallel flag).
+	Parallel int
 }
 
 // DefaultFailureOptions sizes the campaign for interactive use; raise
@@ -47,26 +51,46 @@ type FailureResult struct {
 // measure each data flow's PDR and the network's power per received packet
 // while the victim is down, for both protocols.
 func RunFig11(opts FailureOptions) (digs, orch *FailureResult, err error) {
-	digs, err = runFailureCampaign(DiGS, opts)
+	// One flat job list across both protocols keeps a single bounded pool
+	// busy instead of two half-idle nested ones.
+	protos := []Protocol{DiGS, Orchestra}
+	reps := opts.Repetitions
+	parts, err := campaign.Map(campaign.New(opts.Parallel), len(protos)*reps,
+		func(i int) (*FailureResult, error) {
+			seed := opts.Seed*997 + int64(i%reps)
+			return runFailureOnceCfg(protos[i/reps], seed, opts.Victims, opts.DiGSConfig)
+		})
 	if err != nil {
 		return nil, nil, err
 	}
-	orch, err = runFailureCampaign(Orchestra, opts)
-	if err != nil {
-		return nil, nil, err
-	}
+	digs = mergeFailureResults(parts[:reps])
+	orch = mergeFailureResults(parts[reps:])
 	return digs, orch, nil
 }
 
 func runFailureCampaign(proto Protocol, opts FailureOptions) (*FailureResult, error) {
-	out := &FailureResult{}
-	for rep := 0; rep < opts.Repetitions; rep++ {
-		seed := opts.Seed*997 + int64(rep)
-		if err := runFailureOnceCfg(proto, seed, opts.Victims, out, opts.DiGSConfig); err != nil {
-			return nil, err
-		}
+	parts, err := campaign.Map(campaign.New(opts.Parallel), opts.Repetitions,
+		func(rep int) (*FailureResult, error) {
+			seed := opts.Seed*997 + int64(rep)
+			return runFailureOnceCfg(proto, seed, opts.Victims, opts.DiGSConfig)
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return mergeFailureResults(parts), nil
+}
+
+// mergeFailureResults concatenates per-repetition results in repetition
+// order, reproducing what the historical sequential loop accumulated.
+func mergeFailureResults(parts []*FailureResult) *FailureResult {
+	out := &FailureResult{}
+	for _, p := range parts {
+		out.FlowPDRs = append(out.FlowPDRs, p.FlowPDRs...)
+		out.DisconnectedFlows += p.DisconnectedFlows
+		out.TotalFlows += p.TotalFlows
+		out.PowerPerPacket = append(out.PowerPerPacket, p.PowerPerPacket...)
+	}
+	return out
 }
 
 // RunFailureSingle runs one protocol's failure campaign alone (ablations).
@@ -74,12 +98,10 @@ func RunFailureSingle(proto Protocol, opts FailureOptions) (*FailureResult, erro
 	return runFailureCampaign(proto, opts)
 }
 
-func runFailureOnce(proto Protocol, seed int64, victims int, out *FailureResult) error {
-	return runFailureOnceCfg(proto, seed, victims, out, nil)
-}
-
-func runFailureOnceCfg(proto Protocol, seed int64, victims int, out *FailureResult,
-	digsCfg *core.Config) error {
+// runFailureOnceCfg runs one repetition and returns its partial result.
+func runFailureOnceCfg(proto Protocol, seed int64, victims int,
+	digsCfg *core.Config) (*FailureResult, error) {
+	out := &FailureResult{}
 	topo := testbedATopo()
 	var nw *sim.Network
 	var net stackNet
@@ -93,10 +115,10 @@ func runFailureOnceCfg(proto Protocol, seed int64, victims int, out *FailureResu
 		nw, net, err = buildNetwork(proto, topo, seed)
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := converge(nw, net, 240*time.Second); err != nil {
-		return err
+		return nil, err
 	}
 	nw.Run(sim.SlotsFor(60 * time.Second))
 
@@ -159,7 +181,7 @@ func runFailureOnceCfg(proto Protocol, seed int64, victims int, out *FailureResu
 		// routing graph has to absorb each loss on top of the previous
 		// ones, which is what eventually partitions a single-path tree.
 	}
-	return nil
+	return out, nil
 }
 
 // forwardedCounts snapshots every node's lifetime forwarding counter.

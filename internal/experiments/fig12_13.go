@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/digs-net/digs/internal/campaign"
 	"github.com/digs-net/digs/internal/interference"
 	"github.com/digs-net/digs/internal/sim"
 	"github.com/digs-net/digs/internal/topology"
@@ -19,6 +20,9 @@ type LargeScaleOptions struct {
 	FlowsPerSet    int
 	PacketsPerFlow int
 	Seed           int64
+	// Parallel bounds the campaign worker pool; 0 uses the process-wide
+	// default (GOMAXPROCS or the -parallel flag).
+	Parallel int
 }
 
 // DefaultLargeScaleOptions mirrors the paper's setup with an
@@ -38,19 +42,19 @@ func DefaultLargeScaleOptions() LargeScaleOptions {
 // RunFig12 reproduces Figure 12: DiGS vs Orchestra at 150-node scale with
 // periodic wide-band disturbers (10 s packet period per the paper).
 func RunFig12(opts LargeScaleOptions) (*InterferenceResult, error) {
-	out := &InterferenceResult{}
-	for _, proto := range []Protocol{DiGS, Orchestra} {
-		rs, err := runLargeScale(proto, opts)
-		if err != nil {
-			return nil, fmt.Errorf("%v: %w", proto, err)
-		}
-		if proto == DiGS {
-			out.DiGS = rs
-		} else {
-			out.Orchestra = rs
-		}
+	protos := []Protocol{DiGS, Orchestra}
+	rs, err := campaign.Map(campaign.New(opts.Parallel), len(protos),
+		func(i int) ([]FlowSetResult, error) {
+			r, err := runLargeScale(protos[i], opts)
+			if err != nil {
+				return nil, fmt.Errorf("%v: %w", protos[i], err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &InterferenceResult{DiGS: rs[0], Orchestra: rs[1]}, nil
 }
 
 func runLargeScale(proto Protocol, opts LargeScaleOptions) ([]FlowSetResult, error) {
@@ -94,31 +98,36 @@ type JoinTimesResult struct {
 
 // RunFig13 reproduces Figure 13: the time each of Testbed A's field
 // devices needs to synchronise and select its preferred parent(s), under
-// both stacks, from a cold start.
+// both stacks, from a cold start. The two protocol runs execute on the
+// process-wide campaign pool.
 func RunFig13(seed int64) (*JoinTimesResult, error) {
-	out := &JoinTimesResult{}
-	for _, proto := range []Protocol{DiGS, Orchestra} {
-		topo := testbedATopo()
-		nw, net, err := buildNetwork(proto, topo, seed)
-		if err != nil {
-			return nil, err
-		}
-		if err := converge(nw, net, 300*time.Second); err != nil {
-			return nil, fmt.Errorf("%v: %w", proto, err)
-		}
-		var times []time.Duration
-		for i := topo.NumAPs + 1; i <= topo.N(); i++ {
-			at, ok := net.JoinTime(i)
-			if !ok {
-				return nil, fmt.Errorf("%v: node %d joined without a join time", proto, i)
-			}
-			times = append(times, sim.TimeAt(at))
-		}
-		if proto == DiGS {
-			out.DiGS = times
-		} else {
-			out.Orchestra = times
-		}
+	protos := []Protocol{DiGS, Orchestra}
+	rs, err := campaign.Map(campaign.New(0), len(protos),
+		func(i int) ([]time.Duration, error) {
+			return runJoinTimes(protos[i], seed)
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &JoinTimesResult{DiGS: rs[0], Orchestra: rs[1]}, nil
+}
+
+func runJoinTimes(proto Protocol, seed int64) ([]time.Duration, error) {
+	topo := testbedATopo()
+	nw, net, err := buildNetwork(proto, topo, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := converge(nw, net, 300*time.Second); err != nil {
+		return nil, fmt.Errorf("%v: %w", proto, err)
+	}
+	var times []time.Duration
+	for i := topo.NumAPs + 1; i <= topo.N(); i++ {
+		at, ok := net.JoinTime(i)
+		if !ok {
+			return nil, fmt.Errorf("%v: node %d joined without a join time", proto, i)
+		}
+		times = append(times, sim.TimeAt(at))
+	}
+	return times, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"time"
 
+	"github.com/digs-net/digs/internal/campaign"
 	"github.com/digs-net/digs/internal/flows"
 	"github.com/digs-net/digs/internal/interference"
 	"github.com/digs-net/digs/internal/metrics"
@@ -21,6 +22,9 @@ type RepairOptions struct {
 	// runner accepts DiGS for the comparison benches.
 	Protocol Protocol
 	Seed     int64
+	// Parallel bounds the campaign worker pool; 0 uses the process-wide
+	// default (GOMAXPROCS or the -parallel flag).
+	Parallel int
 }
 
 // DefaultRepairOptions mirrors the paper's setup.
@@ -47,18 +51,25 @@ type RepairResult struct {
 // — how long routing keeps changing after the interference starts — and
 // (b) the PDR of 8 data flows during the repair window.
 func RunFig4And5(opts RepairOptions) ([]RepairResult, error) {
-	var results []RepairResult
+	// Each (jammer count, repetition) pair is an independent run with its
+	// own seed, so the campaign fans out over the worker pool; the seed
+	// formula matches the historical sequential loop exactly.
+	type job struct {
+		jammers int
+		seed    int64
+	}
+	var jobs []job
 	for _, jc := range opts.JammerCounts {
 		for rep := 0; rep < opts.Repetitions; rep++ {
-			seed := opts.Seed*1000 + int64(jc)*100 + int64(rep)
-			r, err := runRepair(jc, opts.Protocol, seed)
-			if err != nil {
-				return nil, err
-			}
-			results = append(results, r)
+			jobs = append(jobs, job{
+				jammers: jc,
+				seed:    opts.Seed*1000 + int64(jc)*100 + int64(rep),
+			})
 		}
 	}
-	return results, nil
+	return campaign.Map(campaign.New(opts.Parallel), len(jobs), func(i int) (RepairResult, error) {
+		return runRepair(jobs[i].jammers, opts.Protocol, jobs[i].seed)
+	})
 }
 
 // repairStabilityWindow is how long routing must stay quiet for the repair

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/digs-net/digs/internal/campaign"
 	"github.com/digs-net/digs/internal/core"
 	"github.com/digs-net/digs/internal/flows"
 	"github.com/digs-net/digs/internal/interference"
@@ -33,6 +34,10 @@ type InterferenceOptions struct {
 	// DiGSConfig overrides the DiGS stack configuration (ablation
 	// studies); nil uses the default.
 	DiGSConfig *core.Config
+
+	// Parallel bounds the campaign worker pool; 0 uses the process-wide
+	// default (GOMAXPROCS or the -parallel flag).
+	Parallel int
 }
 
 // DefaultInterferenceOptions returns a campaign sized for interactive use;
@@ -61,19 +66,21 @@ type InterferenceResult struct {
 // B): both stacks run the same flow-set campaign under three WiFi jammers
 // at the Figure 8 positions.
 func RunInterference(opts InterferenceOptions) (*InterferenceResult, error) {
-	out := &InterferenceResult{}
-	for _, proto := range []Protocol{DiGS, Orchestra} {
-		rs, err := runInterferenceCampaign(proto, opts)
-		if err != nil {
-			return nil, fmt.Errorf("%v: %w", proto, err)
-		}
-		if proto == DiGS {
-			out.DiGS = rs
-		} else {
-			out.Orchestra = rs
-		}
+	// The two protocol campaigns share nothing (each builds its own
+	// topology, network and RNG), so they run as two pool jobs.
+	protos := []Protocol{DiGS, Orchestra}
+	rs, err := campaign.Map(campaign.New(opts.Parallel), len(protos),
+		func(i int) ([]FlowSetResult, error) {
+			r, err := runInterferenceCampaign(protos[i], opts)
+			if err != nil {
+				return nil, fmt.Errorf("%v: %w", protos[i], err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &InterferenceResult{DiGS: rs[0], Orchestra: rs[1]}, nil
 }
 
 // RunInterferenceSingle runs one protocol's interference campaign alone

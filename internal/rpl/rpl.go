@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/digs-net/digs/internal/link"
 	"github.com/digs-net/digs/internal/phy"
@@ -149,6 +150,9 @@ func (r *Router) PotentialChildren() []topology.NodeID {
 			out = append(out, id)
 		}
 	}
+	// Sorted order keeps downstream consumers (Orchestra's sender-cell
+	// table) independent of map iteration order.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -226,7 +230,9 @@ func (r *Router) reselect(asn sim.ASN) bool {
 		if r.rank < RankInfinity && e.rank >= r.rank {
 			continue
 		}
-		if c := r.cost(id, e); c < bestCost {
+		// Tie-break equal costs on the lower node ID: the winner must not
+		// depend on map iteration order, or identical seeds diverge.
+		if c := r.cost(id, e); c < bestCost || (c == bestCost && best != 0 && id < best) {
 			best, bestCost = id, c
 		}
 	}

@@ -9,6 +9,70 @@ import (
 	"github.com/digs-net/digs/internal/topology"
 )
 
+// candidate is one detectable transmission at a listener.
+type candidate struct {
+	src topology.NodeID
+	rss float64
+	ch  phy.Channel
+}
+
+// pendingEvent is one scheduled callback. seq preserves FIFO order among
+// events scheduled for the same slot.
+type pendingEvent struct {
+	asn ASN
+	seq uint64
+	fn  func()
+}
+
+// eventQueue is a binary min-heap ordered by (asn, seq). A heap keeps the
+// per-slot cost of the common case — no event due — at a single length
+// check plus one comparison, where the previous map keyed by ASN paid a
+// hash lookup every slot.
+type eventQueue []pendingEvent
+
+func (q eventQueue) less(i, j int) bool {
+	return q[i].asn < q[j].asn || (q[i].asn == q[j].asn && q[i].seq < q[j].seq)
+}
+
+func (q *eventQueue) push(e pendingEvent) {
+	*q = append(*q, e)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() pendingEvent {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = pendingEvent{} // release the func reference
+	h = h[:last]
+	*q = h
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(h) && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < len(h) && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}
+
 // Network owns the shared medium and drives attached devices slot by slot.
 type Network struct {
 	topo        *topology.Topology
@@ -17,6 +81,7 @@ type Network struct {
 	interferers []Interferer
 	rng         *rand.Rand
 	asn         ASN
+	started     bool
 
 	// FastFadingSigmaDB adds zero-mean Gaussian fading to each reception,
 	// on top of the topology's static shadowing. It defaults to 2 dB.
@@ -26,29 +91,58 @@ type Network struct {
 	// and collision. It must be fast; it runs inline in the slot loop.
 	Trace func(TraceEvent)
 
-	events map[ASN][]func()
+	pending  eventQueue
+	eventSeq uint64
 
-	// scratch buffers reused across slots
+	// rss is a flat (n+1)x(n+1) copy of the topology's mean-RSS matrix,
+	// captured at construction. The hot path indexes it directly instead
+	// of going through topology.RSS's lazy-init check and nested slices,
+	// and a Network never races other Networks on a shared topology's
+	// lazily built cache.
+	rss     []float64
+	rssDim  int
+	numDevs int
+
+	// Scratch buffers reused across slots: the steady-state slot loop
+	// performs zero heap allocations.
 	ops       []RadioOp
 	reports   []SlotReport
-	byChannel map[phy.Channel][]topology.NodeID
+	byChannel [phy.LastChannel + 1][]topology.NodeID
+	activeCh  []phy.Channel
+	txScratch []topology.NodeID
+	candBuf   []candidate
+	interfBuf []float64
+	ackInterf []float64
 }
 
 // NewNetwork creates an empty network over the given topology, seeded for
 // reproducibility.
 func NewNetwork(topo *topology.Topology, seed int64) *Network {
 	n := topo.N()
-	return &Network{
+	nw := &Network{
 		topo:              topo,
 		devices:           make([]Device, n+1),
 		failed:            make([]bool, n+1),
 		rng:               rand.New(rand.NewSource(seed)),
 		FastFadingSigmaDB: 2.0,
-		events:            make(map[ASN][]func()),
+		rss:               make([]float64, (n+1)*(n+1)),
+		rssDim:            n + 1,
+		numDevs:           n,
 		ops:               make([]RadioOp, n+1),
 		reports:           make([]SlotReport, n+1),
-		byChannel:         make(map[phy.Channel][]topology.NodeID, phy.NumChannels),
+		activeCh:          make([]phy.Channel, 0, phy.NumChannels),
 	}
+	for a := 1; a <= n; a++ {
+		for b := 1; b <= n; b++ {
+			nw.rss[a*nw.rssDim+b] = topo.RSS(topology.NodeID(a), topology.NodeID(b))
+		}
+	}
+	return nw
+}
+
+// rssAt returns the cached mean RSS of the link a->b.
+func (nw *Network) rssAt(a, b topology.NodeID) float64 {
+	return nw.rss[int(a)*nw.rssDim+int(b)]
 }
 
 // Topology returns the deployment the network runs over.
@@ -57,9 +151,17 @@ func (nw *Network) Topology() *topology.Topology { return nw.topo }
 // ASN returns the current absolute slot number.
 func (nw *Network) ASN() ASN { return nw.asn }
 
+// Started reports whether the network has executed at least one slot.
+func (nw *Network) Started() bool { return nw.started }
+
 // Attach registers a device. It returns an error if the ID is outside the
-// topology or already attached.
+// topology, already attached, or the simulation has already started
+// stepping (the engine's scratch buffers and channel lists assume a fixed
+// device set once the slot loop runs).
 func (nw *Network) Attach(d Device) error {
+	if nw.started {
+		return fmt.Errorf("attach device %d: simulation already started (attach all devices before the first Step)", d.ID())
+	}
 	id := d.ID()
 	if id < 1 || int(id) > nw.topo.N() {
 		return fmt.Errorf("attach device %d: outside topology (1..%d)", id, nw.topo.N())
@@ -117,12 +219,13 @@ func (nw *Network) RunUntil(maxSlots int64, done func() bool) (int64, bool) {
 
 // At schedules fn to run at the start of the given slot (failure injection,
 // scenario phase changes, measurement snapshots). Scheduling in the past is
-// a no-op.
+// a no-op. Events for the same slot fire in scheduling order.
 func (nw *Network) At(asn ASN, fn func()) {
 	if asn < nw.asn {
 		return
 	}
-	nw.events[asn] = append(nw.events[asn], fn)
+	nw.eventSeq++
+	nw.pending.push(pendingEvent{asn: asn, seq: nw.eventSeq, fn: fn})
 }
 
 // AfterDuration schedules fn to run the given wall-clock time from now.
@@ -132,20 +235,19 @@ func (nw *Network) AfterDuration(d time.Duration, fn func()) {
 
 // Step executes one TSCH slot: plan, resolve the medium, report.
 func (nw *Network) Step() {
+	nw.started = true
 	asn := nw.asn
-	n := nw.topo.N()
+	n := nw.numDevs
 
-	if fns, ok := nw.events[asn]; ok {
-		for _, fn := range fns {
-			fn()
-		}
-		delete(nw.events, asn)
+	for len(nw.pending) > 0 && nw.pending[0].asn <= asn {
+		nw.pending.pop().fn()
 	}
 
 	// Phase 1: plans.
-	for ch := range nw.byChannel {
+	for _, ch := range nw.activeCh {
 		nw.byChannel[ch] = nw.byChannel[ch][:0]
 	}
+	nw.activeCh = nw.activeCh[:0]
 	for id := 1; id <= n; id++ {
 		nw.ops[id] = RadioOp{Kind: OpSleep}
 		nw.reports[id] = SlotReport{}
@@ -163,7 +265,12 @@ func (nw *Network) Step() {
 				nw.reports[id].Op = nw.ops[id]
 				continue
 			}
-			nw.byChannel[op.Channel] = append(nw.byChannel[op.Channel], topology.NodeID(id))
+			if int(op.Channel) < len(nw.byChannel) {
+				if len(nw.byChannel[op.Channel]) == 0 {
+					nw.activeCh = append(nw.activeCh, op.Channel)
+				}
+				nw.byChannel[op.Channel] = append(nw.byChannel[op.Channel], topology.NodeID(id))
+			}
 			nw.trace(TraceEvent{ASN: asn, Kind: TraceTx, Src: topology.NodeID(id),
 				Dst: op.Frame.Dst, Frame: op.Frame, Channel: op.Channel})
 		}
@@ -216,33 +323,35 @@ func (nw *Network) resolveListener(listener topology.NodeID, op RadioOp, asn ASN
 	rep := &nw.reports[listener]
 
 	// Candidate transmissions: a wide-band scan (channel 0) hears every
-	// channel; synchronised receivers and single-channel scanners only
-	// their channel.
+	// channel of the 2.4 GHz page; synchronised receivers and
+	// single-channel scanners only their channel. The wide-band gather
+	// walks channels in ascending order so the shared RNG's fading draws
+	// are consumed in a fixed order (a map iteration here would reorder
+	// them run to run).
 	var txs []topology.NodeID
 	if op.Kind == OpScan && op.Channel == 0 {
-		for _, list := range nw.byChannel {
-			txs = append(txs, list...)
+		wide := nw.txScratch[:0]
+		for ch := phy.FirstChannel; ch <= phy.LastChannel; ch++ {
+			wide = append(wide, nw.byChannel[ch]...)
 		}
-	} else {
+		nw.txScratch = wide
+		txs = wide
+	} else if int(op.Channel) < len(nw.byChannel) {
 		txs = nw.byChannel[op.Channel]
 	}
 
 	// Detectable frames at this listener, with per-reception fading.
-	type candidate struct {
-		src topology.NodeID
-		rss float64
-		ch  phy.Channel
-	}
-	var cands []candidate
+	cands := nw.candBuf[:0]
 	for _, src := range txs {
 		if src == listener {
 			continue
 		}
-		rss := nw.topo.RSS(src, listener) + nw.rng.NormFloat64()*nw.FastFadingSigmaDB
+		rss := nw.rssAt(src, listener) + nw.rng.NormFloat64()*nw.FastFadingSigmaDB
 		if rss >= phy.SensitivityDBm {
 			cands = append(cands, candidate{src: src, rss: rss, ch: nw.ops[src].Channel})
 		}
 	}
+	nw.candBuf = cands
 	if len(cands) == 0 {
 		return // idle listen
 	}
@@ -254,13 +363,14 @@ func (nw *Network) resolveListener(listener topology.NodeID, op RadioOp, asn ASN
 			best = i
 		}
 	}
-	interf := make([]float64, 0, len(cands)+len(nw.interferers))
+	interf := nw.interfBuf[:0]
 	for i, c := range cands {
 		if i != best && c.ch == cands[best].ch {
 			interf = append(interf, c.rss)
 		}
 	}
 	interf = nw.interferenceAt(listener, cands[best].ch, asn, interf)
+	nw.interfBuf = interf
 
 	rep.Activity = phy.ActivityRxFrame // energy was spent regardless of decode
 	if phy.SIRdB(cands[best].rss, interf) < phy.CaptureThresholdDB {
@@ -293,11 +403,12 @@ func (nw *Network) resolveListener(listener topology.NodeID, op RadioOp, asn ASN
 
 // resolveAck decides whether the ACK from receiver back to sender decodes.
 func (nw *Network) resolveAck(sender, receiver topology.NodeID, ch phy.Channel, asn ASN) {
-	rss := nw.topo.RSS(receiver, sender) + nw.rng.NormFloat64()*nw.FastFadingSigmaDB
+	rss := nw.rssAt(receiver, sender) + nw.rng.NormFloat64()*nw.FastFadingSigmaDB
 	if rss < phy.SensitivityDBm {
 		return
 	}
-	interf := nw.interferenceAt(sender, ch, asn, nil)
+	interf := nw.interferenceAt(sender, ch, asn, nw.ackInterf[:0])
+	nw.ackInterf = interf
 	if phy.SIRdB(rss, interf) < phy.CaptureThresholdDB {
 		return
 	}

@@ -484,3 +484,178 @@ func (s senderSideInterferer) PowerAtDBm(at topology.NodeID) float64 {
 	}
 	return -150
 }
+
+func TestAttachAfterStartRejected(t *testing.T) {
+	topo := pairTopology(t, 3)
+	nw := NewNetwork(topo, 1)
+	if err := nw.Attach(&scriptDevice{id: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Started() {
+		t.Fatal("network started before the first Step")
+	}
+	nw.Run(1)
+	if !nw.Started() {
+		t.Fatal("network not started after a Step")
+	}
+	if err := nw.Attach(&scriptDevice{id: 2}); err == nil {
+		t.Fatal("attached a device after the simulation started")
+	}
+}
+
+// TestWideScanDeterministicOrder regresses the map-iteration bug: a
+// wide-band scan gathers transmitters across channels, and the shared
+// RNG's fading draws must be consumed in a fixed order so identical seeds
+// give identical traces. With the old byChannel map this reordered
+// run-to-run whenever two transmitters used different channels.
+func TestWideScanDeterministicOrder(t *testing.T) {
+	run := func() []float64 {
+		topo := pairTopology(t, 5)
+		nw := NewNetwork(topo, 99)
+		// Four concurrent broadcasters on four different channels.
+		for i, ch := range []phy.Channel{26, 11, 19, 14} {
+			id := topology.NodeID(i + 1)
+			f := &Frame{Kind: KindEB, Src: id, Dst: topology.Broadcast}
+			if err := nw.Attach(&scriptDevice{id: id, plan: txPlan(f, ch, false)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		scanner := &scriptDevice{id: 5, plan: func(ASN) RadioOp { return RadioOp{Kind: OpScan} }}
+		if err := nw.Attach(scanner); err != nil {
+			t.Fatal(err)
+		}
+		nw.Run(100)
+		var rssis []float64
+		for _, rep := range scanner.reports {
+			if rep.Received != nil {
+				rssis = append(rssis, rep.RSSI, float64(rep.Received.Src))
+			}
+		}
+		return rssis
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("wide-scan traces differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wide-scan traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("scanner heard nothing")
+	}
+}
+
+// quietDevice plans without recording reports, so the slot loop's
+// allocation behaviour can be measured in isolation.
+type quietDevice struct {
+	id   topology.NodeID
+	plan func(asn ASN) RadioOp
+}
+
+func (d *quietDevice) ID() topology.NodeID     { return d.id }
+func (d *quietDevice) Plan(asn ASN) RadioOp    { return d.plan(asn) }
+func (d *quietDevice) EndSlot(ASN, SlotReport) {}
+
+// TestSlotLoopZeroAllocs pins the steady-state slot loop at zero heap
+// allocations per slot: transmissions, receptions, ACKs, a wide-band
+// scanner and an active interferer all resolve out of reused scratch
+// buffers once the first slots have warmed them up.
+func TestSlotLoopZeroAllocs(t *testing.T) {
+	topo := pairTopology(t, 4)
+	nw := NewNetwork(topo, 7)
+	nw.AddInterferer(&quietInterferer{})
+	frame := &Frame{Kind: KindData, Src: 2, Dst: 1}
+	eb := &Frame{Kind: KindEB, Src: 3, Dst: topology.Broadcast}
+	devs := []*quietDevice{
+		{id: 1, plan: func(ASN) RadioOp { return RadioOp{Kind: OpRx, Channel: 15} }},
+		{id: 2, plan: func(ASN) RadioOp {
+			return RadioOp{Kind: OpTx, Channel: 15, Frame: frame, NeedAck: true}
+		}},
+		{id: 3, plan: func(asn ASN) RadioOp {
+			return RadioOp{Kind: OpTx, Channel: phy.HopChannel(asn, 2), Frame: eb}
+		}},
+		{id: 4, plan: func(ASN) RadioOp { return RadioOp{Kind: OpScan} }},
+	}
+	for _, d := range devs {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Run(200) // warm the scratch buffers past any growth
+	allocs := testing.AllocsPerRun(300, func() { nw.Step() })
+	if allocs != 0 {
+		t.Fatalf("steady-state slot loop allocates %.1f objects/slot, want 0", allocs)
+	}
+}
+
+// TestEventQueueOrderAndChaining covers the heap replacement for the old
+// per-slot event map: interleaved scheduling, same-slot FIFO order, and
+// events scheduled from inside an event for the same slot.
+func TestEventQueueOrderAndChaining(t *testing.T) {
+	topo := pairTopology(t, 2)
+	nw := NewNetwork(topo, 1)
+	var fired []int
+	nw.At(7, func() { fired = append(fired, 71) })
+	nw.At(3, func() { fired = append(fired, 3) })
+	nw.At(7, func() { fired = append(fired, 72) })
+	nw.At(5, func() {
+		fired = append(fired, 5)
+		// Chain an event for the same slot from inside an event: it must
+		// run within this slot, not be lost.
+		nw.At(5, func() { fired = append(fired, 55) })
+	})
+	nw.Run(10)
+	want := []int{3, 5, 55, 71, 72}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// BenchmarkSlotLoop measures the raw per-slot cost of the engine with a
+// busy medium (profile with go test -bench=SlotLoop -cpuprofile).
+func BenchmarkSlotLoop(b *testing.B) {
+	topo := &topology.Topology{Name: "bench-line", NumAPs: 1, TxPowerDBm: 0}
+	topo.Nodes = append(topo.Nodes, topology.Node{})
+	const n = 50
+	for i := 1; i <= n; i++ {
+		topo.Nodes = append(topo.Nodes, topology.Node{
+			ID: topology.NodeID(i), X: float64(i) * 5, IsAP: i == 1,
+		})
+	}
+	nw := NewNetwork(topo, 1)
+	frames := make([]*Frame, n+1)
+	for i := 1; i <= n; i++ {
+		frames[i] = &Frame{Kind: KindData, Src: topology.NodeID(i), Dst: topology.NodeID(i - 1)}
+	}
+	for i := 1; i <= n; i++ {
+		id := topology.NodeID(i)
+		var plan func(asn ASN) RadioOp
+		switch {
+		case i%2 == 0:
+			f := frames[i]
+			plan = func(asn ASN) RadioOp {
+				return RadioOp{Kind: OpTx, Channel: phy.HopChannel(asn, uint8(i%16)), Frame: f, NeedAck: true}
+			}
+		default:
+			plan = func(asn ASN) RadioOp {
+				return RadioOp{Kind: OpRx, Channel: phy.HopChannel(asn, uint8((i+1)%16))}
+			}
+		}
+		if err := nw.Attach(&quietDevice{id: id, plan: plan}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	nw.Run(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step()
+	}
+}
