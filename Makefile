@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke baseline clean
+.PHONY: ci vet build test race bench-smoke trace-smoke trace-golden baseline clean
 
-## ci: everything the driver checks — vet, build, race-enabled tests, and a
-## one-shot large-scale benchmark smoke run.
-ci: vet build race bench-smoke
+## ci: everything the driver checks — vet, build, race-enabled tests, a
+## one-shot large-scale benchmark smoke run, and the telemetry pipeline
+## smoke test.
+ci: vet build race bench-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +23,22 @@ race:
 ## paying for a full measurement.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkFig12LargeScale -benchtime=1x .
+
+## trace-smoke: run a short Figure 4 slice with packet-lifecycle tracing
+## on, replay the trace through digs-trace, and diff the report against the
+## checked-in golden — catches schema drift, nondeterminism and broken hook
+## points in one pass.
+TRACE_SMOKE_JSONL := $(if $(TMPDIR),$(TMPDIR),/tmp)/digs-trace-smoke.jsonl
+trace-smoke:
+	$(GO) run ./cmd/digs-bench -fig 4 -smoke -seed 42 -trace $(TRACE_SMOKE_JSONL) >/dev/null
+	$(GO) run ./cmd/digs-trace -per-flow $(TRACE_SMOKE_JSONL) | diff -u testdata/trace_smoke_golden.txt -
+	@echo trace-smoke: OK
+
+## trace-golden: regenerate the trace-smoke golden report after an
+## intentional schema or instrumentation change.
+trace-golden:
+	$(GO) run ./cmd/digs-bench -fig 4 -smoke -seed 42 -trace $(TRACE_SMOKE_JSONL) >/dev/null
+	$(GO) run ./cmd/digs-trace -per-flow $(TRACE_SMOKE_JSONL) > testdata/trace_smoke_golden.txt
 
 ## baseline: regenerate BENCH_baseline.json — sequential vs parallel
 ## wall-clock for reference campaigns, with a bit-identity check.

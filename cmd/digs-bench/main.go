@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"github.com/digs-net/digs/internal/campaign"
 	"github.com/digs-net/digs/internal/experiments"
 	"github.com/digs-net/digs/internal/metrics"
+	"github.com/digs-net/digs/internal/telemetry"
 )
 
 func main() {
@@ -34,11 +36,18 @@ func run() error {
 		"campaign worker pool size (0 = GOMAXPROCS); campaigns are bit-identical at any setting")
 	baseline := flag.String("perf-baseline", "",
 		"time a reduced campaign sequentially and in parallel, write the JSON report to this file, and exit")
+	trace := flag.String("trace", "",
+		"write the packet-lifecycle trace of the Figure 4/5 campaign (JSONL) to this file; requires -fig 4 or -fig 5")
+	smoke := flag.Bool("smoke", false,
+		"shrink the Figure 4/5 campaign to one run (2 jammers, 1 repetition) for CI smoke tests")
 	flag.Parse()
 
 	campaign.SetDefaultWorkers(*parallel)
 	if *baseline != "" {
 		return writePerfBaseline(*baseline, *seed)
+	}
+	if *trace != "" && *fig != "4" && *fig != "5" {
+		return fmt.Errorf("-trace is only wired into the Figure 4/5 campaign; add -fig 4")
 	}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -52,7 +61,7 @@ func run() error {
 	}
 	if want("4") || want("5") {
 		ran = true
-		if err := fig4and5(*full, *seed); err != nil {
+		if err := fig4and5(*full, *smoke, *seed, *trace); err != nil {
 			return err
 		}
 	}
@@ -130,16 +139,50 @@ func fig3() error {
 	return nil
 }
 
-func fig4and5(full bool, seed int64) error {
+func fig4and5(full, smoke bool, seed int64, trace string) error {
 	header("Figures 4 & 5: Orchestra repair under interference")
 	opts := experiments.DefaultRepairOptions()
 	opts.Seed = seed
 	if !full {
 		opts.Repetitions = 2
 	}
+	if smoke {
+		opts.JammerCounts = []int{2}
+		opts.Repetitions = 1
+	}
+
+	// With -trace, every campaign job writes its own job-stamped JSONL
+	// part; the parts merge in job order, so the combined trace is
+	// byte-identical at any -parallel setting.
+	var parts []bytes.Buffer
+	if trace != "" {
+		parts = make([]bytes.Buffer, len(opts.JammerCounts)*opts.Repetitions)
+		opts.Tracer = func(job int) telemetry.Tracer {
+			return telemetry.WithJob(telemetry.NewJSONL(&parts[job]), job)
+		}
+	}
+
 	rs, err := experiments.RunFig4And5(opts)
 	if err != nil {
 		return err
+	}
+	if trace != "" {
+		raw := make([][]byte, len(parts))
+		for i := range parts {
+			raw[i] = parts[i].Bytes()
+		}
+		f, err := os.Create(trace)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.MergeJSONL(f, raw...); err != nil {
+			f.Close()
+			return fmt.Errorf("trace %s: %w", trace, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d jobs merged)\n", trace, len(parts))
 	}
 	fmt.Println("Figure 4 - repair time CDF samples (seconds):")
 	for _, p := range metrics.CDF(experiments.RepairTimesSeconds(rs)) {

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +29,7 @@ import (
 	"github.com/digs-net/digs/internal/metrics"
 	"github.com/digs-net/digs/internal/orchestra"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
 	"github.com/digs-net/digs/internal/whart"
 )
@@ -49,6 +51,7 @@ type options struct {
 	failNode int
 	seed     int64
 	verbose  bool
+	trace    string
 }
 
 // summary is one scenario run's headline numbers.
@@ -76,6 +79,8 @@ func run() error {
 	flag.IntVar(&opts.failNode, "fail", 0, "node ID to fail mid-run (0 = none)")
 	flag.Int64Var(&opts.seed, "seed", 1, "simulation seed")
 	flag.BoolVar(&opts.verbose, "v", false, "print per-flow results")
+	flag.StringVar(&opts.trace, "trace", "",
+		"write a packet-lifecycle event trace (JSONL) to this file; analyse with digs-trace")
 	reps := flag.Int("reps", 1, "independent repetitions (seed, seed+1, ...) aggregated at the end")
 	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS)")
 	dumpNode := flag.Int("dump-schedule", 0,
@@ -85,8 +90,26 @@ func run() error {
 	campaign.SetDefaultWorkers(*parallel)
 
 	if *reps <= 1 {
-		_, err := runScenario(opts, opts.seed, os.Stdout, *dumpNode)
-		return err
+		var tr telemetry.Tracer
+		if opts.trace != "" {
+			f, err := os.Create(opts.trace)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			tr = telemetry.NewJSONL(f)
+		}
+		_, err := runScenario(opts, opts.seed, os.Stdout, *dumpNode, tr)
+		if err != nil {
+			return err
+		}
+		if tr != nil {
+			if err := tr.Flush(); err != nil {
+				return fmt.Errorf("trace %s: %w", opts.trace, err)
+			}
+			fmt.Printf("trace written to %s\n", opts.trace)
+		}
+		return nil
 	}
 	if *dumpNode > 0 {
 		return fmt.Errorf("-dump-schedule is a single-run mode; drop -reps")
@@ -94,22 +117,52 @@ func run() error {
 
 	// Each repetition is an independent run with its own derived seed.
 	// Runs buffer their output so the printed report reads identically
-	// regardless of how the pool interleaved them.
+	// regardless of how the pool interleaved them. With -trace, each rep
+	// writes its own job-stamped part; the parts merge in rep order, so
+	// the combined trace is byte-identical at any worker count.
 	type repOut struct {
-		sum summary
-		log bytes.Buffer
+		sum   summary
+		log   bytes.Buffer
+		trace bytes.Buffer
 	}
 	outs, err := campaign.Map(campaign.New(0), *reps, func(i int) (*repOut, error) {
 		o := &repOut{}
-		s, err := runScenario(opts, opts.seed+int64(i), &o.log, 0)
+		var tr telemetry.Tracer
+		if opts.trace != "" {
+			tr = telemetry.WithJob(telemetry.NewJSONL(&o.trace), i)
+		}
+		s, err := runScenario(opts, opts.seed+int64(i), &o.log, 0, tr)
 		if err != nil {
 			return nil, fmt.Errorf("rep %d (seed %d): %w", i, opts.seed+int64(i), err)
 		}
 		o.sum = *s
 		return o, nil
 	})
+	var pe *campaign.PanicError
+	if errors.As(err, &pe) {
+		return fmt.Errorf("rep %d (seed %d) panicked: %v\n%s",
+			pe.Job, opts.seed+int64(pe.Job), pe.Value, pe.Stack)
+	}
 	if err != nil {
 		return err
+	}
+	if opts.trace != "" {
+		parts := make([][]byte, len(outs))
+		for i, o := range outs {
+			parts[i] = o.trace.Bytes()
+		}
+		f, err := os.Create(opts.trace)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.MergeJSONL(f, parts...); err != nil {
+			f.Close()
+			return fmt.Errorf("trace %s: %w", opts.trace, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d reps merged)\n", opts.trace, len(outs))
 	}
 
 	var pdrs, medians, powers []float64
@@ -130,8 +183,9 @@ func run() error {
 
 // runScenario executes one full scenario and writes its progress report to
 // w. When dumpNode is non-zero it prints that node's combined schedule and
-// returns early with a nil summary.
-func runScenario(opts options, seed int64, w io.Writer, dumpNode int) (*summary, error) {
+// returns early with a nil summary. A non-nil tracer records the packet
+// lifecycle of the whole run (the caller owns flushing it).
+func runScenario(opts options, seed int64, w io.Writer, dumpNode int, tracer telemetry.Tracer) (*summary, error) {
 	topo, err := pickTopology(opts.topology)
 	if err != nil {
 		return nil, err
@@ -142,6 +196,7 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int) (*summary,
 		macNode   func(i int) *mac.Node
 		joined    func() int
 		onDeliver func(func(sim.ASN, *sim.Frame))
+		setTracer func(telemetry.Tracer)
 		schedule  func(id int, asn sim.ASN) mac.Assignment
 	)
 	switch opts.protocol {
@@ -153,6 +208,7 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int) (*summary,
 		macNode = func(i int) *mac.Node { return net.Nodes[i] }
 		joined = net.JoinedCount
 		onDeliver = net.OnDeliver
+		setTracer = net.SetTracer
 		schedule = func(id int, asn sim.ASN) mac.Assignment {
 			return net.Stacks[id].Assignment(asn)
 		}
@@ -164,6 +220,7 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int) (*summary,
 		macNode = func(i int) *mac.Node { return net.Nodes[i] }
 		joined = net.JoinedCount
 		onDeliver = net.OnDeliver
+		setTracer = net.SetTracer
 	case "whart":
 		// The centralized baseline needs its flows up front: the Network
 		// Manager computes the TDMA schedule for them.
@@ -203,8 +260,13 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int) (*summary,
 			return n
 		}
 		onDeliver = net.OnDeliver
+		setTracer = net.SetTracer
 	default:
 		return nil, fmt.Errorf("unknown protocol %q", opts.protocol)
+	}
+	if tracer != nil {
+		setTracer(tracer)
+		telemetry.AttachSim(nw, tracer)
 	}
 
 	fmt.Fprintf(w, "topology %s: %d nodes (%d APs), protocol %s\n",

@@ -1,0 +1,250 @@
+// Command digs-trace analyses a packet-lifecycle trace exported by
+// digs-sim or digs-bench (-trace flag): it replays the JSONL event stream
+// through the telemetry aggregator and prints per-hop latency breakdowns,
+// drop-reason tables with per-node loss attribution, schedule-cell heatmap
+// summaries and queue-depth histograms.
+//
+// Examples:
+//
+//	digs-sim -protocol digs -trace run.jsonl && digs-trace run.jsonl
+//	digs-bench -fig 4 -trace fig4.jsonl && digs-trace -per-flow fig4.jsonl
+//	digs-trace -frame 151 -top 5 run.jsonl
+//	cat run.jsonl | digs-trace -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/digs-net/digs/internal/phy"
+	"github.com/digs-net/digs/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "digs-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	frame := flag.Int64("frame", 151,
+		"slotframe length cells are folded over (DiGS application slotframe: 151; 0 disables the cell summary)")
+	top := flag.Int("top", 10, "rows to print in the hottest-cells and top-offenders tables")
+	perFlow := flag.Bool("per-flow", false, "print the per-flow delivery table")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: digs-trace [flags] <trace.jsonl | ->")
+	}
+	var r io.Reader
+	if path := flag.Arg(0); path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	agg := telemetry.NewAggregate(*frame)
+	if err := telemetry.Scan(r, func(ev telemetry.Event) error {
+		agg.Record(ev)
+		return nil
+	}); err != nil {
+		return err
+	}
+	report(os.Stdout, agg, *top, *perFlow)
+	return nil
+}
+
+// slotMs converts a slot count to milliseconds.
+func slotMs(slots int64) float64 {
+	return float64(slots) * float64(phy.SlotDuration.Milliseconds())
+}
+
+func report(w io.Writer, agg *telemetry.Aggregate, top int, perFlow bool) {
+	nodes := agg.NodesByID()
+	var collisions int64
+	for _, n := range nodes {
+		collisions += n.Collisions
+	}
+
+	fmt.Fprintf(w, "=== trace summary ===\n")
+	fmt.Fprintf(w, "events:        %d (%d jobs, %d nodes)\n", agg.Events(), agg.Jobs(), len(nodes))
+	fmt.Fprintf(w, "packets:       %d generated, %d delivered, PDR %.3f\n",
+		agg.Generated(), agg.Delivered(), agg.PDR())
+	fmt.Fprintf(w, "collisions:    %d observed\n", collisions)
+	fmt.Fprintf(w, "route changes: %d\n", agg.RouteChanges())
+
+	if perFlow {
+		fmt.Fprintf(w, "\n=== per-flow delivery ===\n")
+		for _, r := range flowRows(agg) {
+			fmt.Fprintf(w, "  job %2d flow %3d: %3d/%3d delivered  PDR %.3f\n",
+				r.job, r.flow, r.got, r.sent, r.pdr)
+		}
+	}
+
+	fmt.Fprintf(w, "\n=== per-hop latency (delivered packets) ===\n")
+	rows := agg.HopLatencies()
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "  (none delivered)\n")
+	}
+	for _, h := range rows {
+		fmt.Fprintf(w, "  %d hop(s): %4d packets  median %6.0f ms  p90 %6.0f ms  max %6.0f ms\n",
+			h.Hops, h.Count, slotMs(h.MedianASN), slotMs(h.P90ASN), slotMs(h.MaxASN))
+	}
+
+	fmt.Fprintf(w, "\n=== drops by reason ===\n")
+	totals := agg.DropTotals()
+	anyDrop := false
+	for _, reason := range telemetry.DropReasons() {
+		if totals[reason] == 0 {
+			continue
+		}
+		anyDrop = true
+		fmt.Fprintf(w, "  %-14s %6d\n", reason.String()+":", totals[reason])
+	}
+	if !anyDrop {
+		fmt.Fprintf(w, "  (no drops)\n")
+	} else if offenders := topOffenders(nodes, top); len(offenders) > 0 {
+		fmt.Fprintf(w, "  top offender nodes:\n")
+		for _, n := range offenders {
+			var parts []string
+			for _, reason := range telemetry.DropReasons() {
+				if n.Drops[reason] > 0 {
+					parts = append(parts, fmt.Sprintf("%s %d", reason, n.Drops[reason]))
+				}
+			}
+			fmt.Fprintf(w, "    node %3d: %5d drops (%s)\n",
+				n.Node, n.DropTotal(), strings.Join(parts, ", "))
+		}
+	}
+
+	if agg.FrameLen > 0 {
+		fmt.Fprintf(w, "\n=== hottest schedule cells (slotframe %d) ===\n", agg.FrameLen)
+		cells := agg.HottestCells(top)
+		if len(cells) == 0 {
+			fmt.Fprintf(w, "  (no transmissions)\n")
+		}
+		for _, c := range cells {
+			ackPct := 0.0
+			if c.Tx > 0 {
+				ackPct = 100 * float64(c.Acked) / float64(c.Tx)
+			}
+			fmt.Fprintf(w, "  cell (%3d, ch-off %2d): %6d tx  %5.1f%% acked  owner node %3d (%d tx-er(s))\n",
+				c.Cell.Offset, c.Cell.ChOff, c.Tx, ackPct, c.Owner, c.Owners)
+		}
+	}
+
+	fmt.Fprintf(w, "\n=== queue depth at enqueue ===\n")
+	hist := agg.QueueHist()
+	var histTotal, histMax int64
+	last := 0
+	for i, n := range hist {
+		histTotal += n
+		if n > histMax {
+			histMax = n
+		}
+		if n > 0 {
+			last = i
+		}
+	}
+	if histTotal == 0 {
+		fmt.Fprintf(w, "  (no enqueues)\n")
+		return
+	}
+	for i := 0; i <= last; i++ {
+		bar := strings.Repeat("#", scaleBar(hist[i], histMax, 40))
+		label := fmt.Sprintf("%d", i)
+		if i == telemetry.QueueHistBuckets-1 {
+			label = fmt.Sprintf(">=%d", i)
+		}
+		fmt.Fprintf(w, "  depth %4s: %7d %s\n", label, hist[i], bar)
+	}
+}
+
+// scaleBar sizes a histogram bar to at most width characters, keeping
+// non-zero counts visible.
+func scaleBar(n, max int64, width int) int {
+	if n <= 0 || max <= 0 {
+		return 0
+	}
+	w := int(n * int64(width) / max)
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// flowRow is one line of the per-flow delivery table.
+type flowRow struct {
+	job       int32
+	flow      uint16
+	sent, got int
+	pdr       float64
+}
+
+// flowRows folds spans into per-(job, flow) delivery counts, sorted for
+// deterministic output.
+func flowRows(agg *telemetry.Aggregate) []flowRow {
+	type key struct {
+		job  int32
+		flow uint16
+	}
+	acc := make(map[key]*flowRow)
+	for k, s := range agg.Spans() {
+		kk := key{k.Job, k.Flow}
+		r := acc[kk]
+		if r == nil {
+			r = &flowRow{job: k.Job, flow: k.Flow}
+			acc[kk] = r
+		}
+		r.sent++
+		if s.HasDelivered {
+			r.got++
+		}
+	}
+	out := make([]flowRow, 0, len(acc))
+	for _, r := range acc {
+		if r.sent > 0 {
+			r.pdr = float64(r.got) / float64(r.sent)
+		}
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].job != out[j].job {
+			return out[i].job < out[j].job
+		}
+		return out[i].flow < out[j].flow
+	})
+	return out
+}
+
+// topOffenders returns the nodes with the most drops, sorted by drop count
+// descending with node-ID tie-breaks.
+func topOffenders(nodes []*telemetry.NodeStats, top int) []*telemetry.NodeStats {
+	var out []*telemetry.NodeStats
+	for _, n := range nodes {
+		if n.DropTotal() > 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].DropTotal(), out[j].DropTotal()
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Node < out[j].Node
+	})
+	if top > 0 && len(out) > top {
+		out = out[:top]
+	}
+	return out
+}

@@ -12,10 +12,42 @@
 package campaign
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError reports a job function that panicked. The campaign recovers
+// it instead of letting one bad job kill the whole process, so callers can
+// say which job (index, and whatever the caller knows about that index —
+// protocol, repetition, jammer count) blew up rather than surfacing a bare
+// stack trace with no campaign context.
+type PanicError struct {
+	// Job is the index of the job that panicked.
+	Job int
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("campaign job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+// runJob invokes one job, converting a panic into a *PanicError.
+func runJob[T any](job func(i int) (T, error), i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 64<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Job: i, Value: r, Stack: buf}
+		}
+	}()
+	return job(i)
+}
 
 // defaultWorkers overrides the fallback worker bound when positive; see
 // SetDefaultWorkers.
@@ -71,7 +103,9 @@ func (r *Runner) Workers() int {
 //
 // All jobs are attempted even when one fails; on failure Map returns the
 // error of the lowest-indexed failing job, matching what a sequential
-// loop with an early return would have surfaced first.
+// loop with an early return would have surfaced first. A panicking job is
+// recovered and surfaced as a *PanicError carrying the job index and the
+// stack, so one bad run cannot kill a whole campaign without attribution.
 func Map[T any](r *Runner, n int, job func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -85,7 +119,7 @@ func Map[T any](r *Runner, n int, job func(i int) (T, error)) ([]T, error) {
 		// Inline sequential path: no goroutines, stop at the first error
 		// exactly like the pre-campaign loops did.
 		for i := 0; i < n; i++ {
-			v, err := job(i)
+			v, err := runJob(job, i)
 			if err != nil {
 				return nil, err
 			}
@@ -106,7 +140,7 @@ func Map[T any](r *Runner, n int, job func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
-				results[i], errs[i] = job(i)
+				results[i], errs[i] = runJob(job, i)
 			}
 		}()
 	}

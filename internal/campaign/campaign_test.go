@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -153,5 +154,63 @@ func TestSeedDerivation(t *testing.T) {
 			}
 			seen[s] = true
 		}
+	}
+}
+
+// TestMapRecoversPanics checks a panicking job surfaces as a *PanicError
+// carrying the job index and stack, on both the sequential and the
+// parallel path, and that on the parallel path the other jobs still run.
+func TestMapRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran [8]bool
+		_, err := Map(New(workers), 8, func(i int) (int, error) {
+			ran[i] = true
+			if i == 3 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Job != 3 {
+			t.Fatalf("workers=%d: panic attributed to job %d, want 3", workers, pe.Job)
+		}
+		if pe.Value != "kaboom" {
+			t.Fatalf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "campaign_test.go") {
+			t.Fatalf("workers=%d: stack does not point at the panicking job:\n%s", workers, pe.Stack)
+		}
+		if !strings.Contains(pe.Error(), "job 3 panicked: kaboom") {
+			t.Fatalf("workers=%d: Error() = %q", workers, pe.Error())
+		}
+		if workers > 1 {
+			// The pool must survive the panic and finish the other jobs.
+			for i, r := range ran {
+				if !r {
+					t.Fatalf("workers=%d: job %d never ran after the panic", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestMapReturnsLowestFailingJob pins the error-selection contract when
+// panics and plain errors mix: the lowest-indexed failure wins.
+func TestMapReturnsLowestFailingJob(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(New(4), 6, func(i int) (int, error) {
+		switch i {
+		case 2:
+			return 0, boom
+		case 4:
+			panic("later")
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the job-2 error (lowest index)", err)
 	}
 }

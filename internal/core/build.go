@@ -6,6 +6,7 @@ import (
 
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
 )
 
@@ -50,6 +51,33 @@ func (n *Network) OnDeliver(fn func(asn sim.ASN, f *sim.Frame)) {
 	for _, node := range n.Nodes[1:] {
 		if node.IsAP() {
 			node.Sink = fn
+		}
+	}
+}
+
+// SetTracer installs (or, with nil, removes) a packet-lifecycle tracer on
+// every node, and wires the routers' reselection callbacks so parent
+// switches appear in the event stream as route-change events.
+func (n *Network) SetTracer(t telemetry.Tracer) {
+	for i, node := range n.Nodes {
+		if node == nil {
+			continue
+		}
+		node.SetTracer(t)
+		r := n.Stacks[i].Router()
+		if t == nil {
+			r.OnRouteChange = nil
+			continue
+		}
+		id := topology.NodeID(i)
+		r.OnRouteChange = func(asn sim.ASN, best, second topology.NodeID) {
+			t.Record(telemetry.Event{
+				ASN:   int64(asn),
+				Type:  telemetry.EvRouteChange,
+				Node:  id,
+				Peer:  best,
+				Peer2: second,
+			})
 		}
 	}
 }

@@ -68,6 +68,11 @@ type Router struct {
 	parentChanges int64
 
 	childVersion int64
+
+	// OnRouteChange, when set, is invoked on every best/second parent
+	// reselection (including losing all parents, reported as zeros). The
+	// telemetry subsystem uses it to attribute loss windows to route churn.
+	OnRouteChange func(asn sim.ASN, best, second topology.NodeID)
 }
 
 // NewRouter creates the routing state for one node. Access points are
@@ -331,6 +336,9 @@ func (r *Router) reselect(asn sim.ASN) bool {
 	changed := best != oldBest || second != oldSecond
 	if changed {
 		r.parentChanges++
+		if r.OnRouteChange != nil {
+			r.OnRouteChange(asn, best, second)
+		}
 	}
 	return changed
 }

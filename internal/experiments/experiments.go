@@ -18,6 +18,7 @@ import (
 	"github.com/digs-net/digs/internal/metrics"
 	"github.com/digs-net/digs/internal/orchestra"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
 )
 
@@ -48,6 +49,7 @@ func (p Protocol) String() string {
 type stackNet interface {
 	JoinedCount() int
 	OnDeliver(fn func(sim.ASN, *sim.Frame))
+	SetTracer(t telemetry.Tracer)
 	MACNode(i int) *mac.Node
 	JoinTime(i int) (sim.ASN, bool)
 	ParentChangesTotal() int64

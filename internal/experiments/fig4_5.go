@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"github.com/digs-net/digs/internal/campaign"
@@ -8,6 +10,7 @@ import (
 	"github.com/digs-net/digs/internal/interference"
 	"github.com/digs-net/digs/internal/metrics"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
 )
 
@@ -25,6 +28,12 @@ type RepairOptions struct {
 	// Parallel bounds the campaign worker pool; 0 uses the process-wide
 	// default (GOMAXPROCS or the -parallel flag).
 	Parallel int
+	// Tracer, when set, returns the packet-lifecycle sink for the given
+	// job index (jammer counts x repetitions, in declaration order). Each
+	// parallel job must get its own sink; wrap per-job sinks in
+	// telemetry.WithJob and merge with telemetry.MergeJSONL to get a
+	// deterministic combined trace.
+	Tracer func(job int) telemetry.Tracer
 }
 
 // DefaultRepairOptions mirrors the paper's setup.
@@ -56,6 +65,7 @@ func RunFig4And5(opts RepairOptions) ([]RepairResult, error) {
 	// formula matches the historical sequential loop exactly.
 	type job struct {
 		jammers int
+		rep     int
 		seed    int64
 	}
 	var jobs []job
@@ -63,13 +73,25 @@ func RunFig4And5(opts RepairOptions) ([]RepairResult, error) {
 		for rep := 0; rep < opts.Repetitions; rep++ {
 			jobs = append(jobs, job{
 				jammers: jc,
+				rep:     rep,
 				seed:    opts.Seed*1000 + int64(jc)*100 + int64(rep),
 			})
 		}
 	}
-	return campaign.Map(campaign.New(opts.Parallel), len(jobs), func(i int) (RepairResult, error) {
-		return runRepair(jobs[i].jammers, opts.Protocol, jobs[i].seed)
+	results, err := campaign.Map(campaign.New(opts.Parallel), len(jobs), func(i int) (RepairResult, error) {
+		var tr telemetry.Tracer
+		if opts.Tracer != nil {
+			tr = opts.Tracer(i)
+		}
+		return runRepair(jobs[i].jammers, opts.Protocol, jobs[i].seed, tr)
 	})
+	var pe *campaign.PanicError
+	if errors.As(err, &pe) {
+		j := jobs[pe.Job]
+		return nil, fmt.Errorf("fig 4/5 campaign: %s run with %d jammer(s), repetition %d (job %d, seed %d) panicked: %v\n%s",
+			opts.Protocol, j.jammers, j.rep, pe.Job, j.seed, pe.Value, pe.Stack)
+	}
+	return results, err
 }
 
 // repairStabilityWindow is how long routing must stay quiet for the repair
@@ -79,11 +101,15 @@ const repairStabilityWindow = 15 * time.Second
 // repairBudget bounds the repair measurement.
 const repairBudget = 150 * time.Second
 
-func runRepair(jammerCount int, proto Protocol, seed int64) (RepairResult, error) {
+func runRepair(jammerCount int, proto Protocol, seed int64, tr telemetry.Tracer) (RepairResult, error) {
 	topo := testbedATopo()
 	nw, net, err := buildNetwork(proto, topo, seed)
 	if err != nil {
 		return RepairResult{}, err
+	}
+	if tr != nil {
+		net.SetTracer(tr)
+		telemetry.AttachSim(nw, tr)
 	}
 	if err := converge(nw, net, 240*time.Second); err != nil {
 		return RepairResult{}, err
@@ -136,6 +162,14 @@ func runRepair(jammerCount int, proto Protocol, seed int64) (RepairResult, error
 		}
 	}
 	net.OnDeliver(nil)
+
+	if tr != nil {
+		net.SetTracer(nil)
+		telemetry.AttachSim(nw, nil)
+		if err := tr.Flush(); err != nil {
+			return RepairResult{}, fmt.Errorf("fig 4/5 trace flush: %w", err)
+		}
+	}
 
 	pdrs := make([]float64, 0, len(fset))
 	for _, f := range fset {

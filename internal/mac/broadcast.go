@@ -70,9 +70,9 @@ func (n *Node) planBroadcast(asn sim.ASN) (sim.RadioOp, bool) {
 		if n.bcastOut.remaining == 0 {
 			n.bcastOut = nil
 		}
-		return sim.RadioOp{Kind: sim.OpTx, Channel: ch, Frame: out}, true
+		return sim.RadioOp{Kind: sim.OpTx, Channel: ch, Frame: out, ChannelOffset: broadcastChannelOffset}, true
 	}
-	return sim.RadioOp{Kind: sim.OpRx, Channel: ch}, true
+	return sim.RadioOp{Kind: sim.OpRx, Channel: ch, ChannelOffset: broadcastChannelOffset}, true
 }
 
 // rngCoin flips the persistence coin without a per-node RNG: derived from

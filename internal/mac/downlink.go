@@ -5,6 +5,7 @@ import (
 
 	"github.com/digs-net/digs/internal/phy"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
 )
 
@@ -43,6 +44,13 @@ func (n *Node) SendCommand(route []topology.NodeID, payload []byte) error {
 	}
 	if len(n.downQueue) >= n.cfg.QueueCap {
 		n.stats.DroppedQueue++
+		if n.tracer != nil {
+			n.tracer.Record(telemetry.Event{
+				Type: telemetry.EvDropped, Node: n.id, Origin: n.id,
+				Seq: n.downSeq + 1, Kind: uint8(sim.KindCommand),
+				Reason: telemetry.ReasonQueueFull, Queue: int16(len(n.downQueue)),
+			})
+		}
 		return fmt.Errorf("node %d: downlink queue full", n.id)
 	}
 	n.downSeq++
@@ -70,17 +78,19 @@ func (n *Node) planDownlink(asn sim.ASN) sim.RadioOp {
 			head.frame.Src = n.id
 			head.frame.Dst = next
 			return sim.RadioOp{
-				Kind:    sim.OpTx,
-				Channel: phy.HopChannel(asn, downChannelOffset(next)),
-				Frame:   head.frame,
-				NeedAck: true,
+				Kind:          sim.OpTx,
+				Channel:       phy.HopChannel(asn, downChannelOffset(next)),
+				Frame:         head.frame,
+				NeedAck:       true,
+				ChannelOffset: downChannelOffset(next),
 			}
 		}
 	}
 	if offset == downSlot(n.id, frameLen) {
 		return sim.RadioOp{
-			Kind:    sim.OpRx,
-			Channel: phy.HopChannel(asn, downChannelOffset(n.id)),
+			Kind:          sim.OpRx,
+			Channel:       phy.HopChannel(asn, downChannelOffset(n.id)),
+			ChannelOffset: downChannelOffset(n.id),
 		}
 	}
 	return sim.Sleep()
@@ -107,6 +117,13 @@ func (n *Node) receiveCommand(asn sim.ASN, f *sim.Frame) {
 	}
 	if len(n.downQueue) >= n.cfg.QueueCap {
 		n.stats.DroppedQueue++
+		if n.tracer != nil {
+			n.tracer.Record(telemetry.Event{
+				ASN: asn, Type: telemetry.EvDropped, Node: n.id, Peer: f.Src,
+				Origin: f.Origin, Seq: f.Seq, Kind: uint8(f.Kind),
+				Reason: telemetry.ReasonQueueFull, Queue: int16(len(n.downQueue)),
+			})
+		}
 		return
 	}
 	fwd := &sim.Frame{
@@ -121,7 +138,7 @@ func (n *Node) receiveCommand(asn sim.ASN, f *sim.Frame) {
 }
 
 // downlinkTxDone folds a command transmission outcome.
-func (n *Node) downlinkTxDone(acked bool) {
+func (n *Node) downlinkTxDone(asn sim.ASN, acked bool) {
 	if len(n.downQueue) == 0 {
 		return
 	}
@@ -132,6 +149,15 @@ func (n *Node) downlinkTxDone(acked bool) {
 	n.downQueue[0].txCount++
 	if n.downQueue[0].txCount >= n.cfg.MaxTxPerPacket {
 		n.stats.DroppedRetries++
+		if n.tracer != nil {
+			f := n.downQueue[0].frame
+			n.tracer.Record(telemetry.Event{
+				ASN: asn, Type: telemetry.EvDropped, Node: n.id, Peer: f.Dst,
+				Origin: f.Origin, Seq: f.Seq, Kind: uint8(f.Kind),
+				Attempt: uint16(n.downQueue[0].txCount),
+				Reason:  telemetry.ReasonMaxRetries, Queue: int16(len(n.downQueue) - 1),
+			})
+		}
 		n.downQueue = n.downQueue[1:]
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/digs-net/digs/internal/phy"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
 )
 
@@ -121,6 +122,11 @@ type Node struct {
 	bcastOut  *bulletin
 	bcastSeq  uint16
 	coinState uint64
+
+	// tracer, when non-nil, receives a packet-lifecycle event per
+	// generation, enqueue, transmission attempt, reception and drop. The
+	// disabled path is a single nil check per hook point.
+	tracer telemetry.Tracer
 }
 
 var _ sim.Device = (*Node)(nil)
@@ -156,6 +162,9 @@ func (n *Node) Synced() (bool, sim.ASN) { return n.synced, n.syncedAt }
 // Stats returns a copy of the node's counters.
 func (n *Node) Stats() Stats { return n.stats }
 
+// SetTracer installs (or with nil removes) the packet-lifecycle tracer.
+func (n *Node) SetTracer(t telemetry.Tracer) { n.tracer = t }
+
 // QueueLen returns the current data queue depth.
 func (n *Node) QueueLen() int { return len(n.queue) }
 
@@ -163,12 +172,33 @@ func (n *Node) QueueLen() int { return len(n.queue) }
 // fills Origin, FlowID, Seq and BornASN.
 func (n *Node) InjectData(f *sim.Frame) error {
 	n.stats.Generated++
+	f.Kind = sim.KindData
+	if n.tracer != nil {
+		n.tracer.Record(telemetry.Event{
+			ASN: f.BornASN, Type: telemetry.EvGenerated, Node: n.id,
+			Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq,
+			Kind: uint8(f.Kind), Queue: int16(len(n.queue)), Born: f.BornASN,
+		})
+	}
 	if len(n.queue) >= n.cfg.QueueCap {
 		n.stats.DroppedQueue++
+		if n.tracer != nil {
+			n.tracer.Record(telemetry.Event{
+				ASN: f.BornASN, Type: telemetry.EvDropped, Node: n.id,
+				Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+				Reason: telemetry.ReasonQueueFull, Queue: int16(len(n.queue)), Born: f.BornASN,
+			})
+		}
 		return fmt.Errorf("node %d: data queue full", n.id)
 	}
-	f.Kind = sim.KindData
 	n.queue = append(n.queue, queuedPacket{frame: f})
+	if n.tracer != nil {
+		n.tracer.Record(telemetry.Event{
+			ASN: f.BornASN, Type: telemetry.EvEnqueued, Node: n.id,
+			Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+			Queue: int16(len(n.queue)), Born: f.BornASN,
+		})
+	}
 	return nil
 }
 
@@ -216,20 +246,24 @@ func (n *Node) planProtocol(asn sim.ASN, a Assignment) sim.RadioOp {
 				Dst:     topology.Broadcast,
 				Payload: n.proto.EBPayload(),
 			},
+			ChannelOffset: a.ChannelOffset,
 		}
 	case RoleRxEB, RoleRxData:
-		return sim.RadioOp{Kind: sim.OpRx, Channel: phy.HopChannel(asn, a.ChannelOffset)}
+		return sim.RadioOp{Kind: sim.OpRx, Channel: phy.HopChannel(asn, a.ChannelOffset),
+			ChannelOffset: a.ChannelOffset}
 	case RoleShared:
 		f, needAck := n.proto.SharedFrame(asn)
 		if f == nil {
-			return sim.RadioOp{Kind: sim.OpRx, Channel: phy.HopChannel(asn, a.ChannelOffset)}
+			return sim.RadioOp{Kind: sim.OpRx, Channel: phy.HopChannel(asn, a.ChannelOffset),
+				ChannelOffset: a.ChannelOffset}
 		}
 		f.Src = n.id
 		return sim.RadioOp{
-			Kind:    sim.OpTx,
-			Channel: phy.HopChannel(asn, a.ChannelOffset),
-			Frame:   f,
-			NeedAck: needAck && f.Dst != topology.Broadcast,
+			Kind:          sim.OpTx,
+			Channel:       phy.HopChannel(asn, a.ChannelOffset),
+			Frame:         f,
+			NeedAck:       needAck && f.Dst != topology.Broadcast,
+			ChannelOffset: a.ChannelOffset,
 		}
 	case RoleTxData:
 		if len(n.queue) == 0 {
@@ -245,6 +279,15 @@ func (n *Node) planProtocol(asn sim.ASN, a Assignment) sim.RadioOp {
 			head.blocked++
 			if head.blocked >= maxBlockedOpportunities {
 				n.stats.DroppedRetries++
+				if n.tracer != nil {
+					f := head.frame
+					n.tracer.Record(telemetry.Event{
+						ASN: asn, Type: telemetry.EvDropped, Node: n.id,
+						Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+						Reason: telemetry.ReasonSplitHorizon,
+						Queue:  int16(len(n.queue) - 1), Born: f.BornASN,
+					})
+				}
 				n.queue = n.queue[1:]
 			}
 			return sim.Sleep()
@@ -252,10 +295,11 @@ func (n *Node) planProtocol(asn sim.ASN, a Assignment) sim.RadioOp {
 		head.frame.Src = n.id
 		head.frame.Dst = hop
 		return sim.RadioOp{
-			Kind:    sim.OpTx,
-			Channel: phy.HopChannel(asn, a.ChannelOffset),
-			Frame:   head.frame,
-			NeedAck: true,
+			Kind:          sim.OpTx,
+			Channel:       phy.HopChannel(asn, a.ChannelOffset),
+			Frame:         head.frame,
+			NeedAck:       true,
+			ChannelOffset: a.ChannelOffset,
 		}
 	default:
 		return sim.Sleep()
@@ -302,15 +346,41 @@ func (n *Node) receive(asn sim.ASN, f *sim.Frame, rssi float64) {
 		return
 	}
 
+	// hop counts the links this frame has crossed: the hops recorded in
+	// its route plus the link it just arrived over.
+	hop := uint8(len(f.Route) + 1)
+	if n.tracer != nil {
+		n.tracer.Record(telemetry.Event{
+			ASN: asn, Type: telemetry.EvReceived, Node: n.id, Peer: f.Src,
+			Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+			Hop: hop, RSS: rssi, Queue: int16(len(n.queue)), Born: f.BornASN,
+		})
+	}
+
 	key := seenKey{origin: f.Origin, flow: f.FlowID, seq: f.Seq}
 	if _, dup := n.seen[key]; dup {
 		n.stats.Duplicates++
+		if n.tracer != nil {
+			n.tracer.Record(telemetry.Event{
+				ASN: asn, Type: telemetry.EvDropped, Node: n.id, Peer: f.Src,
+				Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+				Hop: hop, Reason: telemetry.ReasonDuplicate,
+				Queue: int16(len(n.queue)), Born: f.BornASN,
+			})
+		}
 		return
 	}
 	n.seen[key] = struct{}{}
 
 	if n.isAP {
 		n.stats.SinkDelivered++
+		if n.tracer != nil {
+			n.tracer.Record(telemetry.Event{
+				ASN: asn, Type: telemetry.EvDelivered, Node: n.id, Peer: f.Src,
+				Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+				Hop: hop, Born: f.BornASN,
+			})
+		}
 		if n.Sink != nil {
 			n.Sink(asn, f)
 		}
@@ -320,6 +390,14 @@ func (n *Node) receive(asn sim.ASN, f *sim.Frame, rssi float64) {
 	// this node's queue.
 	if len(n.queue) >= n.cfg.QueueCap {
 		n.stats.DroppedQueue++
+		if n.tracer != nil {
+			n.tracer.Record(telemetry.Event{
+				ASN: asn, Type: telemetry.EvDropped, Node: n.id, Peer: f.Src,
+				Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+				Hop: hop, Reason: telemetry.ReasonQueueFull,
+				Queue: int16(len(n.queue)), Born: f.BornASN,
+			})
+		}
 		return
 	}
 	fwd := &sim.Frame{
@@ -335,14 +413,22 @@ func (n *Node) receive(asn sim.ASN, f *sim.Frame, rssi float64) {
 	}
 	n.queue = append(n.queue, queuedPacket{frame: fwd, from: f.Src})
 	n.stats.Forwarded++
+	if n.tracer != nil {
+		n.tracer.Record(telemetry.Event{
+			ASN: asn, Type: telemetry.EvEnqueued, Node: n.id, Peer: f.Src,
+			Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+			Hop: hop, Queue: int16(len(n.queue)), Born: f.BornASN,
+		})
+	}
 }
 
 func (n *Node) txDone(asn sim.ASN, op sim.RadioOp, acked bool) {
 	f := op.Frame
 	if f.Kind == sim.KindCommand {
 		n.stats.TxData++
+		n.traceTx(asn, op, acked, 0, int16(len(n.downQueue)))
 		if !f.Broadcast() {
-			n.downlinkTxDone(acked)
+			n.downlinkTxDone(asn, acked)
 		}
 		return
 	}
@@ -351,6 +437,7 @@ func (n *Node) txDone(asn sim.ASN, op sim.RadioOp, acked bool) {
 		if len(n.queue) == 0 || n.queue[0].frame != f {
 			return // queue changed underneath (should not happen)
 		}
+		n.traceTx(asn, op, acked, uint16(n.queue[0].txCount+1), int16(len(n.queue)))
 		n.proto.OnTxResult(asn, f, f.Dst, acked)
 		if acked {
 			n.queue = n.queue[1:]
@@ -359,12 +446,38 @@ func (n *Node) txDone(asn sim.ASN, op sim.RadioOp, acked bool) {
 		n.queue[0].txCount++
 		if n.queue[0].txCount >= n.cfg.MaxTxPerPacket {
 			n.stats.DroppedRetries++
+			if n.tracer != nil {
+				n.tracer.Record(telemetry.Event{
+					ASN: asn, Type: telemetry.EvDropped, Node: n.id, Peer: f.Dst,
+					Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+					Attempt: uint16(n.queue[0].txCount),
+					Reason:  telemetry.ReasonMaxRetries,
+					Queue:   int16(len(n.queue) - 1), Born: f.BornASN,
+				})
+			}
 			n.queue = n.queue[1:]
 		}
 		return
 	}
 	n.stats.TxControl++
+	n.traceTx(asn, op, acked, 0, int16(len(n.queue)))
 	if op.NeedAck {
 		n.proto.OnTxResult(asn, f, f.Dst, acked)
 	}
+}
+
+// traceTx emits the transmission-attempt event for any frame kind. The
+// disabled path is the nil check; attempt is 0 for frames the MAC does
+// not retransmit from the data queue.
+func (n *Node) traceTx(asn sim.ASN, op sim.RadioOp, acked bool, attempt uint16, queue int16) {
+	if n.tracer == nil {
+		return
+	}
+	f := op.Frame
+	n.tracer.Record(telemetry.Event{
+		ASN: asn, Type: telemetry.EvTxAttempt, Node: n.id, Peer: f.Dst,
+		Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+		Attempt: attempt, Channel: uint8(op.Channel), ChOff: op.ChannelOffset,
+		Acked: acked, Queue: queue, Born: f.BornASN,
+	})
 }

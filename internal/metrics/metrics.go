@@ -23,6 +23,13 @@ type packetKey struct {
 type Collector struct {
 	sent      map[packetKey]sim.ASN
 	delivered map[packetKey]sim.ASN
+
+	// outOfWindow counts deliveries of packets generated outside the
+	// measurement window, dupDeliveries counts repeat arrivals of
+	// already-delivered packets (redundant routes). Neither affects PDR;
+	// they are exported so trace totals reconcile with collector totals.
+	outOfWindow   int64
+	dupDeliveries int64
 }
 
 // NewCollector returns an empty collector.
@@ -43,13 +50,25 @@ func (c *Collector) Sent(flow, seq uint16, asn sim.ASN) {
 func (c *Collector) Delivered(flow, seq uint16, asn sim.ASN) {
 	k := packetKey{flow, seq}
 	if _, known := c.sent[k]; !known {
+		c.outOfWindow++
 		return // out-of-window packet
 	}
-	if prev, ok := c.delivered[k]; ok && prev <= asn {
-		return
+	if prev, ok := c.delivered[k]; ok {
+		c.dupDeliveries++
+		if prev <= asn {
+			return
+		}
 	}
 	c.delivered[k] = asn
 }
+
+// OutOfWindowCount returns how many deliveries concerned packets generated
+// outside the measurement window (before Sent was recorded).
+func (c *Collector) OutOfWindowCount() int64 { return c.outOfWindow }
+
+// DuplicateCount returns how many deliveries repeated an already-delivered
+// packet (duplicates over redundant routes; counted once per extra arrival).
+func (c *Collector) DuplicateCount() int64 { return c.dupDeliveries }
 
 // SentCount returns the number of packets generated in the window.
 func (c *Collector) SentCount() int { return len(c.sent) }

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"github.com/digs-net/digs/internal/sim"
 )
 
 func TestCollectorPDRAndLatency(t *testing.T) {
@@ -195,5 +197,37 @@ func TestSparkCDF(t *testing.T) {
 	got := SparkCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, "%.0f")
 	if len(got) == 0 || got[:4] != "p10=" {
 		t.Fatalf("spark = %q", got)
+	}
+}
+
+// TestCollectorCountsReconciliation covers the counters that reconcile the
+// collector with a packet-lifecycle trace: out-of-window deliveries and
+// duplicate deliveries are counted, never folded into PDR, and duplicate
+// arrivals keep earliest-arrival latency semantics.
+func TestCollectorCountsReconciliation(t *testing.T) {
+	c := NewCollector()
+	c.Sent(1, 1, 100)
+	c.Sent(1, 2, 200)
+
+	c.Delivered(1, 1, 400) // first arrival
+	c.Delivered(1, 1, 450) // duplicate over a redundant route
+	c.Delivered(1, 1, 350) // duplicate that arrived earlier: replaces latency
+	c.Delivered(9, 9, 500) // generated outside the window
+
+	if got := c.DeliveredCount(); got != 1 {
+		t.Fatalf("delivered count = %d, want 1", got)
+	}
+	if got := c.DuplicateCount(); got != 2 {
+		t.Fatalf("duplicate count = %d, want 2", got)
+	}
+	if got := c.OutOfWindowCount(); got != 1 {
+		t.Fatalf("out-of-window count = %d, want 1", got)
+	}
+	if pdr := c.PDR(); pdr != 0.5 {
+		t.Fatalf("PDR = %v, want 0.5 (duplicates and strays must not count)", pdr)
+	}
+	lats := c.Latencies()
+	if len(lats) != 1 || lats[0] != sim.TimeAt(250) {
+		t.Fatalf("latencies = %v, want one packet at 250 slots (earliest arrival)", lats)
 	}
 }

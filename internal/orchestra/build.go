@@ -6,6 +6,7 @@ import (
 
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
 )
 
@@ -46,6 +47,32 @@ func (n *Network) OnDeliver(fn func(asn sim.ASN, f *sim.Frame)) {
 	for _, node := range n.Nodes[1:] {
 		if node.IsAP() {
 			node.Sink = fn
+		}
+	}
+}
+
+// SetTracer installs (or, with nil, removes) a packet-lifecycle tracer on
+// every node, and wires the RPL parent-switch callback so route churn
+// appears in the event stream as route-change events.
+func (n *Network) SetTracer(t telemetry.Tracer) {
+	for i, node := range n.Nodes {
+		if node == nil {
+			continue
+		}
+		node.SetTracer(t)
+		r := n.Stacks[i].Router()
+		if t == nil {
+			r.OnParentChange = nil
+			continue
+		}
+		id := topology.NodeID(i)
+		r.OnParentChange = func(asn sim.ASN, parent topology.NodeID) {
+			t.Record(telemetry.Event{
+				ASN:  int64(asn),
+				Type: telemetry.EvRouteChange,
+				Node: id,
+				Peer: parent,
+			})
 		}
 	}
 }

@@ -82,6 +82,11 @@ type Router struct {
 	firstParentAt sim.ASN
 	hasParentedAt bool
 	parentChanges int64
+
+	// OnParentChange, when set, is invoked whenever the preferred parent
+	// switches. The telemetry subsystem uses it to correlate loss windows
+	// with route churn.
+	OnParentChange func(asn sim.ASN, parent topology.NodeID)
 }
 
 // NewRouter creates RPL state for a node. Roots (access points) have rank
@@ -265,6 +270,9 @@ func (r *Router) reselect(asn sim.ASN) bool {
 	}
 	if best != oldParent {
 		r.parentChanges++
+		if r.OnParentChange != nil {
+			r.OnParentChange(asn, best)
+		}
 		return true
 	}
 	return false

@@ -392,7 +392,7 @@ func (nw *Network) resolveListener(listener topology.NodeID, op RadioOp, asn ASN
 	rep.Received = frame
 	rep.RSSI = cands[best].rss
 	nw.trace(TraceEvent{ASN: asn, Kind: TraceDeliver, Src: cands[best].src,
-		Dst: listener, Frame: frame, Channel: cands[best].ch})
+		Dst: listener, Frame: frame, Channel: cands[best].ch, RSS: cands[best].rss})
 
 	// ACK for unicast frames addressed to this listener.
 	if frame.Dst == listener && nw.ops[cands[best].src].NeedAck {

@@ -101,6 +101,11 @@ type RadioOp struct {
 	Channel phy.Channel
 	Frame   *Frame // OpTx only
 	NeedAck bool   // OpTx unicast frames that expect an ACK
+	// ChannelOffset is the schedule lane the slot was planned from (the
+	// hopping offset that produced Channel). The engine ignores it; the
+	// telemetry subsystem reads it back to name the schedule cell a
+	// transmission attempt used.
+	ChannelOffset uint8
 }
 
 // Sleep is the zero-cost plan.
@@ -158,6 +163,9 @@ type TraceEvent struct {
 	Dst     topology.NodeID
 	Frame   *Frame
 	Channel phy.Channel
+	// RSS is the received signal strength of a delivery, dBm (TraceDeliver
+	// only).
+	RSS float64
 }
 
 // TraceKind classifies trace events.

@@ -1,0 +1,364 @@
+package telemetry
+
+import (
+	"sort"
+
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// SpanKey identifies one application packet end to end across a merged
+// multi-job trace.
+type SpanKey struct {
+	Job    int32
+	Origin topology.NodeID
+	Flow   uint16
+	Seq    uint16
+}
+
+// Span is the folded lifecycle of one application packet.
+type Span struct {
+	// Born is the generation slot; Delivered the first sink arrival
+	// (HasDelivered false while in flight or lost).
+	Born         int64
+	Delivered    int64
+	HasDelivered bool
+	// Hops is the number of links the packet crossed to its sink (0
+	// until delivered).
+	Hops uint8
+	// Attempts counts transmission attempts spent on the packet across
+	// all hops.
+	Attempts int
+	// DropReason is set when some node dropped the packet (the packet
+	// may still deliver over a redundant route).
+	DropReason DropReason
+}
+
+// NodeStats attributes losses and load to one node: where a packet died
+// and what its radio spent, reconstructed purely from the event stream.
+type NodeStats struct {
+	Node       topology.NodeID
+	TxAttempts int64
+	TxAcked    int64
+	TxData     int64
+	Received   int64
+	Delivered  int64
+	Collisions int64
+	Drops      [len(reasonNames)]int64
+	MaxQueue   int16
+}
+
+// DropTotal sums the node's drops across reasons.
+func (n *NodeStats) DropTotal() int64 {
+	var t int64
+	for _, d := range n.Drops {
+		t += d
+	}
+	return t
+}
+
+// CellKey names one schedule cell: the slot offset within the folding
+// slotframe and the channel offset (hopping lane).
+type CellKey struct {
+	Offset int64
+	ChOff  uint8
+}
+
+// CellStats is the utilization of one schedule cell.
+type CellStats struct {
+	Cell  CellKey
+	Tx    int64
+	Acked int64
+	// Owner is the node that transmitted most in the cell, Owners the
+	// number of distinct transmitters (dedicated cells have one).
+	Owner  topology.NodeID
+	Owners int
+	owners map[topology.NodeID]int64
+}
+
+// QueueHistBuckets bounds the queue-depth histogram; the last bucket
+// collects every depth >= QueueHistBuckets-1.
+const QueueHistBuckets = 17
+
+// Aggregate folds the event stream into the summaries the digs-trace CLI
+// prints: packet spans (PDR, latency), per-hop loss attribution, per-cell
+// utilization and queue-depth histograms. It implements Tracer, so it can
+// run live as a sink or replay a decoded JSONL stream.
+type Aggregate struct {
+	// FrameLen is the slotframe length cells are folded over (the
+	// protocol's application slotframe; digs-trace exposes it as -frame).
+	FrameLen int64
+
+	events       int64
+	jobs         map[int32]struct{}
+	spans        map[SpanKey]*Span
+	nodes        map[topology.NodeID]*NodeStats
+	cells        map[CellKey]*CellStats
+	queueHist    [QueueHistBuckets]int64
+	routeChanges int64
+}
+
+var _ Tracer = (*Aggregate)(nil)
+
+// NewAggregate returns an empty aggregating sink folding cells over the
+// given slotframe length (<= 0 disables cell folding).
+func NewAggregate(frameLen int64) *Aggregate {
+	return &Aggregate{
+		FrameLen: frameLen,
+		jobs:     make(map[int32]struct{}),
+		spans:    make(map[SpanKey]*Span),
+		nodes:    make(map[topology.NodeID]*NodeStats),
+		cells:    make(map[CellKey]*CellStats),
+	}
+}
+
+func (a *Aggregate) node(id topology.NodeID) *NodeStats {
+	n := a.nodes[id]
+	if n == nil {
+		n = &NodeStats{Node: id}
+		a.nodes[id] = n
+	}
+	return n
+}
+
+func (a *Aggregate) span(ev *Event) *Span {
+	k := SpanKey{Job: ev.Job, Origin: ev.Origin, Flow: ev.Flow, Seq: ev.Seq}
+	s := a.spans[k]
+	if s == nil {
+		s = &Span{Born: ev.Born}
+		a.spans[k] = s
+	}
+	return s
+}
+
+// Record implements Tracer.
+func (a *Aggregate) Record(ev Event) {
+	a.events++
+	a.jobs[ev.Job] = struct{}{}
+	n := a.node(ev.Node)
+	if ev.Queue > n.MaxQueue {
+		n.MaxQueue = ev.Queue
+	}
+
+	switch ev.Type {
+	case EvGenerated:
+		a.span(&ev).Born = ev.Born
+	case EvEnqueued:
+		b := int(ev.Queue)
+		if b >= QueueHistBuckets {
+			b = QueueHistBuckets - 1
+		}
+		if b >= 0 {
+			a.queueHist[b]++
+		}
+	case EvTxAttempt:
+		n.TxAttempts++
+		if ev.Acked {
+			n.TxAcked++
+		}
+		if ev.Kind == kindData {
+			n.TxData++
+			a.span(&ev).Attempts++
+		}
+		if a.FrameLen > 0 {
+			k := CellKey{Offset: ev.ASN % a.FrameLen, ChOff: ev.ChOff}
+			c := a.cells[k]
+			if c == nil {
+				c = &CellStats{Cell: k, owners: make(map[topology.NodeID]int64)}
+				a.cells[k] = c
+			}
+			c.Tx++
+			if ev.Acked {
+				c.Acked++
+			}
+			c.owners[ev.Node]++
+		}
+	case EvReceived:
+		n.Received++
+	case EvDelivered:
+		n.Delivered++
+		s := a.span(&ev)
+		if !s.HasDelivered || ev.ASN < s.Delivered {
+			s.Delivered = ev.ASN
+			s.Hops = ev.Hop
+		}
+		s.HasDelivered = true
+	case EvDropped:
+		if int(ev.Reason) < len(n.Drops) {
+			n.Drops[ev.Reason]++
+		}
+		if ev.Kind == kindData && ev.Reason != ReasonDuplicate {
+			a.span(&ev).DropReason = ev.Reason
+		}
+	case EvCollision:
+		n.Collisions++
+	case EvRouteChange:
+		a.routeChanges++
+	}
+}
+
+// kindData mirrors sim.KindData without importing sim (the value is part
+// of the wire schema; pinned by the golden test).
+const kindData = 4
+
+// Flush implements Tracer.
+func (a *Aggregate) Flush() error { return nil }
+
+// Events returns how many events were folded.
+func (a *Aggregate) Events() int64 { return a.events }
+
+// Jobs returns how many distinct campaign jobs the trace contains.
+func (a *Aggregate) Jobs() int { return len(a.jobs) }
+
+// RouteChanges returns the number of routing adjacency changes.
+func (a *Aggregate) RouteChanges() int64 { return a.routeChanges }
+
+// Generated returns the number of distinct application packets seen.
+func (a *Aggregate) Generated() int { return len(a.spans) }
+
+// Delivered returns the number of distinct packets that reached a sink.
+func (a *Aggregate) Delivered() int {
+	n := 0
+	for _, s := range a.spans {
+		if s.HasDelivered {
+			n++
+		}
+	}
+	return n
+}
+
+// PDR returns the end-to-end delivery rate across the whole trace,
+// reconstructed from the event stream alone.
+func (a *Aggregate) PDR() float64 {
+	if len(a.spans) == 0 {
+		return 0
+	}
+	return float64(a.Delivered()) / float64(len(a.spans))
+}
+
+// FlowPDR returns the delivery rate of one flow within one job.
+func (a *Aggregate) FlowPDR(job int32, flow uint16) float64 {
+	sent, got := 0, 0
+	for k, s := range a.spans {
+		if k.Job != job || k.Flow != flow {
+			continue
+		}
+		sent++
+		if s.HasDelivered {
+			got++
+		}
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(got) / float64(sent)
+}
+
+// Spans returns every packet span keyed for deterministic iteration.
+func (a *Aggregate) Spans() map[SpanKey]*Span { return a.spans }
+
+// NodesByID returns per-node loss attribution sorted by node ID.
+func (a *Aggregate) NodesByID() []*NodeStats {
+	out := make([]*NodeStats, 0, len(a.nodes))
+	for _, n := range a.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// DropTotals sums drops by reason across all nodes.
+func (a *Aggregate) DropTotals() [len(reasonNames)]int64 {
+	var t [len(reasonNames)]int64
+	for _, n := range a.nodes {
+		for r, d := range n.Drops {
+			t[r] += d
+		}
+	}
+	return t
+}
+
+// HottestCells returns the top cells by transmission count (owner fields
+// resolved), sorted by count descending with (offset, choff) tie-breaks.
+func (a *Aggregate) HottestCells(top int) []*CellStats {
+	out := make([]*CellStats, 0, len(a.cells))
+	for _, c := range a.cells {
+		c.Owners = len(c.owners)
+		var bestN int64 = -1
+		for id, n := range c.owners {
+			if n > bestN || (n == bestN && id < c.Owner) {
+				c.Owner, bestN = id, n
+			}
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tx != out[j].Tx {
+			return out[i].Tx > out[j].Tx
+		}
+		if out[i].Cell.Offset != out[j].Cell.Offset {
+			return out[i].Cell.Offset < out[j].Cell.Offset
+		}
+		return out[i].Cell.ChOff < out[j].Cell.ChOff
+	})
+	if top > 0 && len(out) > top {
+		out = out[:top]
+	}
+	return out
+}
+
+// QueueHist returns the queue-depth histogram observed at enqueue time;
+// index i counts enqueues that left i packets queued (last bucket: >=).
+func (a *Aggregate) QueueHist() [QueueHistBuckets]int64 { return a.queueHist }
+
+// HopLatency is one row of the per-hop latency breakdown: the latency
+// distribution of packets delivered over a given hop count.
+type HopLatency struct {
+	Hops      uint8
+	Count     int
+	MedianASN int64 // slots, end to end
+	P90ASN    int64
+	MaxASN    int64
+}
+
+// HopLatencies buckets delivered packets by hop count and summarises
+// their end-to-end latency in slots, sorted by hop count.
+func (a *Aggregate) HopLatencies() []HopLatency {
+	byHops := make(map[uint8][]int64)
+	for _, s := range a.spans {
+		if s.HasDelivered {
+			byHops[s.Hops] = append(byHops[s.Hops], s.Delivered-s.Born)
+		}
+	}
+	out := make([]HopLatency, 0, len(byHops))
+	for h, lats := range byHops {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		out = append(out, HopLatency{
+			Hops:      h,
+			Count:     len(lats),
+			MedianASN: quantileASN(lats, 0.5),
+			P90ASN:    quantileASN(lats, 0.9),
+			MaxASN:    lats[len(lats)-1],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hops < out[j].Hops })
+	return out
+}
+
+// quantileASN returns the nearest-rank quantile of a sorted slice.
+func quantileASN(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// DropReasons returns the ordered list of known drop reasons (skipping
+// the none reason), for deterministic report tables.
+func DropReasons() []DropReason {
+	out := make([]DropReason, 0, len(reasonNames)-1)
+	for r := 1; r < len(reasonNames); r++ {
+		out = append(out, DropReason(r))
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package telemetry
+
+import "github.com/digs-net/digs/internal/sim"
+
+// AttachSim hooks the engine's medium-resolution trace into a tracer:
+// collisions a listener observed become EvCollision events. The MAC layer
+// reports every other lifecycle step itself with richer context (queue
+// depths, attempt numbers, ACK outcomes); collisions are the one loss
+// cause only the engine can attribute, because the listener decodes
+// nothing it could hand upward. Passing a nil tracer detaches the hook,
+// restoring the engine's zero-overhead path.
+func AttachSim(nw *sim.Network, t Tracer) {
+	if t == nil {
+		nw.Trace = nil
+		return
+	}
+	nw.Trace = func(ev sim.TraceEvent) {
+		if ev.Kind != sim.TraceCollision {
+			return
+		}
+		t.Record(Event{
+			ASN:     int64(ev.ASN),
+			Type:    EvCollision,
+			Node:    ev.Dst,
+			Channel: uint8(ev.Channel),
+		})
+	}
+}

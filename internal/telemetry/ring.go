@@ -1,0 +1,58 @@
+package telemetry
+
+// Ring is a bounded in-memory sink keeping the most recent events. It is
+// the cheapest always-on sink: a fixed array written round-robin, no
+// allocation per event, suitable as a flight recorder that is dumped only
+// when something goes wrong.
+type Ring struct {
+	buf     []Event
+	next    int
+	full    bool
+	dropped int64
+}
+
+var _ Tracer = (*Ring)(nil)
+
+// NewRing returns a ring sink bounded to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record implements Tracer.
+func (r *Ring) Record(ev Event) {
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Flush implements Tracer; a ring has nothing to flush.
+func (r *Ring) Flush() error { return nil }
+
+// Len returns how many events the ring currently holds.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dropped returns how many events were overwritten after the ring filled.
+func (r *Ring) Dropped() int64 { return r.dropped }
+
+// Events returns the retained events in arrival order (oldest first).
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}

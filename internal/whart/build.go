@@ -5,6 +5,7 @@ import (
 
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
 )
 
@@ -56,5 +57,14 @@ func (n *Network) OnDeliver(fn func(asn sim.ASN, f *sim.Frame)) {
 		if node.IsAP() {
 			node.Sink = fn
 		}
+	}
+}
+
+// SetTracer installs (or, with nil, removes) a packet-lifecycle tracer on
+// every node. The static schedule never reroutes, so there is no
+// route-change source to wire.
+func (n *Network) SetTracer(t telemetry.Tracer) {
+	for _, node := range n.Nodes[1:] {
+		node.SetTracer(t)
 	}
 }
