@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke trace-smoke trace-golden baseline clean
+.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden baseline clean
 
 ## ci: everything the driver checks — vet, build, race-enabled tests, a
-## one-shot large-scale benchmark smoke run, and the telemetry pipeline
-## smoke test.
-ci: vet build race bench-smoke trace-smoke
+## short fuzz pass over the wire codecs, a one-shot large-scale benchmark
+## smoke run, and the telemetry pipeline smoke test.
+ci: vet build race fuzz bench-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## fuzz: brief native-fuzzing passes over the frame and routing-payload
+## codecs (go test allows one -fuzz pattern per package invocation).
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/mac
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalJoinIn -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalJoinedCallback -fuzztime=$(FUZZTIME) ./internal/core
 
 ## bench-smoke: run the heaviest benchmark once to catch bit-rot without
 ## paying for a full measurement.

@@ -1,0 +1,361 @@
+// Command digs-chaos runs a declarative fault plan against the protocol
+// stacks and reports how each one recovers: per-fault time-to-reconverge,
+// packets lost during the repair window and drop attribution by reason.
+//
+// Plans are JSON (see internal/chaos); "fig8" names the built-in Figure 8
+// jammer scenario. Every stack named in -protocols runs the same plan on
+// the same topology and seed, so the printed table is a like-for-like
+// robustness comparison. Repetitions and protocols fan out over the
+// campaign worker pool; output and traces are byte-identical at any
+// -parallel value.
+//
+// Examples:
+//
+//	digs-chaos -plan fig8 -topology testbed-a
+//	digs-chaos -plan crash.json -protocols digs,orchestra -reps 4 -parallel 4
+//	digs-chaos -plan plan.json -trace out.jsonl    # analyse with digs-trace
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/digs-net/digs/internal/campaign"
+	"github.com/digs-net/digs/internal/chaos"
+	"github.com/digs-net/digs/internal/core"
+	"github.com/digs-net/digs/internal/flows"
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/orchestra"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/telemetry"
+	"github.com/digs-net/digs/internal/topology"
+	"github.com/digs-net/digs/internal/whart"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "digs-chaos:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	plan      string
+	topology  string
+	protocols []string
+	duration  time.Duration
+	period    time.Duration
+	seed      int64
+	trace     string
+}
+
+func run() error {
+	var opts options
+	var protoList string
+	flag.StringVar(&opts.plan, "plan", "",
+		"fault plan: a JSON file path, or \"fig8\" for the built-in jammer scenario")
+	flag.StringVar(&opts.topology, "topology", "testbed-a",
+		"deployment: testbed-a, testbed-b, half-testbed-a, half-testbed-b, random-150")
+	flag.StringVar(&protoList, "protocols", "digs,orchestra,whart",
+		"comma-separated stacks to subject to the plan")
+	flag.DurationVar(&opts.duration, "duration", 2*time.Minute,
+		"measurement window from the plan epoch (extended to cover the plan's horizon)")
+	flag.DurationVar(&opts.period, "period", 5*time.Second, "packet period per flow")
+	flag.Int64Var(&opts.seed, "seed", 1, "simulation seed")
+	flag.StringVar(&opts.trace, "trace", "",
+		"write the packet-lifecycle + fault event trace (JSONL) to this file")
+	reps := flag.Int("reps", 1, "independent repetitions (seed, seed+1, ...)")
+	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if opts.plan == "" {
+		return errors.New("-plan is required (a JSON file, or \"fig8\")")
+	}
+	campaign.SetDefaultWorkers(*parallel)
+	topo, err := pickTopology(opts.topology)
+	if err != nil {
+		return err
+	}
+	for _, p := range strings.Split(protoList, ",") {
+		p = strings.TrimSpace(p)
+		switch p {
+		case "digs", "orchestra", "whart":
+			opts.protocols = append(opts.protocols, p)
+		case "":
+		default:
+			return fmt.Errorf("unknown protocol %q", p)
+		}
+	}
+	if len(opts.protocols) == 0 {
+		return errors.New("no protocols selected")
+	}
+
+	// One campaign job per (rep, protocol). Jobs buffer their report and
+	// trace part; everything prints and merges in job-index order, so the
+	// output is byte-identical at any worker count.
+	type jobOut struct {
+		log   bytes.Buffer
+		trace bytes.Buffer
+	}
+	nJobs := *reps * len(opts.protocols)
+	outs, err := campaign.Map(campaign.New(0), nJobs, func(i int) (*jobOut, error) {
+		rep := i / len(opts.protocols)
+		proto := opts.protocols[i%len(opts.protocols)]
+		seed := opts.seed + int64(rep)
+		o := &jobOut{}
+		var jsonl telemetry.Tracer
+		if opts.trace != "" {
+			jsonl = telemetry.WithJob(telemetry.NewJSONL(&o.trace), i)
+		}
+		fmt.Fprintf(&o.log, "=== %s rep %d (seed %d) ===\n", proto, rep, seed)
+		if err := runPlan(&o.log, opts, proto, seed, jsonl); err != nil {
+			return nil, fmt.Errorf("%s rep %d (seed %d): %w", proto, rep, seed, err)
+		}
+		return o, nil
+	})
+	var pe *campaign.PanicError
+	if errors.As(err, &pe) {
+		return fmt.Errorf("job %d panicked: %v\n%s", pe.Job, pe.Value, pe.Stack)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("chaos plan %q on %s, %d rep(s) x %s (workers=%d)\n\n",
+		opts.plan, topo.Name, *reps, strings.Join(opts.protocols, "+"), campaign.DefaultWorkers())
+	for _, o := range outs {
+		os.Stdout.Write(o.log.Bytes())
+		fmt.Println()
+	}
+	if opts.trace != "" {
+		parts := make([][]byte, len(outs))
+		for i, o := range outs {
+			parts[i] = o.trace.Bytes()
+		}
+		f, err := os.Create(opts.trace)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.MergeJSONL(f, parts...); err != nil {
+			f.Close()
+			return fmt.Errorf("trace %s: %w", opts.trace, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d jobs merged)\n", opts.trace, len(outs))
+	}
+	return nil
+}
+
+// loadPlan resolves -plan for one job (the fig8 built-in depends on the
+// topology and seed, so it is constructed per run).
+func loadPlan(name string, topo *topology.Topology, seed int64) (*chaos.Plan, error) {
+	if name == "fig8" {
+		return chaos.Fig8JammerPlan(topo, seed), nil
+	}
+	return chaos.LoadFile(name)
+}
+
+// runPlan executes the fault plan against one protocol stack and writes
+// the recovery report to w.
+func runPlan(w io.Writer, opts options, proto string, seed int64, jsonl telemetry.Tracer) error {
+	topo, err := pickTopology(opts.topology)
+	if err != nil {
+		return err
+	}
+	plan, err := loadPlan(opts.plan, topo, seed)
+	if err != nil {
+		return err
+	}
+	nw := sim.NewNetwork(topo, seed)
+	stack, err := buildStack(nw, topo, proto, seed, opts.period)
+	if err != nil {
+		return err
+	}
+
+	// Formation, then a settling margin before the plan epoch.
+	formSlots, ok := nw.RunUntil(sim.SlotsFor(6*time.Minute), func() bool {
+		return stack.joined() == topo.N()
+	})
+	if !ok {
+		return fmt.Errorf("only %d/%d nodes joined during formation", stack.joined(), topo.N())
+	}
+	fmt.Fprintf(w, "network formed in %v\n", sim.TimeAt(formSlots))
+	nw.Run(sim.SlotsFor(30 * time.Second))
+
+	// Recovery analyzer and optional JSONL export share one emit chain;
+	// the injector rides the stack's tracer to observe route changes.
+	rec := chaos.NewRecovery()
+	chain := telemetry.Multi(rec, jsonl)
+	live := func() int {
+		n := 0
+		for i := 1; i <= topo.N(); i++ {
+			if !nw.Failed(topology.NodeID(i)) {
+				n++
+			}
+		}
+		return n
+	}
+	inj, err := chaos.Apply(nw, plan, chain, chaos.Hooks{
+		Converged: func() bool { return stack.joined() >= live() },
+		Reboot: func(id topology.NodeID, asn sim.ASN, lose bool) {
+			stack.macNode(int(id)).Reboot(asn, lose)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	stack.setTracer(telemetry.Multi(chain, inj))
+	telemetry.AttachSim(nw, chain)
+
+	// Flows from the testbed's suggested sources; sources the plan has
+	// currently crashed skip their injections (a dead mote sends nothing).
+	fset := flows.FixedSet(topo.SuggestedSources, opts.period)
+	window := opts.duration
+	if h := plan.Horizon() + 30*time.Second; h > window {
+		window = h
+	}
+	packets := int(window / opts.period)
+	flows.Schedule(nw, fset, packets, func(f flows.Flow, seq uint16, asn sim.ASN) {
+		if nw.Failed(f.Source) {
+			return
+		}
+		_ = stack.macNode(int(f.Source)).InjectData(&sim.Frame{
+			Origin: f.Source, FlowID: f.ID, Seq: seq, BornASN: asn,
+		})
+	})
+
+	// Run the plan window plus a drain-and-recover tail.
+	nw.Run(sim.SlotsFor(window + 45*time.Second))
+	stack.setTracer(nil)
+	if err := chain.Flush(); err != nil {
+		return err
+	}
+	report(w, plan, rec)
+	return nil
+}
+
+// report prints the per-fault recovery table and the run totals.
+func report(w io.Writer, plan *chaos.Plan, rec *chaos.Recovery) {
+	reps := rec.Report()
+	if len(reps) == 0 {
+		fmt.Fprintln(w, "no faults fired inside the run window")
+	} else {
+		fmt.Fprintf(w, "%-6s %-13s %6s %10s %10s %9s  %s\n",
+			"fault", "kind", "target", "start", "ttr", "lost/gen", "drops in window")
+		for _, r := range reps {
+			kind := "?"
+			if r.Entry < len(plan.Entries) {
+				kind = string(plan.Entries[r.Entry].Kind)
+			}
+			ttr := "never"
+			if r.TTRSlots >= 0 {
+				ttr = sim.TimeAt(r.TTRSlots).String()
+			}
+			fmt.Fprintf(w, "#%d.%-4d %-13s %6d %10v %10s %5d/%-3d  %s\n",
+				r.Entry, r.Occ, kind, r.Node, sim.TimeAt(r.StartASN), ttr,
+				r.Lost, r.Generated, dropSummary(r.Drops))
+		}
+	}
+	fmt.Fprintf(w, "totals: generated %d, lost %d\n", rec.Generated(), rec.Lost())
+}
+
+// dropSummary formats a drop-reason map deterministically.
+func dropSummary(drops map[telemetry.DropReason]int) string {
+	if len(drops) == 0 {
+		return "-"
+	}
+	reasons := make([]telemetry.DropReason, 0, len(drops))
+	for r := range drops {
+		reasons = append(reasons, r)
+	}
+	sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
+	parts := make([]string, 0, len(reasons))
+	for _, r := range reasons {
+		parts = append(parts, fmt.Sprintf("%s=%d", r, drops[r]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// stackHandle is the minimal per-protocol surface the runner needs.
+type stackHandle struct {
+	macNode   func(i int) *mac.Node
+	joined    func() int
+	setTracer func(telemetry.Tracer)
+}
+
+func buildStack(nw *sim.Network, topo *topology.Topology, proto string, seed int64,
+	period time.Duration) (*stackHandle, error) {
+	switch proto {
+	case "digs":
+		net, err := core.Build(nw, core.DefaultConfig(topo.NumAPs), mac.DefaultConfig(), seed)
+		if err != nil {
+			return nil, err
+		}
+		return &stackHandle{
+			macNode:   func(i int) *mac.Node { return net.Nodes[i] },
+			joined:    net.JoinedCount,
+			setTracer: net.SetTracer,
+		}, nil
+	case "orchestra":
+		net, err := orchestra.Build(nw, orchestra.DefaultConfig(), mac.DefaultConfig(), seed)
+		if err != nil {
+			return nil, err
+		}
+		return &stackHandle{
+			macNode:   func(i int) *mac.Node { return net.Nodes[i] },
+			joined:    net.JoinedCount,
+			setTracer: net.SetTracer,
+		}, nil
+	case "whart":
+		var fl []whart.Flow
+		for i, src := range topo.SuggestedSources {
+			fl = append(fl, whart.Flow{
+				ID: uint16(i + 1), Source: src, PeriodSlots: sim.SlotsFor(period),
+			})
+		}
+		net, err := whart.Build(nw, fl, mac.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &stackHandle{
+			macNode: func(i int) *mac.Node { return net.Nodes[i] },
+			joined: func() int {
+				n := 0
+				for i := 1; i <= topo.N(); i++ {
+					if ok, _ := net.Nodes[i].Synced(); ok {
+						n++
+					}
+				}
+				return n
+			},
+			setTracer: net.SetTracer,
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown protocol %q", proto)
+}
+
+func pickTopology(name string) (*topology.Topology, error) {
+	switch name {
+	case "testbed-a":
+		return topology.TestbedA(), nil
+	case "testbed-b":
+		return topology.TestbedB(), nil
+	case "half-testbed-a":
+		return topology.HalfTestbedA(), nil
+	case "half-testbed-b":
+		return topology.HalfTestbedB(), nil
+	case "random-150":
+		return topology.NewRandom(150, 300, 300, 7), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}

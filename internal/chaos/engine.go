@@ -1,0 +1,311 @@
+package chaos
+
+import (
+	"fmt"
+
+	"github.com/digs-net/digs/internal/interference"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/telemetry"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// partitionFadeDB is the attenuation a partition applies when the plan
+// does not override it: enough to kill any testbed link outright.
+const partitionFadeDB = 200
+
+// Reconvergence-watch tuning: the injector declares the network
+// reconverged once the route-change rate over the trailing quietSlots
+// (10 s) window has fallen back to the pre-fault baseline (plus a 25%
+// allowance) and the caller's Converged hook agrees; it checks every
+// pollSlots. On small settled networks the baseline is zero and this
+// degenerates to a strict quiet window; on dense ones, where ETX noise
+// reselects backup parents perpetually, it means "no more churn than
+// before the fault".
+const (
+	quietSlots = 1000
+	pollSlots  = 100
+)
+
+// Hooks are the engine's callbacks into whatever protocol stack runs on
+// the network; all fields are optional.
+type Hooks struct {
+	// Converged, when set, gates reconvergence detection: the injector
+	// only declares "reconverged" while it returns true (e.g. every live
+	// node has a parent). Route-change quiescence is always required too.
+	Converged func() bool
+	// Reboot, when set, is called when a crashed node's fault window
+	// ends, so the MAC/protocol layer can cold-restart it (see
+	// mac.Node.Reboot). Without it the radio comes back with all state
+	// intact — fine for stacks the plan never crashes.
+	Reboot func(id topology.NodeID, asn sim.ASN, loseState bool)
+}
+
+// Injector is an applied plan: it owns the scheduled fault callbacks and
+// watches the telemetry stream for reconvergence. It implements
+// telemetry.Tracer so callers can chain it after their own sinks —
+// installing it on the stack's tracer is what lets it observe route
+// changes.
+type Injector struct {
+	nw    *sim.Network
+	plan  *Plan
+	emit  telemetry.Tracer
+	hooks Hooks
+
+	// recent holds the slots of route-change events inside the trailing
+	// quiet window, oldest first (pruned as time advances).
+	recent []sim.ASN
+
+	// open holds every fault occurrence awaiting a reconvergence answer;
+	// quiescence answers them all at once (the network is only "settled"
+	// with respect to all faults thrown at it so far). baseline is the
+	// route-change count over the quiet window preceding the first fault
+	// of the open batch — the steady-state churn to get back to.
+	open     []faultRef
+	baseline int
+	polling  bool
+}
+
+type faultRef struct {
+	entry, occ int
+	node       topology.NodeID
+	start      sim.ASN
+}
+
+var _ telemetry.Tracer = (*Injector)(nil)
+
+// Apply validates the plan against the network's topology and schedules
+// every fault occurrence, relative to the network's current slot (the
+// plan epoch). The returned Injector must be installed in the stack's
+// tracer chain for reconvergence detection; with a nil emit the engine
+// injects faults but stays silent (no lifecycle events, no watch).
+//
+// Fault injection consumes nothing from the network's RNG: all fault
+// randomness is stateless hashing, so adding a plan does not perturb the
+// unfaulted parts of a seeded run.
+func Apply(nw *sim.Network, p *Plan, emit telemetry.Tracer, hooks Hooks) (*Injector, error) {
+	topo := nw.Topology()
+	if err := p.Validate(topo); err != nil {
+		return nil, err
+	}
+	inj := &Injector{nw: nw, plan: p, emit: emit, hooks: hooks}
+	base := nw.ASN()
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		for occ := 0; occ < e.occurrences(); occ++ {
+			start := base + e.Start.Slots() + int64(occ)*e.Period.Slots()
+			if err := inj.schedule(i, occ, e, start); err != nil {
+				return nil, fmt.Errorf("chaos plan %q entry %d: %w", p.Name, i, err)
+			}
+		}
+	}
+	return inj, nil
+}
+
+// schedule wires one occurrence of one entry: interferers are registered
+// up front behind slot windows; stateful faults (crashes, fades, drift)
+// flip at their boundary slots via the network's event queue.
+func (inj *Injector) schedule(idx, occ int, e *Entry, start sim.ASN) error {
+	stop := sim.ASN(0)
+	if e.Duration > 0 {
+		stop = start + e.Duration.Slots()
+	}
+	seed := inj.plan.seedFor(idx)
+	topo := inj.nw.Topology()
+
+	switch e.Kind {
+	case KindJamWiFi:
+		inj.nw.AddInterferer(&interference.Window{
+			Source:   interference.NewWiFiJammer(topo, e.Targets[0], e.WiFiChannel, seed+int64(occ)),
+			StartASN: start, StopASN: stop,
+		})
+	case KindJamBluetooth:
+		inj.nw.AddInterferer(&interference.Window{
+			Source:   interference.NewBluetoothJammer(topo, e.Targets[0], seed+int64(occ)),
+			StartASN: start, StopASN: stop,
+		})
+	case KindNodeCrash, KindAPFailover:
+		targets := e.Targets
+		if e.Kind == KindAPFailover && len(targets) == 0 {
+			aps := topo.APs()
+			if len(aps) == 0 {
+				return fmt.Errorf("topology has no access points")
+			}
+			targets = aps[:1]
+		}
+		loseState := e.LoseState
+		inj.nw.At(start, func() {
+			for _, id := range targets {
+				inj.nw.Fail(id)
+			}
+		})
+		if stop != 0 {
+			inj.nw.At(stop, func() {
+				for _, id := range targets {
+					inj.nw.Restore(id)
+					if inj.hooks.Reboot != nil {
+						inj.hooks.Reboot(id, inj.nw.ASN(), loseState)
+					}
+				}
+			})
+		}
+	case KindLinkFade:
+		inj.nw.At(start, func() { inj.fadeRegion(e.Targets, e.FadeDB) })
+		if stop != 0 {
+			inj.nw.At(stop, func() { inj.fadeRegion(e.Targets, -e.FadeDB) })
+		}
+	case KindPartition:
+		dB := e.FadeDB
+		if dB <= 0 {
+			dB = partitionFadeDB
+		}
+		inj.nw.At(start, func() { inj.fadeCut(e.Targets, dB) })
+		if stop != 0 {
+			inj.nw.At(stop, func() { inj.fadeCut(e.Targets, -dB) })
+		}
+	case KindClockDrift:
+		p := driftMissProb(e.DriftPPM)
+		targets := e.Targets
+		inj.nw.At(start, func() {
+			for _, id := range targets {
+				inj.nw.SetClockDrift(id, p, seed+int64(occ))
+			}
+		})
+		if stop != 0 {
+			inj.nw.At(stop, func() {
+				for _, id := range targets {
+					inj.nw.SetClockDrift(id, 0, 0)
+				}
+			})
+		}
+	}
+
+	// Lifecycle events and the reconvergence watch ride the same event
+	// queue; with no emit chain the plan runs silently.
+	if inj.emit != nil {
+		node := topology.NodeID(0)
+		if len(e.Targets) > 0 {
+			node = e.Targets[0]
+		}
+		inj.nw.At(start, func() {
+			inj.event(telemetry.EvFaultStart, idx, occ, node)
+			inj.watch(idx, occ, node)
+		})
+		if stop != 0 {
+			inj.nw.At(stop, func() { inj.event(telemetry.EvFaultEnd, idx, occ, node) })
+		}
+	}
+	return nil
+}
+
+// fadeRegion attenuates every link with at least one endpoint in the
+// region, each exactly once (negative dB lifts a previous fade).
+func (inj *Injector) fadeRegion(region []topology.NodeID, dB float64) {
+	in := make(map[topology.NodeID]bool, len(region))
+	for _, id := range region {
+		in[id] = true
+	}
+	n := inj.nw.Topology().N()
+	for _, a := range region {
+		for b := 1; b <= n; b++ {
+			id := topology.NodeID(b)
+			if id == a || (in[id] && id < a) {
+				continue // intra-region pairs fade once
+			}
+			inj.nw.AddLinkFade(a, id, dB)
+		}
+	}
+}
+
+// fadeCut attenuates only the links crossing the island boundary, leaving
+// links inside the island (and outside it) untouched.
+func (inj *Injector) fadeCut(island []topology.NodeID, dB float64) {
+	in := make(map[topology.NodeID]bool, len(island))
+	for _, id := range island {
+		in[id] = true
+	}
+	n := inj.nw.Topology().N()
+	for _, a := range island {
+		for b := 1; b <= n; b++ {
+			if id := topology.NodeID(b); !in[id] {
+				inj.nw.AddLinkFade(a, id, dB)
+			}
+		}
+	}
+}
+
+// event emits one fault-lifecycle event; Flow carries the plan entry
+// index and Seq the occurrence number, tying recovery metrics back to the
+// plan.
+func (inj *Injector) event(t telemetry.EventType, entry, occ int, node topology.NodeID) {
+	inj.emit.Record(telemetry.Event{
+		ASN:  int64(inj.nw.ASN()),
+		Type: t,
+		Node: node,
+		Flow: uint16(entry),
+		Seq:  uint16(occ),
+	})
+}
+
+// watch opens the reconvergence watch for a fault occurrence. The first
+// fault of a batch samples the steady-state churn baseline; a fault
+// landing while earlier watches are open extends them: the network is not
+// recovered from fault A while fault B is still shaking it, so the window
+// restarts from the newest fault and, once settled, answers every open
+// fault at once.
+func (inj *Injector) watch(entry, occ int, node topology.NodeID) {
+	now := inj.nw.ASN()
+	if len(inj.open) == 0 {
+		inj.prune(now)
+		inj.baseline = len(inj.recent)
+	}
+	inj.open = append(inj.open, faultRef{entry: entry, occ: occ, node: node, start: now})
+	if !inj.polling {
+		inj.polling = true
+		inj.nw.At(now+pollSlots, inj.poll)
+	}
+}
+
+// prune drops route-change records that have aged out of the trailing
+// quiet window ending at now.
+func (inj *Injector) prune(now sim.ASN) {
+	for len(inj.recent) > 0 && inj.recent[0] <= now-quietSlots {
+		inj.recent = inj.recent[1:]
+	}
+}
+
+// poll checks whether churn is back at the baseline and either emits
+// reconverged or reschedules itself; it lives on the network's own event
+// queue, so it is exactly as deterministic as the rest of the run.
+func (inj *Injector) poll() {
+	if len(inj.open) == 0 {
+		inj.polling = false
+		return
+	}
+	now := inj.nw.ASN()
+	inj.prune(now)
+	newest := inj.open[len(inj.open)-1].start
+	settled := now-newest >= quietSlots &&
+		len(inj.recent) <= inj.baseline+inj.baseline/4
+	if settled && (inj.hooks.Converged == nil || inj.hooks.Converged()) {
+		for _, f := range inj.open {
+			inj.event(telemetry.EvReconverged, f.entry, f.occ, f.node)
+		}
+		inj.open = inj.open[:0]
+		inj.polling = false
+		return
+	}
+	inj.nw.At(now+pollSlots, inj.poll)
+}
+
+// Record implements telemetry.Tracer: the injector listens for route
+// changes to feed the churn-rate reconvergence detector. Install it in
+// the stack's tracer chain (telemetry.Multi(yourSink, injector)).
+func (inj *Injector) Record(ev telemetry.Event) {
+	if ev.Type == telemetry.EvRouteChange {
+		inj.prune(sim.ASN(ev.ASN))
+		inj.recent = append(inj.recent, sim.ASN(ev.ASN))
+	}
+}
+
+// Flush implements telemetry.Tracer.
+func (inj *Injector) Flush() error { return nil }

@@ -1,0 +1,34 @@
+package chaos
+
+import (
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// fig8WiFiChannels cycles the 802.11 channels the paper's three jammers
+// occupy, so together they blanket most of the 2.4 GHz band.
+var fig8WiFiChannels = []int{1, 6, 11}
+
+// Fig8JammerPlan is the paper's Figure 8 interference scenario as a chaos
+// plan: a JamLab WiFi-streaming jammer at each of the topology's
+// suggested jammer positions, on permanently from the plan epoch. The
+// motes running JamLab are repurposed, so each jammer position also
+// crashes as a network node (matching the physical testbed, where a
+// JamLab mote stops participating in the protocol).
+func Fig8JammerPlan(topo *topology.Topology, seed int64) *Plan {
+	p := &Plan{Name: "fig8-jammers", Seed: seed}
+	for j, at := range topo.SuggestedJammers {
+		p.Entries = append(p.Entries,
+			Entry{
+				Kind:        KindJamWiFi,
+				Targets:     []topology.NodeID{at},
+				WiFiChannel: fig8WiFiChannels[j%len(fig8WiFiChannels)],
+				Seed:        seed + int64(j),
+			},
+			Entry{
+				Kind:    KindNodeCrash,
+				Targets: []topology.NodeID{at},
+			},
+		)
+	}
+	return p
+}

@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"math"
+
+	"github.com/digs-net/digs/internal/telemetry"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Recovery is a telemetry sink that folds a single run's event stream
+// into per-fault recovery metrics: time-to-reconverge, packets lost
+// during the repair window and drop attribution by reason. Chain it with
+// other sinks via telemetry.Multi; it ignores the Job field (wrap runs
+// individually, not a merged trace).
+type Recovery struct {
+	faults  []*FaultWindow
+	open    map[faultKey]*FaultWindow
+	spans   map[spanKey]*spanRec
+	drops   []dropRec
+	horizon int64
+}
+
+type faultKey struct{ entry, occ uint16 }
+
+type spanKey struct {
+	origin topology.NodeID
+	flow   uint16
+	seq    uint16
+}
+
+type spanRec struct {
+	born      int64
+	delivered bool
+}
+
+type dropRec struct {
+	asn    int64
+	reason telemetry.DropReason
+}
+
+// FaultWindow is the observed lifecycle of one fault occurrence.
+type FaultWindow struct {
+	// Entry is the plan entry index, Occ the occurrence number.
+	Entry, Occ int
+	// Node is the fault's first target (0 for region faults).
+	Node topology.NodeID
+	// StartASN is when the fault hit; EndASN when its window closed (-1
+	// for permanent faults); ReconASN when the injector declared the
+	// network reconverged (-1 if it never did before the trace ended).
+	StartASN, EndASN, ReconASN int64
+}
+
+var _ telemetry.Tracer = (*Recovery)(nil)
+
+// NewRecovery returns an empty recovery analyzer.
+func NewRecovery() *Recovery {
+	return &Recovery{
+		open:  make(map[faultKey]*FaultWindow),
+		spans: make(map[spanKey]*spanRec),
+	}
+}
+
+// Record implements telemetry.Tracer.
+func (r *Recovery) Record(ev telemetry.Event) {
+	if ev.ASN > r.horizon {
+		r.horizon = ev.ASN
+	}
+	switch ev.Type {
+	case telemetry.EvFaultStart:
+		w := &FaultWindow{
+			Entry: int(ev.Flow), Occ: int(ev.Seq), Node: ev.Node,
+			StartASN: ev.ASN, EndASN: -1, ReconASN: -1,
+		}
+		r.faults = append(r.faults, w)
+		r.open[faultKey{ev.Flow, ev.Seq}] = w
+	case telemetry.EvFaultEnd:
+		if w := r.open[faultKey{ev.Flow, ev.Seq}]; w != nil {
+			w.EndASN = ev.ASN
+		}
+	case telemetry.EvReconverged:
+		if w := r.open[faultKey{ev.Flow, ev.Seq}]; w != nil && w.ReconASN < 0 {
+			w.ReconASN = ev.ASN
+		}
+	case telemetry.EvGenerated:
+		k := spanKey{ev.Origin, ev.Flow, ev.Seq}
+		if r.spans[k] == nil {
+			r.spans[k] = &spanRec{born: ev.Born}
+		}
+	case telemetry.EvDelivered:
+		k := spanKey{ev.Origin, ev.Flow, ev.Seq}
+		s := r.spans[k]
+		if s == nil {
+			s = &spanRec{born: ev.Born}
+			r.spans[k] = s
+		}
+		s.delivered = true
+	case telemetry.EvDropped:
+		// Duplicates are redundancy working, not loss.
+		if ev.Reason != telemetry.ReasonDuplicate {
+			r.drops = append(r.drops, dropRec{asn: ev.ASN, reason: ev.Reason})
+		}
+	}
+}
+
+// Flush implements telemetry.Tracer.
+func (r *Recovery) Flush() error { return nil }
+
+// FaultReport is one fault occurrence's recovery metrics.
+type FaultReport struct {
+	FaultWindow
+	// TTRSlots is the time-to-reconverge in slots (-1: never
+	// reconverged before the trace ended).
+	TTRSlots int64
+	// Generated counts application packets born inside the repair window
+	// [StartASN, ReconASN] (or to the end of the trace when the network
+	// never reconverged); Lost are those that never reached a sink.
+	Generated, Lost int
+	// Drops attributes the window's drop events by reason (duplicates
+	// excluded). Forwarding drops can exceed Lost when redundant routes
+	// still deliver the packet.
+	Drops map[telemetry.DropReason]int
+}
+
+// Report folds the collected stream into per-fault metrics, in fault
+// start order. Call it after the run (it recomputes from scratch each
+// time).
+func (r *Recovery) Report() []FaultReport {
+	out := make([]FaultReport, 0, len(r.faults))
+	for _, w := range r.faults {
+		rep := FaultReport{
+			FaultWindow: *w,
+			TTRSlots:    -1,
+			Drops:       make(map[telemetry.DropReason]int),
+		}
+		wend := int64(math.MaxInt64)
+		if w.ReconASN >= 0 {
+			rep.TTRSlots = w.ReconASN - w.StartASN
+			wend = w.ReconASN
+		}
+		for _, s := range r.spans {
+			if s.born < w.StartASN || s.born > wend {
+				continue
+			}
+			rep.Generated++
+			if !s.delivered {
+				rep.Lost++
+			}
+		}
+		for _, d := range r.drops {
+			if d.asn >= w.StartASN && d.asn <= wend {
+				rep.Drops[d.reason]++
+			}
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+// Lost returns the total number of packets in the trace that were
+// generated but never delivered (whole run, not just fault windows).
+func (r *Recovery) Lost() int {
+	lost := 0
+	for _, s := range r.spans {
+		if !s.delivered {
+			lost++
+		}
+	}
+	return lost
+}
+
+// Generated returns the total number of distinct packets in the trace.
+func (r *Recovery) Generated() int { return len(r.spans) }

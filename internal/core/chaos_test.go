@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -46,13 +47,18 @@ func TestNetworkSurvivesChurn(t *testing.T) {
 				break
 			}
 		}
-		// Restore one (not necessarily the same).
-		for id := range dead {
-			if rng.Intn(2) == 0 {
-				nw.Restore(id)
-				delete(dead, id)
-				break
+		// Restore one (not necessarily the same), picked from a sorted
+		// slice: ranging over the map here would consume rng draws in map
+		// iteration order and make the whole run nondeterministic.
+		if len(dead) > 0 && rng.Intn(2) == 0 {
+			ids := make([]topology.NodeID, 0, len(dead))
+			for id := range dead {
+				ids = append(ids, id)
 			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			id := ids[rng.Intn(len(ids))]
+			nw.Restore(id)
+			delete(dead, id)
 		}
 		// Background traffic from live sources.
 		for _, src := range topo.SuggestedSources {

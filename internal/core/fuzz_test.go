@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalJoinIn checks the join-in payload codec never panics on
+// arbitrary bytes and that accepted payloads round-trip bit-exactly
+// (ETXw travels as a float32, so Marshal(Unmarshal(b)) must equal b).
+func FuzzUnmarshalJoinIn(f *testing.F) {
+	f.Add(JoinIn{Rank: 1, ETXw: 0}.Marshal())
+	f.Add(JoinIn{Rank: 7, ETXw: 3.25}.Marshal())
+	f.Add(JoinIn{Rank: RankInfinity, ETXw: 1e30}.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // NaN ETXw bits
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := UnmarshalJoinIn(data)
+		if err != nil {
+			return
+		}
+		if j.ETXw < 0 || j.ETXw != j.ETXw {
+			t.Fatalf("accepted invalid ETXw %v", j.ETXw)
+		}
+		if out := j.Marshal(); !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed payload: %x -> %x", data, out)
+		}
+	})
+}
+
+// FuzzUnmarshalJoinedCallback checks the joined-callback codec rejects
+// everything but the two defined roles and round-trips what it accepts.
+func FuzzUnmarshalJoinedCallback(f *testing.F) {
+	f.Add(JoinedCallback{Role: RoleBestParent}.Marshal())
+	f.Add(JoinedCallback{Role: RoleSecondParent}.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalJoinedCallback(data)
+		if err != nil {
+			return
+		}
+		if c.Role != RoleBestParent && c.Role != RoleSecondParent {
+			t.Fatalf("accepted unknown role %d", c.Role)
+		}
+		if out := c.Marshal(); !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed payload: %x -> %x", data, out)
+		}
+	})
+}

@@ -85,6 +85,33 @@ func NewStack(id topology.NodeID, isAP bool, cfg Config, rng *rand.Rand) (*Stack
 // Router exposes the routing state for experiments and tests.
 func (s *Stack) Router() *Router { return s.router }
 
+// Reset implements mac.Resetter: it discards every piece of learned
+// routing and scheduling state — neighbour table, parents, children,
+// schedule, pending handshakes — returning the stack to its
+// just-constructed state. Installed callbacks (Router.OnRouteChange) and
+// configuration survive, so a chaos-plan reboot with state loss keeps
+// reporting route changes through the same telemetry chain.
+func (s *Stack) Reset() {
+	onChange := s.router.OnRouteChange
+	router := NewRouter(s.id, s.isAP, s.cfg.neighborTimeoutSlots(), s.cfg.childTimeoutSlots(),
+		s.cfg.RankGranularity)
+	router.plainETX = s.cfg.PlainETX
+	router.OnRouteChange = onChange
+	s.router = router
+	s.sched = newScheduler(s.id, s.isAP, s.cfg, router)
+	// NewTimer only fails on invalid config, which Validate already
+	// accepted at construction.
+	s.tr, _ = trickle.NewTimer(s.cfg.Trickle, s.rng)
+	s.pending = nil
+	s.wantJoinIn = false
+	s.nextMaintain = 0
+	s.nextSolicit = 0
+	s.synced = false
+	s.lastBest, s.lastSecond = 0, 0
+	s.bestConfirmed, s.secondConfirmed = false, false
+	s.fallbackParent = 0
+}
+
 // Assignment implements mac.Protocol. It also advances the Trickle timer
 // (one call per slot) and latches a pending join-in until the next shared
 // slot, and runs periodic routing-state maintenance.

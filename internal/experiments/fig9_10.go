@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/digs-net/digs/internal/campaign"
+	"github.com/digs-net/digs/internal/chaos"
 	"github.com/digs-net/digs/internal/core"
 	"github.com/digs-net/digs/internal/flows"
 	"github.com/digs-net/digs/internal/interference"
@@ -113,15 +114,14 @@ func runInterferenceCampaign(proto Protocol, opts InterferenceOptions) ([]FlowSe
 	}
 	nw.Run(sim.SlotsFor(30 * time.Second))
 
-	// Jammers on for the whole measurement campaign. The motes running
-	// JamLab stop participating in the network (they are repurposed).
-	start := nw.ASN()
-	for j, at := range topo.SuggestedJammers {
-		nw.AddInterferer(&interference.Window{
-			Source:   interference.NewWiFiJammer(topo, at, wifiChannelFor(j), opts.Seed+int64(j)),
-			StartASN: start,
-		})
-		nw.Fail(at)
+	// Jammers on for the whole measurement campaign — the Figure 8
+	// scenario, expressed as a chaos plan: a WiFi jammer at each suggested
+	// position plus the crash of the mote running it (JamLab repurposes
+	// the mote, so it stops participating in the network). The nil emit
+	// chain keeps the fault engine silent here; digs-chaos runs the same
+	// plan with full recovery telemetry.
+	if _, err := chaos.Apply(nw, chaos.Fig8JammerPlan(topo, opts.Seed), nil, chaos.Hooks{}); err != nil {
+		return nil, err
 	}
 	// Let the stacks reach steady state under the new interference before
 	// measuring, with unmeasured priming traffic flowing: link estimators

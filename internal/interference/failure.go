@@ -17,7 +17,9 @@ type FailureEvent struct {
 }
 
 // ScheduleFailures registers the given failure events on the network,
-// relative to the network's current time.
+// relative to the network's current time. Events dated in the past (a
+// negative At, or a simulation already beyond the offset) are not lost:
+// sim.Network.At clamps them to the next slot, so they fire immediately.
 func ScheduleFailures(nw *sim.Network, events []FailureEvent) {
 	base := nw.ASN()
 	for _, ev := range events {

@@ -1,0 +1,55 @@
+package interference
+
+import (
+	"testing"
+	"time"
+
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+func TestScheduleFailuresFailsAndRecovers(t *testing.T) {
+	topo := topology.TestbedA()
+	nw := sim.NewNetwork(topo, 1)
+	ScheduleFailures(nw, []FailureEvent{
+		{Node: 5, At: time.Second},                                // permanent
+		{Node: 9, At: 2 * time.Second, RecoverAfter: time.Second}, // transient
+	})
+
+	if nw.Failed(5) || nw.Failed(9) {
+		t.Fatal("no event should have fired before the run starts")
+	}
+	nw.Run(sim.SlotsFor(time.Second) + 1)
+	if !nw.Failed(5) || nw.Failed(9) {
+		t.Fatalf("after 1s: Failed(5)=%v Failed(9)=%v, want true/false", nw.Failed(5), nw.Failed(9))
+	}
+	nw.Run(sim.SlotsFor(time.Second))
+	if !nw.Failed(9) {
+		t.Fatal("node 9 should be down at 2s")
+	}
+	nw.Run(sim.SlotsFor(time.Second))
+	if nw.Failed(9) {
+		t.Fatal("node 9 should have recovered at 3s")
+	}
+	if !nw.Failed(5) {
+		t.Fatal("node 5 has no RecoverAfter and must stay dead")
+	}
+}
+
+// TestScheduleFailuresPastEventsFireImmediately pins the clamping contract:
+// an event dated before the network's current slot is not dropped —
+// sim.Network.At pulls it forward to the next processed slot.
+func TestScheduleFailuresPastEventsFireImmediately(t *testing.T) {
+	topo := topology.TestbedA()
+	nw := sim.NewNetwork(topo, 1)
+	nw.Run(100)
+
+	ScheduleFailures(nw, []FailureEvent{{Node: 7, At: -time.Minute}})
+	if nw.Failed(7) {
+		t.Fatal("event must not fire synchronously at scheduling time")
+	}
+	nw.Run(1)
+	if !nw.Failed(7) {
+		t.Fatal("past-dated failure event did not fire on the next slot")
+	}
+}

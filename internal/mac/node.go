@@ -10,6 +10,19 @@ import (
 	"github.com/digs-net/digs/internal/topology"
 )
 
+// OverflowPolicy selects what a full data queue does with a new packet.
+type OverflowPolicy uint8
+
+const (
+	// OverflowRejectNew drops the arriving packet when the queue is full
+	// (the seed behaviour, and the default).
+	OverflowRejectNew OverflowPolicy = iota
+	// OverflowDropOldest evicts the oldest queued packet to admit the new
+	// one: under congestion the queue carries the freshest samples, which
+	// industrial monitoring flows prefer over stale ones.
+	OverflowDropOldest
+)
+
 // Config tunes MAC behaviour.
 type Config struct {
 	// QueueCap bounds the data forwarding queue (TelosB-class memory).
@@ -17,6 +30,15 @@ type Config struct {
 	// MaxTxPerPacket bounds total transmission attempts before a data
 	// packet is dropped.
 	MaxTxPerPacket int
+	// Overflow selects the full-queue policy (default: reject the new
+	// packet).
+	Overflow OverflowPolicy
+	// WatchdogNoAckLimit, when positive, rotates the head-of-line packet
+	// to the queue tail after that many consecutive un-acked data
+	// attempts to the same destination, so a dead next-hop degrades
+	// gracefully instead of stalling every packet behind it until the
+	// retry budget runs out. Zero disables the watchdog.
+	WatchdogNoAckLimit int
 	// DownlinkFrameLen enables the downlink command slotframe when
 	// positive: every node listens once per frame in a slot derived from
 	// its ID, and source-routed commands ride the slots the protocol
@@ -52,6 +74,12 @@ type Stats struct {
 	DroppedQueue       int64
 	DroppedRetries     int64
 	Duplicates         int64
+	// Evicted counts packets the drop-oldest overflow policy pushed out
+	// (a subset of DroppedQueue, which stays the total queue loss).
+	Evicted int64
+	// WatchdogRequeues counts head-of-line rotations the transmit
+	// watchdog performed.
+	WatchdogRequeues int64
 }
 
 // DutyCycle returns the fraction of elapsed time the radio was on.
@@ -123,6 +151,11 @@ type Node struct {
 	bcastSeq  uint16
 	coinState uint64
 
+	// wdDst/wdFails track consecutive un-acked data attempts to one
+	// destination for the transmit watchdog.
+	wdDst   topology.NodeID
+	wdFails int
+
 	// tracer, when non-nil, receives a packet-lifecycle event per
 	// generation, enqueue, transmission attempt, reception and drop. The
 	// disabled path is a single nil check per hook point.
@@ -181,15 +214,18 @@ func (n *Node) InjectData(f *sim.Frame) error {
 		})
 	}
 	if len(n.queue) >= n.cfg.QueueCap {
-		n.stats.DroppedQueue++
-		if n.tracer != nil {
-			n.tracer.Record(telemetry.Event{
-				ASN: f.BornASN, Type: telemetry.EvDropped, Node: n.id,
-				Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
-				Reason: telemetry.ReasonQueueFull, Queue: int16(len(n.queue)), Born: f.BornASN,
-			})
+		if n.cfg.Overflow != OverflowDropOldest {
+			n.stats.DroppedQueue++
+			if n.tracer != nil {
+				n.tracer.Record(telemetry.Event{
+					ASN: f.BornASN, Type: telemetry.EvDropped, Node: n.id,
+					Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+					Reason: telemetry.ReasonQueueFull, Queue: int16(len(n.queue)), Born: f.BornASN,
+				})
+			}
+			return fmt.Errorf("node %d: data queue full", n.id)
 		}
-		return fmt.Errorf("node %d: data queue full", n.id)
+		n.evictOldest(f.BornASN)
 	}
 	n.queue = append(n.queue, queuedPacket{frame: f})
 	if n.tracer != nil {
@@ -200,6 +236,27 @@ func (n *Node) InjectData(f *sim.Frame) error {
 		})
 	}
 	return nil
+}
+
+// evictOldest drops the head-of-line packet to make room under the
+// drop-oldest overflow policy. The caller admits the new packet after.
+// If the evicted head is mid-transmission this slot, txDone's identity
+// check (queue[0].frame) makes the late ACK report a no-op.
+func (n *Node) evictOldest(asn sim.ASN) {
+	head := n.queue[0]
+	n.stats.DroppedQueue++
+	n.stats.Evicted++
+	if n.tracer != nil {
+		f := head.frame
+		n.tracer.Record(telemetry.Event{
+			ASN: asn, Type: telemetry.EvDropped, Node: n.id,
+			Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+			Reason: telemetry.ReasonEvicted,
+			Queue:  int16(len(n.queue) - 1), Born: f.BornASN,
+		})
+	}
+	n.queue = n.queue[1:]
+	n.wdFails = 0
 }
 
 // scanDwellSlots is how long a joining node camps on one channel before
@@ -389,16 +446,19 @@ func (n *Node) receive(asn sim.ASN, f *sim.Frame, rssi float64) {
 	// Forward: copy the end-to-end identity into a fresh frame owned by
 	// this node's queue.
 	if len(n.queue) >= n.cfg.QueueCap {
-		n.stats.DroppedQueue++
-		if n.tracer != nil {
-			n.tracer.Record(telemetry.Event{
-				ASN: asn, Type: telemetry.EvDropped, Node: n.id, Peer: f.Src,
-				Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
-				Hop: hop, Reason: telemetry.ReasonQueueFull,
-				Queue: int16(len(n.queue)), Born: f.BornASN,
-			})
+		if n.cfg.Overflow != OverflowDropOldest {
+			n.stats.DroppedQueue++
+			if n.tracer != nil {
+				n.tracer.Record(telemetry.Event{
+					ASN: asn, Type: telemetry.EvDropped, Node: n.id, Peer: f.Src,
+					Origin: f.Origin, Flow: f.FlowID, Seq: f.Seq, Kind: uint8(f.Kind),
+					Hop: hop, Reason: telemetry.ReasonQueueFull,
+					Queue: int16(len(n.queue)), Born: f.BornASN,
+				})
+			}
+			return
 		}
-		return
+		n.evictOldest(asn)
 	}
 	fwd := &sim.Frame{
 		Kind:    sim.KindData,
@@ -441,6 +501,7 @@ func (n *Node) txDone(asn sim.ASN, op sim.RadioOp, acked bool) {
 		n.proto.OnTxResult(asn, f, f.Dst, acked)
 		if acked {
 			n.queue = n.queue[1:]
+			n.wdFails = 0
 			return
 		}
 		n.queue[0].txCount++
@@ -456,13 +517,73 @@ func (n *Node) txDone(asn sim.ASN, op sim.RadioOp, acked bool) {
 				})
 			}
 			n.queue = n.queue[1:]
+			n.wdFails = 0
+			return
 		}
+		n.watchdog(f.Dst)
 		return
 	}
 	n.stats.TxControl++
 	n.traceTx(asn, op, acked, 0, int16(len(n.queue)))
 	if op.NeedAck {
 		n.proto.OnTxResult(asn, f, f.Dst, acked)
+	}
+}
+
+// watchdog counts consecutive un-acked data attempts to one destination
+// and, at the configured limit, rotates the head-of-line packet to the
+// queue tail (keeping its retry count) so packets behind it get a turn
+// while the routing layer notices the dead next-hop.
+func (n *Node) watchdog(dst topology.NodeID) {
+	if n.cfg.WatchdogNoAckLimit <= 0 {
+		return
+	}
+	if dst != n.wdDst {
+		n.wdDst, n.wdFails = dst, 0
+	}
+	n.wdFails++
+	if n.wdFails < n.cfg.WatchdogNoAckLimit || len(n.queue) < 2 {
+		return
+	}
+	head := n.queue[0]
+	n.queue = append(n.queue[1:], head)
+	n.stats.WatchdogRequeues++
+	n.wdFails = 0
+}
+
+// Resetter is optionally implemented by protocols that can discard their
+// routing state for a cold reboot (see Node.Reboot with state loss).
+type Resetter interface {
+	// Reset returns the protocol to its just-constructed state, keeping
+	// only identity and configuration (and any installed callbacks).
+	Reset()
+}
+
+// Reboot cold-restarts the node at the given slot: the data and downlink
+// queues, relay state and duplicate table are lost, and non-AP nodes
+// come back unsynchronised (the slot clock does not survive a reboot) —
+// they must re-hear a beacon. Access points remain the time source.
+// When loseState is true the protocol's routing state is also discarded
+// (if it implements Resetter), so the node rejoins from scratch rather
+// than resuming its old schedule and parents from persistent storage.
+func (n *Node) Reboot(asn sim.ASN, loseState bool) {
+	n.queue = nil
+	n.downQueue = nil
+	n.bcastOut = nil
+	n.seen = make(map[seenKey]struct{})
+	n.wdDst, n.wdFails = 0, 0
+	if loseState {
+		if r, ok := n.proto.(Resetter); ok {
+			r.Reset()
+		}
+	}
+	if n.isAP {
+		n.syncedAt = asn
+		if loseState {
+			n.proto.OnSynced(asn)
+		}
+	} else {
+		n.synced = false
 	}
 }
 

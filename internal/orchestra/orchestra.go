@@ -153,6 +153,28 @@ func NewStack(id topology.NodeID, isRoot bool, cfg Config, rng *rand.Rand) (*Sta
 // Router exposes the RPL state for experiments and tests.
 func (s *Stack) Router() *rpl.Router { return s.router }
 
+// Reset implements mac.Resetter: it discards the RPL neighbour set,
+// parent and derived schedule caches, returning the stack to its
+// just-constructed state. The installed OnParentChange callback and the
+// configuration survive, so a chaos-plan reboot with state loss keeps
+// reporting route changes through the same telemetry chain.
+func (s *Stack) Reset() {
+	onChange := s.router.OnParentChange
+	router := rpl.NewRouter(s.id, s.isRoot, sim.SlotsFor(s.cfg.NeighborTimeout),
+		s.cfg.RankGranularity)
+	router.OnParentChange = onChange
+	s.router = router
+	// NewTimer only fails on invalid config, which Validate already
+	// accepted at construction.
+	s.tr, _ = trickle.NewTimer(s.cfg.Trickle, s.rng)
+	s.wantDIO = false
+	s.nextMaintain = 0
+	s.nextSolicit = 0
+	s.synced = false
+	s.txBackoff = 0
+	s.childSlots = nil
+}
+
 func (s *Stack) ebRole(offset int64, _ sim.ASN) (mac.SlotRole, int) {
 	if offset == int64(s.id-1)%s.cfg.EBFrameLen {
 		return mac.RoleTxEB, 0

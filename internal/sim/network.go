@@ -103,6 +103,19 @@ type Network struct {
 	rssDim  int
 	numDevs int
 
+	// fade is a lazily allocated symmetric attenuation overlay (dB,
+	// positive weakens the link), indexed like rss. The chaos layer uses
+	// it for correlated link fades and network partitions; nil until the
+	// first AddLinkFade keeps the unfaulted hot path branch-predictable.
+	fade []float64
+
+	// driftProb holds each node's per-slot clock misalignment
+	// probability (0 = slot timer healthy), driftSeed the deterministic
+	// per-node hash seed; both nil until the first SetClockDrift.
+	driftProb []float64
+	driftSeed []uint64
+	misses    []bool // per-slot scratch: node misaligned this slot
+
 	// Scratch buffers reused across slots: the steady-state slot loop
 	// performs zero heap allocations.
 	ops       []RadioOp
@@ -140,9 +153,73 @@ func NewNetwork(topo *topology.Topology, seed int64) *Network {
 	return nw
 }
 
-// rssAt returns the cached mean RSS of the link a->b.
+// rssAt returns the cached mean RSS of the link a->b, minus any active
+// fade overlay.
 func (nw *Network) rssAt(a, b topology.NodeID) float64 {
-	return nw.rss[int(a)*nw.rssDim+int(b)]
+	r := nw.rss[int(a)*nw.rssDim+int(b)]
+	if nw.fade != nil {
+		r -= nw.fade[int(a)*nw.rssDim+int(b)]
+	}
+	return r
+}
+
+// AddLinkFade attenuates the link between a and b by dB in both
+// directions, on top of the topology's static model (fault injection:
+// correlated fades, partitions). Fades accumulate; pass a negative dB to
+// lift one. Out-of-range IDs and self-links are ignored.
+func (nw *Network) AddLinkFade(a, b topology.NodeID, dB float64) {
+	if a == b || a < 1 || b < 1 || int(a) >= nw.rssDim || int(b) >= nw.rssDim {
+		return
+	}
+	if nw.fade == nil {
+		nw.fade = make([]float64, len(nw.rss))
+	}
+	nw.fade[int(a)*nw.rssDim+int(b)] += dB
+	nw.fade[int(b)*nw.rssDim+int(a)] += dB
+}
+
+// SetClockDrift gives a node's slot timer a deterministic misalignment: in
+// each slot, with probability missProb (clamped to [0,1]), the node's
+// radio window misses the network's slot — its transmissions decode
+// nowhere and it hears nothing, while still spending the energy. This
+// abstracts accumulated oscillator drift exceeding the TSCH guard time
+// between resynchronisations. missProb 0 restores a healthy timer. The
+// per-slot decision is a pure hash of (seed, node, asn), so drift is
+// reproducible and consumes no draws from the network's RNG.
+func (nw *Network) SetClockDrift(id topology.NodeID, missProb float64, seed int64) {
+	if id < 1 || int(id) >= nw.rssDim {
+		return
+	}
+	if nw.driftProb == nil {
+		if missProb <= 0 {
+			return
+		}
+		nw.driftProb = make([]float64, nw.rssDim)
+		nw.driftSeed = make([]uint64, nw.rssDim)
+		nw.misses = make([]bool, nw.rssDim)
+	}
+	if missProb < 0 {
+		missProb = 0
+	} else if missProb > 1 {
+		missProb = 1
+	}
+	nw.driftProb[id] = missProb
+	nw.driftSeed[id] = uint64(seed)*0x9E3779B97F4A7C15 + uint64(id)
+}
+
+// driftMiss reports whether a drifting node's slot timer misses the given
+// slot, as a pure function of (seed, node, asn).
+func (nw *Network) driftMiss(id int, asn ASN) bool {
+	p := nw.driftProb[id]
+	if p <= 0 {
+		return false
+	}
+	x := nw.driftSeed[id] ^ uint64(asn)*0x9E3779B97F4A7C15
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11)/float64(1<<53) < p
 }
 
 // Topology returns the deployment the network runs over.
@@ -218,11 +295,13 @@ func (nw *Network) RunUntil(maxSlots int64, done func() bool) (int64, bool) {
 }
 
 // At schedules fn to run at the start of the given slot (failure injection,
-// scenario phase changes, measurement snapshots). Scheduling in the past is
-// a no-op. Events for the same slot fire in scheduling order.
+// scenario phase changes, measurement snapshots). A past-dated slot fires
+// at the next slot boundary instead of being silently dropped, so relative
+// scenario scripts with negative or stale offsets still execute. Events
+// for the same slot fire in scheduling order.
 func (nw *Network) At(asn ASN, fn func()) {
 	if asn < nw.asn {
-		return
+		asn = nw.asn
 	}
 	nw.eventSeq++
 	nw.pending.push(pendingEvent{asn: asn, seq: nw.eventSeq, fn: fn})
@@ -258,6 +337,15 @@ func (nw *Network) Step() {
 		op := d.Plan(asn)
 		nw.ops[id] = op
 		nw.reports[id].Op = op
+		if nw.driftProb != nil {
+			// A misaligned slot: the radio acts outside the network's
+			// guard window, so the node's transmission decodes nowhere and
+			// its listen hears nothing — but the energy is still spent
+			// (phase 3 charges the op's activity class as planned).
+			if nw.misses[id] = nw.driftMiss(id, asn); nw.misses[id] {
+				continue
+			}
+		}
 		if op.Kind == OpTx {
 			if op.Frame == nil {
 				// A transmit plan with no frame degrades to sleep.
@@ -281,6 +369,9 @@ func (nw *Network) Step() {
 		op := nw.ops[id]
 		if op.Kind != OpRx && op.Kind != OpScan {
 			continue
+		}
+		if nw.driftProb != nil && nw.misses[id] {
+			continue // listening outside the slot's guard window
 		}
 		nw.resolveListener(topology.NodeID(id), op, asn)
 	}

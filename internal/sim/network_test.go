@@ -272,10 +272,12 @@ func TestScheduledEventsFire(t *testing.T) {
 	nw.At(5, func() { fired = append(fired, 5) })
 	nw.At(2, func() { fired = append(fired, 2) })
 	nw.AfterDuration(100*time.Millisecond, func() { fired = append(fired, 10) })
-	nw.At(-1, func() { t.Fatal("past event fired") })
+	// A past-dated event fires at the next slot boundary instead of being
+	// dropped (fault plans may script stale relative offsets).
+	nw.At(-1, func() { fired = append(fired, nw.ASN()) })
 	nw.Run(20)
-	if len(fired) != 3 || fired[0] != 2 || fired[1] != 5 || fired[2] != 10 {
-		t.Fatalf("events fired = %v, want [2 5 10]", fired)
+	if len(fired) != 4 || fired[0] != 0 || fired[1] != 2 || fired[2] != 5 || fired[3] != 10 {
+		t.Fatalf("events fired = %v, want [0 2 5 10]", fired)
 	}
 }
 
@@ -657,5 +659,86 @@ func BenchmarkSlotLoop(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nw.Step()
+	}
+}
+
+// TestLinkFadeSilencesLink fades a perfect link below sensitivity and
+// checks delivery stops, then lifts the fade and checks it resumes.
+func TestLinkFadeSilencesLink(t *testing.T) {
+	topo := pairTopology(t, 2)
+	nw := NewNetwork(topo, 1)
+	nw.FastFadingSigmaDB = 0
+	frame := &Frame{Kind: KindData, Src: 2, Dst: 1, Seq: 7}
+	tx := &scriptDevice{id: 2, plan: txPlan(frame, 15, false)}
+	rx := &scriptDevice{id: 1, plan: rxPlan(15)}
+	for _, d := range []Device{tx, rx} {
+		if err := nw.Attach(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	received := func() int {
+		n := 0
+		for _, rep := range rx.reports {
+			if rep.Received != nil {
+				n++
+			}
+		}
+		return n
+	}
+
+	nw.AddLinkFade(1, 2, 200)
+	nw.Run(20)
+	if received() != 0 {
+		t.Fatalf("received %d frames across a 200 dB fade", received())
+	}
+	nw.AddLinkFade(1, 2, -200)
+	nw.Run(20)
+	if received() == 0 {
+		t.Fatal("no frames received after the fade lifted")
+	}
+}
+
+// TestClockDriftBlocksSlots gives the receiver a fully drifted slot timer
+// and checks it decodes nothing while the fault is active, recovers when
+// cleared, and that the pattern is a pure function of the drift seed.
+func TestClockDriftBlocksSlots(t *testing.T) {
+	run := func(missProb float64, seed int64) int {
+		topo := pairTopology(t, 2)
+		nw := NewNetwork(topo, 1)
+		nw.FastFadingSigmaDB = 0
+		frame := &Frame{Kind: KindData, Src: 2, Dst: 1, Seq: 7}
+		tx := &scriptDevice{id: 2, plan: txPlan(frame, 15, false)}
+		rx := &scriptDevice{id: 1, plan: rxPlan(15)}
+		for _, d := range []Device{tx, rx} {
+			if err := nw.Attach(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nw.SetClockDrift(1, missProb, seed)
+		nw.Run(200)
+		n := 0
+		for _, rep := range rx.reports {
+			if rep.Received != nil {
+				n++
+			}
+		}
+		return n
+	}
+	if got := run(1.0, 3); got != 0 {
+		t.Fatalf("fully drifted receiver decoded %d frames", got)
+	}
+	healthy := run(0, 3)
+	if healthy == 0 {
+		t.Fatal("healthy receiver decoded nothing")
+	}
+	half := run(0.5, 3)
+	if half == 0 || half >= healthy {
+		t.Fatalf("half-drifted receiver decoded %d frames (healthy %d)", half, healthy)
+	}
+	if again := run(0.5, 3); again != half {
+		t.Fatalf("same drift seed decoded %d then %d frames", half, again)
+	}
+	if other := run(0.5, 4); other == half {
+		t.Logf("different drift seeds coincided at %d frames (possible, just unlikely)", other)
 	}
 }

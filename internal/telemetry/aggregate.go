@@ -95,6 +95,8 @@ type Aggregate struct {
 	cells        map[CellKey]*CellStats
 	queueHist    [QueueHistBuckets]int64
 	routeChanges int64
+	faults       int64
+	reconverged  int64
 }
 
 var _ Tracer = (*Aggregate)(nil)
@@ -193,6 +195,10 @@ func (a *Aggregate) Record(ev Event) {
 		n.Collisions++
 	case EvRouteChange:
 		a.routeChanges++
+	case EvFaultStart:
+		a.faults++
+	case EvReconverged:
+		a.reconverged++
 	}
 }
 
@@ -211,6 +217,12 @@ func (a *Aggregate) Jobs() int { return len(a.jobs) }
 
 // RouteChanges returns the number of routing adjacency changes.
 func (a *Aggregate) RouteChanges() int64 { return a.routeChanges }
+
+// Faults returns the number of chaos fault activations in the trace.
+func (a *Aggregate) Faults() int64 { return a.faults }
+
+// Reconverged returns the number of post-fault reconvergence marks.
+func (a *Aggregate) Reconverged() int64 { return a.reconverged }
 
 // Generated returns the number of distinct application packets seen.
 func (a *Aggregate) Generated() int { return len(a.spans) }

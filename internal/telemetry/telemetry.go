@@ -22,7 +22,7 @@ import "github.com/digs-net/digs/internal/topology"
 // version on any field change; readers refuse streams they do not know.
 const (
 	SchemaName    = "digs-trace"
-	SchemaVersion = 1
+	SchemaVersion = 2
 )
 
 // EventType classifies a lifecycle event.
@@ -52,6 +52,17 @@ const (
 	// best parent (0 = lost), Peer2 the new backup where the protocol
 	// keeps one.
 	EvRouteChange
+	// EvFaultStart marks a chaos-plan fault becoming active: Flow is the
+	// plan entry index, Seq the occurrence number for periodic faults,
+	// Node the first target (0 for region-wide faults).
+	EvFaultStart
+	// EvFaultEnd marks a chaos-plan fault window closing (faults with no
+	// end emit only EvFaultStart).
+	EvFaultEnd
+	// EvReconverged marks the routing layer settling after a fault: all
+	// live nodes are routed again and no route change happened for the
+	// injector's quiet window. Flow/Seq name the fault it answers.
+	EvReconverged
 )
 
 var eventNames = [...]string{
@@ -63,6 +74,9 @@ var eventNames = [...]string{
 	EvDropped:     "drop",
 	EvCollision:   "col",
 	EvRouteChange: "route",
+	EvFaultStart:  "fault_start",
+	EvFaultEnd:    "fault_end",
+	EvReconverged: "reconverged",
 }
 
 // String returns the compact wire name of the event type.
@@ -100,6 +114,9 @@ const (
 	// ReasonDuplicate: duplicate suppression rejected a copy already
 	// seen (redundant-route or retransmission duplicate).
 	ReasonDuplicate
+	// ReasonEvicted: the queue was full and the drop-oldest overflow
+	// policy evicted this (oldest) packet to admit a newer one.
+	ReasonEvicted
 )
 
 var reasonNames = [...]string{
@@ -108,6 +125,7 @@ var reasonNames = [...]string{
 	ReasonMaxRetries:   "max-retries",
 	ReasonSplitHorizon: "split-horizon",
 	ReasonDuplicate:    "duplicate",
+	ReasonEvicted:      "queue-evict",
 }
 
 // String returns the wire name of the drop reason ("" for none).

@@ -41,6 +41,12 @@ func goldenEvents() []Event {
 			Reason: ReasonQueueFull, Queue: 16, Born: 500},
 		{ASN: 600, Type: EvDropped, Node: 4, Peer: 9, Origin: 9, Flow: 3, Seq: 21, Kind: kindData,
 			Reason: ReasonDuplicate, Hop: 1, Born: 100, Job: 1},
+		{ASN: 700, Type: EvFaultStart, Node: 4, Flow: 0, Seq: 1},
+		{ASN: 700, Type: EvGenerated, Node: 9, Origin: 9, Flow: 3, Seq: 22, Kind: kindData, Born: 700},
+		{ASN: 720, Type: EvDropped, Node: 9, Origin: 9, Flow: 3, Seq: 22, Kind: kindData,
+			Reason: ReasonEvicted, Queue: 16, Born: 700},
+		{ASN: 900, Type: EvFaultEnd, Node: 4, Flow: 0, Seq: 1},
+		{ASN: 1400, Type: EvReconverged, Flow: 0, Seq: 1},
 	}
 }
 
@@ -204,15 +210,15 @@ func TestAggregateFoldsLifecycle(t *testing.T) {
 		a.Record(ev)
 	}
 
-	// Two packets generated (jobs 0), one delivered.
-	if a.Generated() != 2 || a.Delivered() != 1 {
-		t.Fatalf("generated/delivered = %d/%d, want 2/1", a.Generated(), a.Delivered())
+	// Three packets generated (jobs 0), one delivered.
+	if a.Generated() != 3 || a.Delivered() != 1 {
+		t.Fatalf("generated/delivered = %d/%d, want 3/1", a.Generated(), a.Delivered())
 	}
-	if pdr := a.PDR(); pdr != 0.5 {
-		t.Fatalf("PDR = %v, want 0.5", pdr)
+	if pdr := a.PDR(); pdr != 1.0/3.0 {
+		t.Fatalf("PDR = %v, want 1/3", pdr)
 	}
-	if got := a.FlowPDR(0, 3); got != 1.0 {
-		t.Fatalf("flow 3 PDR = %v, want 1.0", got)
+	if got := a.FlowPDR(0, 3); got != 0.5 {
+		t.Fatalf("flow 3 PDR = %v, want 0.5", got)
 	}
 	if got := a.FlowPDR(0, 2); got != 0.0 {
 		t.Fatalf("flow 2 PDR = %v, want 0.0", got)
@@ -224,10 +230,16 @@ func TestAggregateFoldsLifecycle(t *testing.T) {
 		t.Fatalf("hop latencies = %+v, want one row: 2 hops, 315 slots", lat)
 	}
 
-	// Drop attribution: queue-full at node 8; the job-1 duplicate at node 4.
+	// Drop attribution: queue-full at node 8, the job-1 duplicate at node
+	// 4, and the drop-oldest eviction at node 9.
 	totals := a.DropTotals()
-	if totals[ReasonQueueFull] != 1 || totals[ReasonDuplicate] != 1 {
-		t.Fatalf("drop totals = %v, want 1 queue-full and 1 duplicate", totals)
+	if totals[ReasonQueueFull] != 1 || totals[ReasonDuplicate] != 1 || totals[ReasonEvicted] != 1 {
+		t.Fatalf("drop totals = %v, want 1 queue-full, 1 duplicate, 1 queue-evict", totals)
+	}
+
+	// Recovery markers: one fault activation and one reconvergence.
+	if a.Faults() != 1 || a.Reconverged() != 1 {
+		t.Fatalf("faults/reconverged = %d/%d, want 1/1", a.Faults(), a.Reconverged())
 	}
 
 	// Cell folding: ASN 113 and 264 are offsets 113 and 113 (264-151) on
