@@ -40,6 +40,8 @@ func run() error {
 		"write the packet-lifecycle trace of the Figure 4/5 campaign (JSONL) to this file; requires -fig 4 or -fig 5")
 	smoke := flag.Bool("smoke", false,
 		"shrink the Figure 4/5 campaign to one run (2 jammers, 1 repetition) for CI smoke tests")
+	invariants := flag.Bool("invariants", false,
+		"run the invariant monitor with self-healing watchdogs during the Figure 4/5 campaign")
 	flag.Parse()
 
 	campaign.SetDefaultWorkers(*parallel)
@@ -61,7 +63,7 @@ func run() error {
 	}
 	if want("4") || want("5") {
 		ran = true
-		if err := fig4and5(*full, *smoke, *seed, *trace); err != nil {
+		if err := fig4and5(*full, *smoke, *invariants, *seed, *trace); err != nil {
 			return err
 		}
 	}
@@ -139,10 +141,11 @@ func fig3() error {
 	return nil
 }
 
-func fig4and5(full, smoke bool, seed int64, trace string) error {
+func fig4and5(full, smoke, invariants bool, seed int64, trace string) error {
 	header("Figures 4 & 5: Orchestra repair under interference")
 	opts := experiments.DefaultRepairOptions()
 	opts.Seed = seed
+	opts.Invariants = invariants
 	if !full {
 		opts.Repetitions = 2
 	}
@@ -197,6 +200,15 @@ func fig4and5(full, smoke bool, seed int64, trace string) error {
 		b := metrics.NewBoxplot(byJammers[jc])
 		fmt.Printf("  %d jammer(s): min %.3f  q1 %.3f  median %.3f  q3 %.3f  max %.3f\n",
 			jc, b.Min, b.Q1, b.Median, b.Q3, b.Max)
+	}
+	if invariants {
+		var viol, reps int
+		for _, r := range rs {
+			viol += r.Violations
+			reps += r.Repairs
+		}
+		fmt.Printf("Invariant monitor: %d violation(s), %d watchdog repair(s) across %d run(s)\n",
+			viol, reps, len(rs))
 	}
 	return nil
 }

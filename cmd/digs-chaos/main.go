@@ -18,6 +18,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"github.com/digs-net/digs/internal/chaos"
 	"github.com/digs-net/digs/internal/core"
 	"github.com/digs-net/digs/internal/flows"
+	"github.com/digs-net/digs/internal/invariant"
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/orchestra"
 	"github.com/digs-net/digs/internal/sim"
@@ -47,13 +49,15 @@ func main() {
 }
 
 type options struct {
-	plan      string
-	topology  string
-	protocols []string
-	duration  time.Duration
-	period    time.Duration
-	seed      int64
-	trace     string
+	plan       string
+	topology   string
+	protocols  []string
+	duration   time.Duration
+	period     time.Duration
+	seed       int64
+	trace      string
+	invariants bool
+	asJSON     bool
 }
 
 func run() error {
@@ -71,6 +75,10 @@ func run() error {
 	flag.Int64Var(&opts.seed, "seed", 1, "simulation seed")
 	flag.StringVar(&opts.trace, "trace", "",
 		"write the packet-lifecycle + fault event trace (JSONL) to this file")
+	flag.BoolVar(&opts.invariants, "invariants", false,
+		"run the invariant monitor with self-healing watchdogs during the plan")
+	flag.BoolVar(&opts.asJSON, "json", false,
+		"emit the recovery reports as JSON instead of tables")
 	reps := flag.Int("reps", 1, "independent repetitions (seed, seed+1, ...)")
 	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -101,8 +109,9 @@ func run() error {
 	// trace part; everything prints and merges in job-index order, so the
 	// output is byte-identical at any worker count.
 	type jobOut struct {
-		log   bytes.Buffer
-		trace bytes.Buffer
+		log    bytes.Buffer
+		trace  bytes.Buffer
+		result *runResult
 	}
 	nJobs := *reps * len(opts.protocols)
 	outs, err := campaign.Map(campaign.New(0), nJobs, func(i int) (*jobOut, error) {
@@ -115,9 +124,12 @@ func run() error {
 			jsonl = telemetry.WithJob(telemetry.NewJSONL(&o.trace), i)
 		}
 		fmt.Fprintf(&o.log, "=== %s rep %d (seed %d) ===\n", proto, rep, seed)
-		if err := runPlan(&o.log, opts, proto, seed, jsonl); err != nil {
+		res, err := runPlan(&o.log, opts, proto, seed, jsonl)
+		if err != nil {
 			return nil, fmt.Errorf("%s rep %d (seed %d): %w", proto, rep, seed, err)
 		}
+		res.Protocol, res.Rep, res.Seed = proto, rep, seed
+		o.result = res
 		return o, nil
 	})
 	var pe *campaign.PanicError
@@ -128,11 +140,28 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("chaos plan %q on %s, %d rep(s) x %s (workers=%d)\n\n",
-		opts.plan, topo.Name, *reps, strings.Join(opts.protocols, "+"), campaign.DefaultWorkers())
-	for _, o := range outs {
-		os.Stdout.Write(o.log.Bytes())
-		fmt.Println()
+	if opts.asJSON {
+		runs := make([]*runResult, len(outs))
+		for i, o := range outs {
+			runs[i] = o.result
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Plan     string       `json:"plan"`
+			Topology string       `json:"topology"`
+			Reps     int          `json:"reps"`
+			Runs     []*runResult `json:"runs"`
+		}{opts.plan, topo.Name, *reps, runs}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("chaos plan %q on %s, %d rep(s) x %s (workers=%d)\n\n",
+			opts.plan, topo.Name, *reps, strings.Join(opts.protocols, "+"), campaign.DefaultWorkers())
+		for _, o := range outs {
+			os.Stdout.Write(o.log.Bytes())
+			fmt.Println()
+		}
 	}
 	if opts.trace != "" {
 		parts := make([][]byte, len(outs))
@@ -150,7 +179,12 @@ func run() error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s (%d jobs merged)\n", opts.trace, len(outs))
+		// Keep stdout pure JSON when -json is set.
+		msgOut := io.Writer(os.Stdout)
+		if opts.asJSON {
+			msgOut = os.Stderr
+		}
+		fmt.Fprintf(msgOut, "trace written to %s (%d jobs merged)\n", opts.trace, len(outs))
 	}
 	return nil
 }
@@ -164,21 +198,52 @@ func loadPlan(name string, topo *topology.Topology, seed int64) (*chaos.Plan, er
 	return chaos.LoadFile(name)
 }
 
+// runResult is one job's machine-readable outcome (-json output).
+type runResult struct {
+	Protocol string `json:"protocol"`
+	Rep      int    `json:"rep"`
+	Seed     int64  `json:"seed"`
+	// FormedSlots is how long network formation took.
+	FormedSlots int64             `json:"formed_slots"`
+	Faults      []faultJSON       `json:"faults"`
+	Generated   int               `json:"generated"`
+	Lost        int               `json:"lost"`
+	Invariants  *invariant.Report `json:"invariants,omitempty"`
+}
+
+// faultJSON flattens one chaos.FaultReport with stringly drop reasons.
+type faultJSON struct {
+	Entry      int            `json:"entry"`
+	Occ        int            `json:"occ"`
+	Kind       string         `json:"kind"`
+	Node       int            `json:"node"`
+	StartASN   int64          `json:"start_asn"`
+	EndASN     int64          `json:"end_asn"`
+	ReconASN   int64          `json:"recon_asn"`
+	TTRSlots   int64          `json:"ttr_slots"`
+	Truncated  bool           `json:"truncated,omitempty"`
+	Generated  int            `json:"generated"`
+	Lost       int            `json:"lost"`
+	InFlight   int            `json:"in_flight,omitempty"`
+	Violations int            `json:"violations"`
+	Drops      map[string]int `json:"drops,omitempty"`
+}
+
 // runPlan executes the fault plan against one protocol stack and writes
 // the recovery report to w.
-func runPlan(w io.Writer, opts options, proto string, seed int64, jsonl telemetry.Tracer) error {
+func runPlan(w io.Writer, opts options, proto string, seed int64, jsonl telemetry.Tracer) (*runResult, error) {
 	topo, err := pickTopology(opts.topology)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	plan, err := loadPlan(opts.plan, topo, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	nw := sim.NewNetwork(topo, seed)
 	stack, err := buildStack(nw, topo, proto, seed, opts.period)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	// Formation, then a settling margin before the plan epoch.
@@ -186,7 +251,7 @@ func runPlan(w io.Writer, opts options, proto string, seed int64, jsonl telemetr
 		return stack.joined() == topo.N()
 	})
 	if !ok {
-		return fmt.Errorf("only %d/%d nodes joined during formation", stack.joined(), topo.N())
+		return nil, fmt.Errorf("only %d/%d nodes joined during formation", stack.joined(), topo.N())
 	}
 	fmt.Fprintf(w, "network formed in %v\n", sim.TimeAt(formSlots))
 	nw.Run(sim.SlotsFor(30 * time.Second))
@@ -195,6 +260,18 @@ func runPlan(w io.Writer, opts options, proto string, seed int64, jsonl telemetr
 	// the injector rides the stack's tracer to observe route changes.
 	rec := chaos.NewRecovery()
 	chain := telemetry.Multi(rec, jsonl)
+
+	// The invariant monitor emits into the same chain (so violations land
+	// in the trace and the recovery windows) but is chained after it, so
+	// it never observes its own emissions. Attached post-formation: the
+	// checks gate on joined state, and the watchdog heals through the
+	// stack's reboot path with callbacks preserved.
+	var mon *invariant.Monitor
+	if opts.invariants {
+		mon = invariant.New(invariant.Config{Emit: chain, Heal: stack.healer})
+		chain = telemetry.Multi(rec, jsonl, mon)
+		invariant.Attach(nw, mon, stack.prober, 0)
+	}
 	live := func() int {
 		n := 0
 		for i := 1; i <= topo.N(); i++ {
@@ -211,7 +288,7 @@ func runPlan(w io.Writer, opts options, proto string, seed int64, jsonl telemetr
 		},
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	stack.setTracer(telemetry.Multi(chain, inj))
 	telemetry.AttachSim(nw, chain)
@@ -237,20 +314,56 @@ func runPlan(w io.Writer, opts options, proto string, seed int64, jsonl telemetr
 	nw.Run(sim.SlotsFor(window + 45*time.Second))
 	stack.setTracer(nil)
 	if err := chain.Flush(); err != nil {
-		return err
+		return nil, err
 	}
-	report(w, plan, rec)
-	return nil
+	report(w, plan, rec, mon)
+	return buildResult(formSlots, plan, rec, mon), nil
+}
+
+// buildResult folds one run into the -json shape.
+func buildResult(formSlots int64, plan *chaos.Plan, rec *chaos.Recovery, mon *invariant.Monitor) *runResult {
+	res := &runResult{
+		FormedSlots: formSlots,
+		Faults:      []faultJSON{},
+		Generated:   rec.Generated(),
+		Lost:        rec.Lost(),
+	}
+	for _, r := range rec.Report() {
+		kind := "?"
+		if r.Entry < len(plan.Entries) {
+			kind = string(plan.Entries[r.Entry].Kind)
+		}
+		fj := faultJSON{
+			Entry: r.Entry, Occ: r.Occ, Kind: kind, Node: int(r.Node),
+			StartASN: r.StartASN, EndASN: r.EndASN, ReconASN: r.ReconASN,
+			TTRSlots: r.TTRSlots, Truncated: r.Truncated,
+			Generated: r.Generated, Lost: r.Lost, InFlight: r.InFlight,
+			Violations: r.Violations,
+		}
+		if len(r.Drops) > 0 {
+			fj.Drops = make(map[string]int, len(r.Drops))
+			for reason, n := range r.Drops {
+				fj.Drops[reason.String()] = n
+			}
+		}
+		res.Faults = append(res.Faults, fj)
+	}
+	if mon != nil {
+		rep := mon.Report()
+		res.Invariants = &rep
+	}
+	return res
 }
 
 // report prints the per-fault recovery table and the run totals.
-func report(w io.Writer, plan *chaos.Plan, rec *chaos.Recovery) {
+func report(w io.Writer, plan *chaos.Plan, rec *chaos.Recovery, mon *invariant.Monitor) {
 	reps := rec.Report()
 	if len(reps) == 0 {
 		fmt.Fprintln(w, "no faults fired inside the run window")
 	} else {
-		fmt.Fprintf(w, "%-6s %-13s %6s %10s %10s %9s  %s\n",
-			"fault", "kind", "target", "start", "ttr", "lost/gen", "drops in window")
+		fmt.Fprintf(w, "%-6s %-13s %6s %10s %10s %9s %5s  %s\n",
+			"fault", "kind", "target", "start", "ttr", "lost/gen", "viol", "drops in window")
+		truncated := 0
 		for _, r := range reps {
 			kind := "?"
 			if r.Entry < len(plan.Entries) {
@@ -259,13 +372,23 @@ func report(w io.Writer, plan *chaos.Plan, rec *chaos.Recovery) {
 			ttr := "never"
 			if r.TTRSlots >= 0 {
 				ttr = sim.TimeAt(r.TTRSlots).String()
+			} else if r.Truncated {
+				ttr = "trunc"
+				truncated += r.InFlight
 			}
-			fmt.Fprintf(w, "#%d.%-4d %-13s %6d %10v %10s %5d/%-3d  %s\n",
+			fmt.Fprintf(w, "#%d.%-4d %-13s %6d %10v %10s %5d/%-3d %5d  %s\n",
 				r.Entry, r.Occ, kind, r.Node, sim.TimeAt(r.StartASN), ttr,
-				r.Lost, r.Generated, dropSummary(r.Drops))
+				r.Lost, r.Generated, r.Violations, dropSummary(r.Drops))
+		}
+		if truncated > 0 {
+			fmt.Fprintf(w, "trace ended mid-repair: %d packet(s) still in flight, not counted lost\n",
+				truncated)
 		}
 	}
 	fmt.Fprintf(w, "totals: generated %d, lost %d\n", rec.Generated(), rec.Lost())
+	if mon != nil {
+		invariant.WriteText(w, mon.Report())
+	}
 }
 
 // dropSummary formats a drop-reason map deterministically.
@@ -290,6 +413,8 @@ type stackHandle struct {
 	macNode   func(i int) *mac.Node
 	joined    func() int
 	setTracer func(telemetry.Tracer)
+	prober    invariant.Prober
+	healer    func(id topology.NodeID, asn sim.ASN)
 }
 
 func buildStack(nw *sim.Network, topo *topology.Topology, proto string, seed int64,
@@ -304,6 +429,8 @@ func buildStack(nw *sim.Network, topo *topology.Topology, proto string, seed int
 			macNode:   func(i int) *mac.Node { return net.Nodes[i] },
 			joined:    net.JoinedCount,
 			setTracer: net.SetTracer,
+			prober:    net.Prober(nw),
+			healer:    net.Healer(),
 		}, nil
 	case "orchestra":
 		net, err := orchestra.Build(nw, orchestra.DefaultConfig(), mac.DefaultConfig(), seed)
@@ -314,6 +441,8 @@ func buildStack(nw *sim.Network, topo *topology.Topology, proto string, seed int
 			macNode:   func(i int) *mac.Node { return net.Nodes[i] },
 			joined:    net.JoinedCount,
 			setTracer: net.SetTracer,
+			prober:    net.Prober(nw),
+			healer:    net.Healer(),
 		}, nil
 	case "whart":
 		var fl []whart.Flow
@@ -338,6 +467,8 @@ func buildStack(nw *sim.Network, topo *topology.Topology, proto string, seed int
 				return n
 			},
 			setTracer: net.SetTracer,
+			prober:    net.Prober(nw),
+			healer:    net.Healer(),
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown protocol %q", proto)

@@ -1,0 +1,171 @@
+// Command digs-doctor replays a packet-lifecycle trace (JSONL, as written
+// by digs-sim/digs-bench/digs-chaos with -trace) and prints the invariant
+// violation and watchdog-repair report. Traces recorded with -invariants
+// already carry violation/repair events; -recheck additionally re-runs the
+// event-driven invariant checks over the raw packet events, so even traces
+// recorded without the monitor can be diagnosed after the fact.
+//
+// Examples:
+//
+//	digs-chaos -plan fig8 -invariants -trace run.jsonl && digs-doctor run.jsonl
+//	digs-doctor -recheck -frame 151 old-trace.jsonl
+//	digs-doctor -strict run.jsonl   # exit 1 on any violation (CI gate)
+//	cat run.jsonl | digs-doctor -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/digs-net/digs/internal/invariant"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "digs-doctor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	strict := flag.Bool("strict", false,
+		"exit non-zero when the trace contains (or recheck finds) any violation")
+	recheck := flag.Bool("recheck", false,
+		"re-run the event-driven invariant checks over the raw packet events")
+	frame := flag.Int64("frame", invariant.DefaultFrameLen,
+		"slotframe length for the recheck's schedule-conflict cells")
+	list := flag.Int("list", 10,
+		"violation/repair detail rows to print per section (0 disables)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: digs-doctor [flags] <trace.jsonl | ->")
+	}
+	var r io.Reader
+	if path := flag.Arg(0); path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	var (
+		events     int
+		jobs       = map[int32]struct{}{}
+		viols      []invariant.Violation
+		violEvents []telemetry.Event
+		reps       []invariant.Repair
+		mon        *invariant.Monitor
+	)
+	if *recheck {
+		mon = invariant.New(invariant.Config{FrameLen: *frame})
+	}
+	if err := telemetry.Scan(r, func(ev telemetry.Event) error {
+		events++
+		jobs[ev.Job] = struct{}{}
+		switch ev.Type {
+		case telemetry.EvViolation:
+			viols = append(viols, invariant.Violation{
+				Code: invariant.Code(ev.Code), ASN: ev.ASN,
+				Node: ev.Node, Peer: ev.Peer, Origin: ev.Origin,
+				Flow: ev.Flow, Channel: ev.Channel, ChOff: ev.ChOff,
+			})
+			violEvents = append(violEvents, ev)
+		case telemetry.EvRepair:
+			reps = append(reps, invariant.Repair{
+				ASN: ev.ASN, Node: ev.Node,
+				Attempt: int(ev.Attempt), Trigger: invariant.Code(ev.Code),
+			})
+		}
+		if mon != nil {
+			mon.Record(ev)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	fmt.Fprintf(w, "=== trace ===\n")
+	fmt.Fprintf(w, "events: %d (%d job(s))\n", events, len(jobs))
+
+	rep := invariant.ReportFrom(viols, reps)
+	fmt.Fprintf(w, "\n=== recorded by the in-run monitor ===\n")
+	invariant.WriteText(w, rep)
+	printViolations(w, violEvents, len(jobs) > 1, *list)
+	printRepairs(w, reps, *list)
+
+	total := rep.Total
+	if mon != nil {
+		// The recheck monitor counted the trace's own violation events as
+		// "recorded"; only its freshly detected ones belong in this section.
+		re := mon.Report()
+		re.RecordedViolations, re.RecordedRepairs = 0, 0
+		fmt.Fprintf(w, "\n=== re-detected by replaying packet events ===\n")
+		invariant.WriteText(w, re)
+		total += re.Total
+	}
+
+	if *strict {
+		if total > 0 {
+			return fmt.Errorf("strict: %d violation(s) in trace", total)
+		}
+		fmt.Fprintf(w, "\nstrict: clean\n")
+	}
+	return nil
+}
+
+// printViolations lists individual violations with their context, capped
+// at limit rows.
+func printViolations(w io.Writer, evs []telemetry.Event, multiJob bool, limit int) {
+	if len(evs) == 0 || limit <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "violation detail:\n")
+	for i, ev := range evs {
+		if i == limit {
+			fmt.Fprintf(w, "  ... %d more\n", len(evs)-limit)
+			break
+		}
+		job := ""
+		if multiJob {
+			job = fmt.Sprintf("job %2d  ", ev.Job)
+		}
+		ctx := fmt.Sprintf("node %d", ev.Node)
+		if ev.Peer != 0 {
+			ctx += fmt.Sprintf(" peer %d", ev.Peer)
+		}
+		if ev.Origin != 0 || ev.Flow != 0 {
+			ctx += fmt.Sprintf(" flow %d@%d", ev.Flow, ev.Origin)
+		}
+		if invariant.Code(ev.Code) == invariant.CodeScheduleConflict {
+			ctx += fmt.Sprintf(" ch %d (off %d)", ev.Channel, ev.ChOff)
+		}
+		fmt.Fprintf(w, "  %s@%-10v %-17s %s\n",
+			job, sim.TimeAt(ev.ASN), invariant.Code(ev.Code), ctx)
+	}
+}
+
+// printRepairs lists watchdog actions, capped at limit rows.
+func printRepairs(w io.Writer, reps []invariant.Repair, limit int) {
+	if len(reps) == 0 || limit <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "watchdog repairs:\n")
+	for i, rp := range reps {
+		if i == limit {
+			fmt.Fprintf(w, "  ... %d more\n", len(reps)-limit)
+			break
+		}
+		fmt.Fprintf(w, "  @%-10v node %3d rebooted (attempt %d, trigger %s)\n",
+			sim.TimeAt(rp.ASN), rp.Node, rp.Attempt, rp.Trigger)
+	}
+}

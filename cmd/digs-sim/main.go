@@ -25,6 +25,7 @@ import (
 	"github.com/digs-net/digs/internal/core"
 	"github.com/digs-net/digs/internal/flows"
 	"github.com/digs-net/digs/internal/interference"
+	"github.com/digs-net/digs/internal/invariant"
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/metrics"
 	"github.com/digs-net/digs/internal/orchestra"
@@ -42,16 +43,17 @@ func main() {
 }
 
 type options struct {
-	topology string
-	protocol string
-	duration time.Duration
-	period   time.Duration
-	flows    int
-	jammers  int
-	failNode int
-	seed     int64
-	verbose  bool
-	trace    string
+	topology   string
+	protocol   string
+	duration   time.Duration
+	period     time.Duration
+	flows      int
+	jammers    int
+	failNode   int
+	seed       int64
+	verbose    bool
+	trace      string
+	invariants bool
 }
 
 // summary is one scenario run's headline numbers.
@@ -81,6 +83,8 @@ func run() error {
 	flag.BoolVar(&opts.verbose, "v", false, "print per-flow results")
 	flag.StringVar(&opts.trace, "trace", "",
 		"write a packet-lifecycle event trace (JSONL) to this file; analyse with digs-trace")
+	flag.BoolVar(&opts.invariants, "invariants", false,
+		"run the invariant monitor with self-healing watchdogs during the measurement window")
 	reps := flag.Int("reps", 1, "independent repetitions (seed, seed+1, ...) aggregated at the end")
 	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS)")
 	dumpNode := flag.Int("dump-schedule", 0,
@@ -198,6 +202,8 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int, tracer tel
 		onDeliver func(func(sim.ASN, *sim.Frame))
 		setTracer func(telemetry.Tracer)
 		schedule  func(id int, asn sim.ASN) mac.Assignment
+		prober    invariant.Prober
+		healer    func(topology.NodeID, sim.ASN)
 	)
 	switch opts.protocol {
 	case "digs":
@@ -212,6 +218,7 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int, tracer tel
 		schedule = func(id int, asn sim.ASN) mac.Assignment {
 			return net.Stacks[id].Assignment(asn)
 		}
+		prober, healer = net.Prober(nw), net.Healer()
 	case "orchestra":
 		net, err := orchestra.Build(nw, orchestra.DefaultConfig(), mac.DefaultConfig(), seed)
 		if err != nil {
@@ -221,6 +228,7 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int, tracer tel
 		joined = net.JoinedCount
 		onDeliver = net.OnDeliver
 		setTracer = net.SetTracer
+		prober, healer = net.Prober(nw), net.Healer()
 	case "whart":
 		// The centralized baseline needs its flows up front: the Network
 		// Manager computes the TDMA schedule for them.
@@ -261,6 +269,7 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int, tracer tel
 		}
 		onDeliver = net.OnDeliver
 		setTracer = net.SetTracer
+		prober, healer = net.Prober(nw), net.Healer()
 	default:
 		return nil, fmt.Errorf("unknown protocol %q", opts.protocol)
 	}
@@ -287,6 +296,22 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int, tracer tel
 			return nil, fmt.Errorf("-dump-schedule is only supported for -protocol digs")
 		}
 		return nil, dumpSchedule(w, nw, schedule, dumpNode)
+	}
+
+	// The invariant monitor attaches after formation (its checks gate on
+	// joined state) and rides the tracer chain; with the flag off the MAC
+	// keeps its single-tracer nil check and the slot loop stays
+	// zero-alloc. Violations are emitted into the JSONL trace when one is
+	// being written.
+	var mon *invariant.Monitor
+	if opts.invariants {
+		mon = invariant.New(invariant.Config{Emit: tracer, Heal: healer})
+		var chain telemetry.Tracer = mon
+		if tracer != nil {
+			chain = telemetry.Multi(tracer, mon)
+		}
+		setTracer(chain)
+		invariant.Attach(nw, mon, prober, 0)
 	}
 
 	// Interference.
@@ -363,6 +388,9 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int, tracer tel
 			sum.LatMedian, sum.LatP90, sum.LatMax)
 	}
 	fmt.Fprintf(w, "power per packet:    %.3f mW\n", sum.PowerMW)
+	if mon != nil {
+		invariant.WriteText(w, mon.Report())
+	}
 	if opts.verbose {
 		for _, f := range fset {
 			fmt.Fprintf(w, "  flow %2d (node %3d): PDR %.3f\n", f.ID, f.Source, col.FlowPDR(f.ID))

@@ -82,6 +82,11 @@ func report(w io.Writer, agg *telemetry.Aggregate, top int, perFlow bool) {
 		agg.Generated(), agg.Delivered(), agg.PDR())
 	fmt.Fprintf(w, "collisions:    %d observed\n", collisions)
 	fmt.Fprintf(w, "route changes: %d\n", agg.RouteChanges())
+	// Traces written without -invariants carry no violation events, so this
+	// line (absent from the golden files) only appears for monitored runs.
+	if v, rp := agg.Violations(), agg.Repairs(); v > 0 || rp > 0 {
+		fmt.Fprintf(w, "invariants:    %d violation(s), %d watchdog repair(s) (see digs-doctor)\n", v, rp)
+	}
 
 	if perFlow {
 		fmt.Fprintf(w, "\n=== per-flow delivery ===\n")

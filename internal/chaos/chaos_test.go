@@ -291,6 +291,66 @@ func TestRecoveryReport(t *testing.T) {
 	}
 }
 
+// A trace ending mid-fault (no fault_end, no reconverged) must still
+// yield a report for the fault: TTR -1, the window clamped to the last
+// event seen, and losses split into confirmed drops and in-flight
+// packets whose fate the truncated trace cannot tell.
+func TestRecoveryReportTruncatedMidFault(t *testing.T) {
+	r := NewRecovery()
+	feed := []telemetry.Event{
+		{ASN: 100, Type: telemetry.EvFaultStart, Node: 4, Flow: 2, Seq: 0},
+		{ASN: 120, Type: telemetry.EvGenerated, Origin: 5, Flow: 1, Seq: 1, Born: 120},
+		{ASN: 150, Type: telemetry.EvDropped, Origin: 5, Flow: 1, Seq: 1,
+			Reason: telemetry.ReasonMaxRetries},
+		{ASN: 160, Type: telemetry.EvGenerated, Origin: 5, Flow: 1, Seq: 2, Born: 160},
+		{ASN: 190, Type: telemetry.EvDelivered, Origin: 5, Flow: 1, Seq: 2, Born: 160},
+		{ASN: 200, Type: telemetry.EvViolation, Node: 5, Code: 2},
+		{ASN: 220, Type: telemetry.EvGenerated, Origin: 5, Flow: 1, Seq: 3, Born: 220},
+		// Trace ends here: seq 3 is still in flight, the fault never closed.
+	}
+	for _, ev := range feed {
+		r.Record(ev)
+	}
+	reps := r.Report()
+	if len(reps) != 1 {
+		t.Fatalf("truncated fault dropped from report: %+v", reps)
+	}
+	rep := reps[0]
+	if !rep.Truncated || rep.TTRSlots != -1 || rep.EndASN != -1 || rep.ReconASN != -1 {
+		t.Fatalf("truncation not reported: %+v", rep)
+	}
+	if rep.Generated != 3 || rep.Lost != 1 || rep.InFlight != 1 {
+		t.Fatalf("generated/lost/inflight = %d/%d/%d, want 3/1/1",
+			rep.Generated, rep.Lost, rep.InFlight)
+	}
+	if rep.Drops[telemetry.ReasonMaxRetries] != 1 {
+		t.Fatalf("drops = %v", rep.Drops)
+	}
+	if rep.Violations != 1 {
+		t.Fatalf("violations in window = %d, want 1", rep.Violations)
+	}
+}
+
+// A reconverged fault keeps the original loss semantics: everything
+// undelivered in the window counts lost, nothing is in flight.
+func TestRecoveryReportClosedWindowUnchanged(t *testing.T) {
+	r := NewRecovery()
+	feed := []telemetry.Event{
+		{ASN: 100, Type: telemetry.EvFaultStart, Node: 4},
+		{ASN: 120, Type: telemetry.EvGenerated, Origin: 5, Flow: 1, Seq: 1, Born: 120},
+		{ASN: 300, Type: telemetry.EvFaultEnd, Node: 4},
+		{ASN: 400, Type: telemetry.EvReconverged},
+		{ASN: 9000, Type: telemetry.EvGenerated, Origin: 5, Flow: 1, Seq: 9, Born: 9000},
+	}
+	for _, ev := range feed {
+		r.Record(ev)
+	}
+	rep := r.Report()[0]
+	if rep.Truncated || rep.InFlight != 0 || rep.Lost != 1 || rep.Generated != 1 {
+		t.Fatalf("closed-window semantics changed: %+v", rep)
+	}
+}
+
 func TestFig8JammerPlan(t *testing.T) {
 	topo := topology.TestbedA()
 	p := Fig8JammerPlan(topo, 9)

@@ -1,8 +1,6 @@
 package chaos
 
 import (
-	"math"
-
 	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
 )
@@ -17,6 +15,7 @@ type Recovery struct {
 	open    map[faultKey]*FaultWindow
 	spans   map[spanKey]*spanRec
 	drops   []dropRec
+	viols   []int64
 	horizon int64
 }
 
@@ -31,6 +30,10 @@ type spanKey struct {
 type spanRec struct {
 	born      int64
 	delivered bool
+	// dropped marks a confirmed loss (some node dropped the packet and no
+	// redundant copy delivered); undelivered, undropped spans in a
+	// truncated window are in flight, not lost.
+	dropped bool
 }
 
 type dropRec struct {
@@ -98,7 +101,12 @@ func (r *Recovery) Record(ev telemetry.Event) {
 		// Duplicates are redundancy working, not loss.
 		if ev.Reason != telemetry.ReasonDuplicate {
 			r.drops = append(r.drops, dropRec{asn: ev.ASN, reason: ev.Reason})
+			if s := r.spans[spanKey{ev.Origin, ev.Flow, ev.Seq}]; s != nil {
+				s.dropped = true
+			}
 		}
+	case telemetry.EvViolation:
+		r.viols = append(r.viols, ev.ASN)
 	}
 }
 
@@ -111,10 +119,20 @@ type FaultReport struct {
 	// TTRSlots is the time-to-reconverge in slots (-1: never
 	// reconverged before the trace ended).
 	TTRSlots int64
+	// Truncated marks a fault whose trace ended mid-repair: the window is
+	// clamped to the last event seen, the loss attribution is partial and
+	// TTRSlots stays -1.
+	Truncated bool
 	// Generated counts application packets born inside the repair window
-	// [StartASN, ReconASN] (or to the end of the trace when the network
-	// never reconverged); Lost are those that never reached a sink.
-	Generated, Lost int
+	// [StartASN, ReconASN] (clamped to the trace horizon when the network
+	// never reconverged); Lost are those confirmed lost — never delivered,
+	// and for truncated windows also seen dropped. InFlight counts a
+	// truncated window's undelivered, undropped packets, whose fate the
+	// trace does not tell (always 0 for reconverged faults).
+	Generated, Lost, InFlight int
+	// Violations counts invariant-violation events inside the repair
+	// window (0 unless the run had the invariant monitor enabled).
+	Violations int
 	// Drops attributes the window's drop events by reason (duplicates
 	// excluded). Forwarding drops can exceed Lost when redundant routes
 	// still deliver the packet.
@@ -132,23 +150,35 @@ func (r *Recovery) Report() []FaultReport {
 			TTRSlots:    -1,
 			Drops:       make(map[telemetry.DropReason]int),
 		}
-		wend := int64(math.MaxInt64)
+		wend := r.horizon
 		if w.ReconASN >= 0 {
 			rep.TTRSlots = w.ReconASN - w.StartASN
 			wend = w.ReconASN
+		} else {
+			rep.Truncated = true
 		}
 		for _, s := range r.spans {
 			if s.born < w.StartASN || s.born > wend {
 				continue
 			}
 			rep.Generated++
-			if !s.delivered {
+			if s.delivered {
+				continue
+			}
+			if rep.Truncated && !s.dropped {
+				rep.InFlight++
+			} else {
 				rep.Lost++
 			}
 		}
 		for _, d := range r.drops {
 			if d.asn >= w.StartASN && d.asn <= wend {
 				rep.Drops[d.reason]++
+			}
+		}
+		for _, v := range r.viols {
+			if v >= w.StartASN && v <= wend {
+				rep.Violations++
 			}
 		}
 		out = append(out, rep)

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/digs-net/digs/internal/invariant"
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/sim"
 	"github.com/digs-net/digs/internal/topology"
@@ -119,6 +120,13 @@ func TestDiGSSurvivesBestParentFailure(t *testing.T) {
 		t.Fatal("network did not converge")
 	}
 
+	// Strict mode: the invariant monitor rides the rest of the test. The
+	// parent kill below must be absorbed by backup routes without tripping
+	// a single invariant — the watchdog Heal hook stays armed so a node
+	// that does end up orphaned would both rejoin and fail the test.
+	mon := invariant.New(invariant.Config{Heal: net.Healer()})
+	invariant.Attach(nw, mon, net.Prober(nw), 0)
+
 	// Pick a source whose best parent is a field device (a true router).
 	var src, victim topology.NodeID
 	for _, s := range topo.SuggestedSources {
@@ -158,6 +166,9 @@ func TestDiGSSurvivesBestParentFailure(t *testing.T) {
 	if delivered < sent-2 {
 		t.Fatalf("delivered %d/%d packets after primary parent failure, want >= %d "+
 			"(backup route should carry them)", delivered, sent, sent-2)
+	}
+	if err := mon.Report().Err(); err != nil {
+		t.Errorf("invariant monitor (strict): %v", err)
 	}
 }
 

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"github.com/digs-net/digs/internal/invariant"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Prober returns the invariant-monitor probe for this stack: a snapshot
+// of every node's MAC and routing state, in ascending node-ID order,
+// consuming no randomness.
+func (n *Network) Prober(nw *sim.Network) invariant.Prober {
+	return func(states []invariant.NodeState) []invariant.NodeState {
+		for i, node := range n.Nodes {
+			if node == nil {
+				continue
+			}
+			r := n.Stacks[i].Router()
+			best, second := r.Parents()
+			synced, _ := node.Synced()
+			states = append(states, invariant.NodeState{
+				ID:        topology.NodeID(i),
+				IsAP:      node.IsAP(),
+				Alive:     !nw.Failed(topology.NodeID(i)),
+				Synced:    synced,
+				Parent:    best,
+				Backup:    second,
+				Queue:     node.QueueLen(),
+				LastRx:    node.LastRx(),
+				Neighbors: r.Neighbors(),
+			})
+		}
+		return states
+	}
+}
+
+// Healer returns the watchdog hook: a degraded-mode recovery that
+// cold-restarts the node, discarding schedule and routing state through
+// the stack's Resetter so it resyncs and rejoins from scratch (sink and
+// tracer callbacks survive the reboot).
+func (n *Network) Healer() func(id topology.NodeID, asn sim.ASN) {
+	return func(id topology.NodeID, asn sim.ASN) {
+		if int(id) < len(n.Nodes) && n.Nodes[id] != nil {
+			n.Nodes[id].Reboot(asn, true)
+		}
+	}
+}

@@ -126,6 +126,9 @@ func (r *Router) Parents() (best, second topology.NodeID) { return r.best, r.sec
 // Joined reports whether the node has a best parent (or is an AP).
 func (r *Router) Joined() bool { return r.isAP || r.best != 0 }
 
+// Neighbors returns the current neighbor-table size.
+func (r *Router) Neighbors() int { return len(r.neighbors) }
+
 // FirstParentAt returns when the node first acquired a best parent.
 func (r *Router) FirstParentAt() (sim.ASN, bool) { return r.firstParentAt, r.hasParentedAt }
 

@@ -14,6 +14,7 @@ import (
 
 	"github.com/digs-net/digs/internal/core"
 	"github.com/digs-net/digs/internal/flows"
+	"github.com/digs-net/digs/internal/invariant"
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/metrics"
 	"github.com/digs-net/digs/internal/orchestra"
@@ -45,7 +46,9 @@ func (p Protocol) String() string {
 	}
 }
 
-// stackNet is the protocol-independent view the runners need.
+// stackNet is the protocol-independent view the runners need. Prober and
+// Healer are promoted from the embedded stack networks, so the invariant
+// monitor can ride any of them.
 type stackNet interface {
 	JoinedCount() int
 	OnDeliver(fn func(sim.ASN, *sim.Frame))
@@ -54,6 +57,8 @@ type stackNet interface {
 	JoinTime(i int) (sim.ASN, bool)
 	ParentChangesTotal() int64
 	ParentChangesOf(ids []topology.NodeID) int64
+	Prober(nw *sim.Network) invariant.Prober
+	Healer() func(id topology.NodeID, asn sim.ASN)
 }
 
 type digsNet struct{ *core.Network }

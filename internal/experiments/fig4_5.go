@@ -8,6 +8,7 @@ import (
 	"github.com/digs-net/digs/internal/campaign"
 	"github.com/digs-net/digs/internal/flows"
 	"github.com/digs-net/digs/internal/interference"
+	"github.com/digs-net/digs/internal/invariant"
 	"github.com/digs-net/digs/internal/metrics"
 	"github.com/digs-net/digs/internal/sim"
 	"github.com/digs-net/digs/internal/telemetry"
@@ -34,6 +35,9 @@ type RepairOptions struct {
 	// telemetry.WithJob and merge with telemetry.MergeJSONL to get a
 	// deterministic combined trace.
 	Tracer func(job int) telemetry.Tracer
+	// Invariants runs the invariant monitor (with self-healing watchdogs)
+	// during each repair window and reports per-run violation counts.
+	Invariants bool
 }
 
 // DefaultRepairOptions mirrors the paper's setup.
@@ -53,6 +57,10 @@ type RepairResult struct {
 	// FlowPDRs are the 8 data flows' delivery rates during the repair
 	// window (Figure 5's boxplot samples).
 	FlowPDRs []float64
+	// Violations/Repairs count what the invariant monitor saw during the
+	// run (zero unless RepairOptions.Invariants is set).
+	Violations int
+	Repairs    int
 }
 
 // RunFig4And5 reproduces Figures 4 and 5: for each jammer count, let the
@@ -83,7 +91,7 @@ func RunFig4And5(opts RepairOptions) ([]RepairResult, error) {
 		if opts.Tracer != nil {
 			tr = opts.Tracer(i)
 		}
-		return runRepair(jobs[i].jammers, opts.Protocol, jobs[i].seed, tr)
+		return runRepair(jobs[i].jammers, opts.Protocol, jobs[i].seed, tr, opts.Invariants)
 	})
 	var pe *campaign.PanicError
 	if errors.As(err, &pe) {
@@ -101,7 +109,8 @@ const repairStabilityWindow = 15 * time.Second
 // repairBudget bounds the repair measurement.
 const repairBudget = 150 * time.Second
 
-func runRepair(jammerCount int, proto Protocol, seed int64, tr telemetry.Tracer) (RepairResult, error) {
+func runRepair(jammerCount int, proto Protocol, seed int64, tr telemetry.Tracer,
+	invariants bool) (RepairResult, error) {
 	topo := testbedATopo()
 	nw, net, err := buildNetwork(proto, topo, seed)
 	if err != nil {
@@ -116,6 +125,20 @@ func runRepair(jammerCount int, proto Protocol, seed int64, tr telemetry.Tracer)
 	}
 	// Let routing settle before the disturbance.
 	nw.Run(sim.SlotsFor(60 * time.Second))
+
+	// The invariant monitor attaches once the network is formed; it rides
+	// the tracer chain and emits violations into the trace when one is
+	// being written.
+	var mon *invariant.Monitor
+	if invariants {
+		mon = invariant.New(invariant.Config{Emit: tr, Heal: net.Healer()})
+		var chain telemetry.Tracer = mon
+		if tr != nil {
+			chain = telemetry.Multi(tr, mon)
+		}
+		net.SetTracer(chain)
+		invariant.Attach(nw, mon, net.Prober(nw), 0)
+	}
 
 	// Arm the jammers to start now.
 	jamStart := nw.ASN()
@@ -175,7 +198,13 @@ func runRepair(jammerCount int, proto Protocol, seed int64, tr telemetry.Tracer)
 	for _, f := range fset {
 		pdrs = append(pdrs, col.FlowPDR(f.ID))
 	}
-	return RepairResult{Jammers: jammerCount, RepairTime: repair, FlowPDRs: pdrs}, nil
+	res := RepairResult{Jammers: jammerCount, RepairTime: repair, FlowPDRs: pdrs}
+	if mon != nil {
+		rep := mon.Report()
+		res.Violations = rep.Total
+		res.Repairs = rep.Repairs
+	}
+	return res, nil
 }
 
 // jamCohort returns the field devices within disruption range of the

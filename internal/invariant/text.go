@@ -1,0 +1,37 @@
+package invariant
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/digs-net/digs/internal/sim"
+)
+
+// WriteText renders the report in the shape shared by the digs-sim,
+// digs-chaos and digs-doctor CLIs: one headline, then a row per fired
+// invariant with count, first sighting and worst offenders.
+func WriteText(w io.Writer, rep Report) {
+	if rep.Total == 0 && rep.RecordedViolations == 0 {
+		fmt.Fprintf(w, "invariants: clean (%d watchdog repair(s))\n",
+			rep.Repairs+rep.RecordedRepairs)
+		return
+	}
+	fmt.Fprintf(w, "invariants: %d violation(s), %d watchdog repair(s)\n",
+		rep.Total+rep.RecordedViolations, rep.Repairs+rep.RecordedRepairs)
+	for _, cs := range rep.ByCode {
+		worst := ""
+		if len(cs.Offenders) > 0 {
+			parts := make([]string, 0, 3)
+			for i, o := range cs.Offenders {
+				if i == 3 {
+					break
+				}
+				parts = append(parts, fmt.Sprintf("%d x%d", o.Node, o.Count))
+			}
+			worst = "  worst: " + strings.Join(parts, ", ")
+		}
+		fmt.Fprintf(w, "  %-17s %4d  first@%v%s\n",
+			cs.Code, cs.Count, sim.TimeAt(cs.FirstASN), worst)
+	}
+}

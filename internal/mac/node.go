@@ -125,6 +125,10 @@ type Node struct {
 
 	synced   bool
 	syncedAt sim.ASN
+	// lastRx is the last slot any frame was decoded — the liveness signal
+	// the invariant monitor's desync check probes (EBs keep it fresh on a
+	// healthy node even when no data flows).
+	lastRx sim.ASN
 
 	queue []queuedPacket
 	seen  map[seenKey]struct{}
@@ -200,6 +204,9 @@ func (n *Node) SetTracer(t telemetry.Tracer) { n.tracer = t }
 
 // QueueLen returns the current data queue depth.
 func (n *Node) QueueLen() int { return len(n.queue) }
+
+// LastRx returns the last slot the node decoded any frame (0 if never).
+func (n *Node) LastRx() sim.ASN { return n.lastRx }
 
 // InjectData queues a locally generated application packet. The caller
 // fills Origin, FlowID, Seq and BornASN.
@@ -379,6 +386,7 @@ func (n *Node) EndSlot(asn sim.ASN, rep sim.SlotReport) {
 
 func (n *Node) receive(asn sim.ASN, f *sim.Frame, rssi float64) {
 	n.stats.RxFrames++
+	n.lastRx = asn
 	if !n.synced {
 		// EBs are the canonical sync source; broadcast routing beacons
 		// are periodic enough to serve as one too (they carry the same
@@ -572,6 +580,7 @@ func (n *Node) Reboot(asn sim.ASN, loseState bool) {
 	n.bcastOut = nil
 	n.seen = make(map[seenKey]struct{})
 	n.wdDst, n.wdFails = 0, 0
+	n.lastRx = asn
 	if loseState {
 		if r, ok := n.proto.(Resetter); ok {
 			r.Reset()

@@ -1,0 +1,44 @@
+package orchestra
+
+import (
+	"github.com/digs-net/digs/internal/invariant"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Prober returns the invariant-monitor probe for this stack. RPL keeps a
+// single preferred parent, so Backup is always 0 — runs that enable the
+// monitor's RequireBackup check will flag every Orchestra node, which is
+// the honest reading of the paper's single-parent critique.
+func (n *Network) Prober(nw *sim.Network) invariant.Prober {
+	return func(states []invariant.NodeState) []invariant.NodeState {
+		for i, node := range n.Nodes {
+			if node == nil {
+				continue
+			}
+			r := n.Stacks[i].Router()
+			synced, _ := node.Synced()
+			states = append(states, invariant.NodeState{
+				ID:        topology.NodeID(i),
+				IsAP:      node.IsAP(),
+				Alive:     !nw.Failed(topology.NodeID(i)),
+				Synced:    synced,
+				Parent:    r.Parent(),
+				Queue:     node.QueueLen(),
+				LastRx:    node.LastRx(),
+				Neighbors: r.Neighbors(),
+			})
+		}
+		return states
+	}
+}
+
+// Healer returns the watchdog hook: a cold restart through the stack's
+// Resetter, so the node rejoins the DODAG from scratch.
+func (n *Network) Healer() func(id topology.NodeID, asn sim.ASN) {
+	return func(id topology.NodeID, asn sim.ASN) {
+		if int(id) < len(n.Nodes) && n.Nodes[id] != nil {
+			n.Nodes[id].Reboot(asn, true)
+		}
+	}
+}

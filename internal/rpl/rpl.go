@@ -136,6 +136,9 @@ func (r *Router) Parent() topology.NodeID { return r.parent }
 // Joined reports whether the node is in the DODAG.
 func (r *Router) Joined() bool { return r.isRoot || r.parent != 0 }
 
+// Neighbors returns the current neighbor-table size.
+func (r *Router) Neighbors() int { return len(r.neighbors) }
+
 // FirstParentAt returns when the node first acquired a parent.
 func (r *Router) FirstParentAt() (sim.ASN, bool) { return r.firstParentAt, r.hasParentedAt }
 

@@ -97,6 +97,8 @@ type Aggregate struct {
 	routeChanges int64
 	faults       int64
 	reconverged  int64
+	violations   int64
+	repairs      int64
 }
 
 var _ Tracer = (*Aggregate)(nil)
@@ -199,6 +201,10 @@ func (a *Aggregate) Record(ev Event) {
 		a.faults++
 	case EvReconverged:
 		a.reconverged++
+	case EvViolation:
+		a.violations++
+	case EvRepair:
+		a.repairs++
 	}
 }
 
@@ -223,6 +229,13 @@ func (a *Aggregate) Faults() int64 { return a.faults }
 
 // Reconverged returns the number of post-fault reconvergence marks.
 func (a *Aggregate) Reconverged() int64 { return a.reconverged }
+
+// Violations returns how many invariant-violation events the stream
+// carried (recorded by a run with the invariant monitor enabled).
+func (a *Aggregate) Violations() int64 { return a.violations }
+
+// Repairs returns how many watchdog repair events the stream carried.
+func (a *Aggregate) Repairs() int64 { return a.repairs }
 
 // Generated returns the number of distinct application packets seen.
 func (a *Aggregate) Generated() int { return len(a.spans) }

@@ -94,7 +94,9 @@ func appendEventJSON(b []byte, ev *Event) []byte {
 	b = strconv.AppendInt(b, int64(ev.Queue), 10)
 	b = append(b, `,"reason":"`...)
 	b = append(b, ev.Reason.String()...)
-	b = append(b, `","job":`...)
+	b = append(b, `","code":`...)
+	b = strconv.AppendUint(b, uint64(ev.Code), 10)
+	b = append(b, `,"job":`...)
 	b = strconv.AppendInt(b, int64(ev.Job), 10)
 	b = append(b, `,"born":`...)
 	b = strconv.AppendInt(b, ev.Born, 10)
@@ -120,6 +122,7 @@ type jsonEvent struct {
 	RSS    float64 `json:"rss"`
 	Q      int16   `json:"q"`
 	Reason string  `json:"reason"`
+	Code   uint8   `json:"code"`
 	Job    int32   `json:"job"`
 	Born   int64   `json:"born"`
 }
@@ -171,6 +174,7 @@ func Scan(r io.Reader, fn func(Event) error) error {
 			RSS:     je.RSS,
 			Queue:   je.Q,
 			Reason:  DropReasonFromString(je.Reason),
+			Code:    je.Code,
 			Job:     je.Job,
 			Born:    je.Born,
 		}

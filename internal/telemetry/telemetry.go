@@ -22,7 +22,7 @@ import "github.com/digs-net/digs/internal/topology"
 // version on any field change; readers refuse streams they do not know.
 const (
 	SchemaName    = "digs-trace"
-	SchemaVersion = 2
+	SchemaVersion = 3
 )
 
 // EventType classifies a lifecycle event.
@@ -63,6 +63,19 @@ const (
 	// live nodes are routed again and no route change happened for the
 	// injector's quiet window. Flow/Seq name the fault it answers.
 	EvReconverged
+	// EvViolation marks a runtime safety-invariant violation detected by
+	// the invariant monitor. Code identifies the invariant (see
+	// internal/invariant), Node the primary offender, Peer a counterparty
+	// where one exists (the next hop closing a routing loop, the second
+	// transmitter of a schedule conflict), and Flow/Origin localize
+	// flow-scoped violations. Channel/ChOff name the conflicting cell for
+	// schedule conflicts.
+	EvViolation
+	// EvRepair marks a watchdog-triggered degraded-mode recovery action:
+	// Node was resynced/rejoined because of a sustained violation. Code
+	// carries the triggering invariant and Attempt the 1-based recovery
+	// attempt number (backoff doubles between attempts).
+	EvRepair
 )
 
 var eventNames = [...]string{
@@ -77,6 +90,8 @@ var eventNames = [...]string{
 	EvFaultStart:  "fault_start",
 	EvFaultEnd:    "fault_end",
 	EvReconverged: "reconverged",
+	EvViolation:   "violation",
+	EvRepair:      "repair",
 }
 
 // String returns the compact wire name of the event type.
@@ -188,6 +203,10 @@ type Event struct {
 	Queue int16
 	// Reason types drop events.
 	Reason DropReason
+	// Code identifies the violated invariant for violation events and the
+	// triggering invariant for repair events (an invariant.Code value; the
+	// schema stores the raw number so telemetry stays layering-clean).
+	Code uint8
 	// Job is the campaign job index the event belongs to in a merged
 	// multi-run trace (see WithJob and MergeJSONL).
 	Job int32

@@ -46,6 +46,8 @@ func goldenEvents() []Event {
 		{ASN: 720, Type: EvDropped, Node: 9, Origin: 9, Flow: 3, Seq: 22, Kind: kindData,
 			Reason: ReasonEvicted, Queue: 16, Born: 700},
 		{ASN: 900, Type: EvFaultEnd, Node: 4, Flow: 0, Seq: 1},
+		{ASN: 1000, Type: EvViolation, Node: 7, Peer: 3, Code: 1},
+		{ASN: 1100, Type: EvRepair, Node: 7, Attempt: 2, Code: 4},
 		{ASN: 1400, Type: EvReconverged, Flow: 0, Seq: 1},
 	}
 }
@@ -131,11 +133,12 @@ func TestScanRoundTrip(t *testing.T) {
 // TestScanRejectsBadStreams covers the reader's validation: wrong schema,
 // wrong version, unknown event names and the empty stream.
 func TestScanRejectsBadStreams(t *testing.T) {
+	head := string(headerLine()) + "\n"
 	cases := map[string]string{
 		"wrong schema":  `{"schema":"other","version":1}` + "\n",
 		"wrong version": `{"schema":"digs-trace","version":99}` + "\n",
 		"no header":     "",
-		"unknown event": `{"schema":"digs-trace","version":1}` + "\n" + `{"asn":1,"ev":"warp"}` + "\n",
+		"unknown event": head + `{"asn":1,"ev":"warp"}` + "\n",
 	}
 	for name, in := range cases {
 		if err := Scan(strings.NewReader(in), func(Event) error { return nil }); err == nil {

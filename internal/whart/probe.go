@@ -1,0 +1,53 @@
+package whart
+
+import (
+	"github.com/digs-net/digs/internal/invariant"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Prober returns the invariant-monitor probe for this stack. The routes
+// are the manager's static graph: parents never change at runtime, so
+// the loop check watches the computed graph and the liveness checks
+// watch the MAC.
+func (n *Network) Prober(nw *sim.Network) invariant.Prober {
+	return func(states []invariant.NodeState) []invariant.NodeState {
+		for i, node := range n.Nodes {
+			if node == nil {
+				continue
+			}
+			id := topology.NodeID(i)
+			synced, _ := node.Synced()
+			neighbors := 0
+			if n.Routes.Best[i] != 0 {
+				neighbors++
+			}
+			if n.Routes.Second[i] != 0 {
+				neighbors++
+			}
+			states = append(states, invariant.NodeState{
+				ID:        id,
+				IsAP:      node.IsAP(),
+				Alive:     !nw.Failed(id),
+				Synced:    synced,
+				Parent:    n.Routes.Best[i],
+				Backup:    n.Routes.Second[i],
+				Queue:     node.QueueLen(),
+				LastRx:    node.LastRx(),
+				Neighbors: neighbors,
+			})
+		}
+		return states
+	}
+}
+
+// Healer returns the watchdog hook. A static stack has no routing state
+// to rebuild — the reboot resyncs the node's clock against the next
+// beacon and it resumes the manager's schedule.
+func (n *Network) Healer() func(id topology.NodeID, asn sim.ASN) {
+	return func(id topology.NodeID, asn sim.ASN) {
+		if int(id) < len(n.Nodes) && n.Nodes[id] != nil {
+			n.Nodes[id].Reboot(asn, false)
+		}
+	}
+}
