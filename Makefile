@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden baseline clean
+.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden snap-smoke baseline bench-warmstart clean
 
 ## ci: everything the driver checks — vet, build, race-enabled tests, a
 ## short fuzz pass over the wire codecs, a one-shot large-scale benchmark
-## smoke run, and the telemetry pipeline smoke test.
-ci: vet build race fuzz bench-smoke trace-smoke
+## smoke run, the telemetry pipeline smoke test, and the snapshot
+## round-trip smoke test.
+ci: vet build race fuzz bench-smoke trace-smoke snap-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +28,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalJoinIn -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalJoinedCallback -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzScanJSONL -fuzztime=$(FUZZTIME) ./internal/telemetry
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/snapshot
 
 ## bench-smoke: run the heaviest benchmark once to catch bit-rot without
 ## paying for a full measurement.
@@ -48,6 +50,28 @@ trace-smoke:
 trace-golden:
 	$(GO) run ./cmd/digs-bench -fig 4 -smoke -seed 42 -trace $(TRACE_SMOKE_JSONL) >/dev/null
 	$(GO) run ./cmd/digs-trace -per-flow $(TRACE_SMOKE_JSONL) > testdata/trace_smoke_golden.txt
+
+## snap-smoke: prove checkpoint/restore bit-identity across processes —
+## snapshot a half-formed network, resume it for 2000 more slots, and
+## byte-compare the result against a straight-through run that never
+## stopped (labels must match: the label is part of the snapshot).
+SNAP_SMOKE_DIR := $(if $(TMPDIR),$(TMPDIR),/tmp)/digs-snap-smoke
+snap-smoke:
+	rm -rf $(SNAP_SMOKE_DIR) && mkdir -p $(SNAP_SMOKE_DIR)
+	$(GO) run ./cmd/digs-snap take -topology half-testbed-a -protocol digs -seed 9 \
+		-slots 3000 -o $(SNAP_SMOKE_DIR)/mid.snap >/dev/null
+	$(GO) run ./cmd/digs-snap resume -snap $(SNAP_SMOKE_DIR)/mid.snap -slots 2000 \
+		-label golden -o $(SNAP_SMOKE_DIR)/resumed.snap >/dev/null
+	$(GO) run ./cmd/digs-snap take -topology half-testbed-a -protocol digs -seed 9 \
+		-slots 5000 -label golden -o $(SNAP_SMOKE_DIR)/straight.snap >/dev/null
+	cmp $(SNAP_SMOKE_DIR)/resumed.snap $(SNAP_SMOKE_DIR)/straight.snap
+	@echo snap-smoke: OK
+
+## bench-warmstart: regenerate BENCH_warmstart.json — cold vs warm-started
+## chaos campaign wall-clock, with a byte-identity check on the reports.
+bench-warmstart:
+	$(GO) run ./cmd/digs-chaos -plan fig8 -topology testbed-a \
+		-protocols digs,orchestra,whart -bench-warmstart BENCH_warmstart.json >/dev/null
 
 ## baseline: regenerate BENCH_baseline.json — sequential vs parallel
 ## wall-clock for reference campaigns, with a bit-identity check.

@@ -42,6 +42,8 @@ func run() error {
 		"shrink the Figure 4/5 campaign to one run (2 jammers, 1 repetition) for CI smoke tests")
 	invariants := flag.Bool("invariants", false,
 		"run the invariant monitor with self-healing watchdogs during the Figure 4/5 campaign")
+	snapCache := flag.String("snap-cache", "",
+		"snapshot cache directory for the Figure 9/10/11 campaigns: formation restores from it when cached and populates it when not, with bit-identical figures")
 	flag.Parse()
 
 	campaign.SetDefaultWorkers(*parallel)
@@ -69,7 +71,7 @@ func run() error {
 	}
 	if want("9") {
 		ran = true
-		if err := interferenceFigure("9", "A", *full, *seed); err != nil {
+		if err := interferenceFigure("9", "A", *full, *seed, *snapCache); err != nil {
 			return err
 		}
 	}
@@ -81,13 +83,13 @@ func run() error {
 	}
 	if want("10") {
 		ran = true
-		if err := interferenceFigure("10", "B", *full, *seed); err != nil {
+		if err := interferenceFigure("10", "B", *full, *seed, *snapCache); err != nil {
 			return err
 		}
 	}
 	if want("11") {
 		ran = true
-		if err := fig11(*full, *seed); err != nil {
+		if err := fig11(*full, *seed, *snapCache); err != nil {
 			return err
 		}
 	}
@@ -213,11 +215,12 @@ func fig4and5(full, smoke, invariants bool, seed int64, trace string) error {
 	return nil
 }
 
-func interferenceFigure(figName, testbed string, full bool, seed int64) error {
+func interferenceFigure(figName, testbed string, full bool, seed int64, snapCache string) error {
 	header(fmt.Sprintf("Figure %s: DiGS vs Orchestra under interference (Testbed %s)",
 		figName, testbed))
 	opts := experiments.DefaultInterferenceOptions(testbed)
 	opts.Seed = seed
+	opts.CacheDir = snapCache
 	if full {
 		opts.FlowSets = 300
 		if testbed == "B" {
@@ -300,10 +303,11 @@ func fig9f(seed int64) error {
 	return nil
 }
 
-func fig11(full bool, seed int64) error {
+func fig11(full bool, seed int64, snapCache string) error {
 	header("Figure 11: node failure tolerance")
 	opts := experiments.DefaultFailureOptions()
 	opts.Seed = seed
+	opts.CacheDir = snapCache
 	if full {
 		opts.Repetitions = 34
 	}

@@ -9,11 +9,18 @@
 // campaign worker pool; output and traces are byte-identical at any
 // -parallel value.
 //
+// With -warm-start, formation is paid once per (topology, protocol, seed,
+// config) and cached as a deterministic snapshot (see internal/snapshot):
+// later runs — other plans, other branches — restore the converged network
+// instead of re-forming it, with bit-identical results.
+//
 // Examples:
 //
 //	digs-chaos -plan fig8 -topology testbed-a
 //	digs-chaos -plan crash.json -protocols digs,orchestra -reps 4 -parallel 4
 //	digs-chaos -plan plan.json -trace out.jsonl    # analyse with digs-trace
+//	digs-chaos -plan fig8 -warm-start              # snapshot-cached formation
+//	digs-chaos -plan fig8 -bench-warmstart BENCH_warmstart.json
 package main
 
 import (
@@ -25,20 +32,19 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/digs-net/digs/internal/campaign"
 	"github.com/digs-net/digs/internal/chaos"
-	"github.com/digs-net/digs/internal/core"
 	"github.com/digs-net/digs/internal/flows"
 	"github.com/digs-net/digs/internal/invariant"
-	"github.com/digs-net/digs/internal/mac"
-	"github.com/digs-net/digs/internal/orchestra"
+	"github.com/digs-net/digs/internal/scenario"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/snapshot"
 	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
-	"github.com/digs-net/digs/internal/whart"
 )
 
 func main() {
@@ -58,6 +64,8 @@ type options struct {
 	trace      string
 	invariants bool
 	asJSON     bool
+	snapCache  string
+	reps       int
 }
 
 func run() error {
@@ -66,7 +74,7 @@ func run() error {
 	flag.StringVar(&opts.plan, "plan", "",
 		"fault plan: a JSON file path, or \"fig8\" for the built-in jammer scenario")
 	flag.StringVar(&opts.topology, "topology", "testbed-a",
-		"deployment: testbed-a, testbed-b, half-testbed-a, half-testbed-b, random-150")
+		"deployment: "+scenario.TopologyNames)
 	flag.StringVar(&protoList, "protocols", "digs,orchestra,whart",
 		"comma-separated stacks to subject to the plan")
 	flag.DurationVar(&opts.duration, "duration", 2*time.Minute,
@@ -79,6 +87,12 @@ func run() error {
 		"run the invariant monitor with self-healing watchdogs during the plan")
 	flag.BoolVar(&opts.asJSON, "json", false,
 		"emit the recovery reports as JSON instead of tables")
+	warmStart := flag.Bool("warm-start", false,
+		"restore formation from the snapshot cache instead of re-forming (populating it on miss)")
+	flag.StringVar(&opts.snapCache, "snap-cache", "",
+		"snapshot cache directory (implies -warm-start; default .digs-snapcache)")
+	benchPath := flag.String("bench-warmstart", "",
+		"run the campaign cold then warm-started, verify identical output, write the timings to this JSON file")
 	reps := flag.Int("reps", 1, "independent repetitions (seed, seed+1, ...)")
 	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -87,7 +101,7 @@ func run() error {
 		return errors.New("-plan is required (a JSON file, or \"fig8\")")
 	}
 	campaign.SetDefaultWorkers(*parallel)
-	topo, err := pickTopology(opts.topology)
+	topo, err := scenario.PickTopology(opts.topology)
 	if err != nil {
 		return err
 	}
@@ -104,38 +118,18 @@ func run() error {
 	if len(opts.protocols) == 0 {
 		return errors.New("no protocols selected")
 	}
-
-	// One campaign job per (rep, protocol). Jobs buffer their report and
-	// trace part; everything prints and merges in job-index order, so the
-	// output is byte-identical at any worker count.
-	type jobOut struct {
-		log    bytes.Buffer
-		trace  bytes.Buffer
-		result *runResult
+	opts.reps = *reps
+	if *warmStart && opts.snapCache == "" {
+		opts.snapCache = ".digs-snapcache"
 	}
-	nJobs := *reps * len(opts.protocols)
-	outs, err := campaign.Map(campaign.New(0), nJobs, func(i int) (*jobOut, error) {
-		rep := i / len(opts.protocols)
-		proto := opts.protocols[i%len(opts.protocols)]
-		seed := opts.seed + int64(rep)
-		o := &jobOut{}
-		var jsonl telemetry.Tracer
+	if *benchPath != "" {
 		if opts.trace != "" {
-			jsonl = telemetry.WithJob(telemetry.NewJSONL(&o.trace), i)
+			return errors.New("-bench-warmstart and -trace are mutually exclusive")
 		}
-		fmt.Fprintf(&o.log, "=== %s rep %d (seed %d) ===\n", proto, rep, seed)
-		res, err := runPlan(&o.log, opts, proto, seed, jsonl)
-		if err != nil {
-			return nil, fmt.Errorf("%s rep %d (seed %d): %w", proto, rep, seed, err)
-		}
-		res.Protocol, res.Rep, res.Seed = proto, rep, seed
-		o.result = res
-		return o, nil
-	})
-	var pe *campaign.PanicError
-	if errors.As(err, &pe) {
-		return fmt.Errorf("job %d panicked: %v\n%s", pe.Job, pe.Value, pe.Stack)
+		return runBench(opts, topo, *benchPath)
 	}
+
+	outs, err := runCampaign(opts)
 	if err != nil {
 		return err
 	}
@@ -152,16 +146,11 @@ func run() error {
 			Topology string       `json:"topology"`
 			Reps     int          `json:"reps"`
 			Runs     []*runResult `json:"runs"`
-		}{opts.plan, topo.Name, *reps, runs}); err != nil {
+		}{opts.plan, topo.Name, opts.reps, runs}); err != nil {
 			return err
 		}
 	} else {
-		fmt.Printf("chaos plan %q on %s, %d rep(s) x %s (workers=%d)\n\n",
-			opts.plan, topo.Name, *reps, strings.Join(opts.protocols, "+"), campaign.DefaultWorkers())
-		for _, o := range outs {
-			os.Stdout.Write(o.log.Bytes())
-			fmt.Println()
-		}
+		renderText(os.Stdout, opts, topo.Name, outs)
 	}
 	if opts.trace != "" {
 		parts := make([][]byte, len(outs))
@@ -230,9 +219,12 @@ type faultJSON struct {
 }
 
 // runPlan executes the fault plan against one protocol stack and writes
-// the recovery report to w.
-func runPlan(w io.Writer, opts options, proto string, seed int64, jsonl telemetry.Tracer) (*runResult, error) {
-	topo, err := pickTopology(opts.topology)
+// the recovery report to w. With a snapshot cache, formation warm-starts
+// from a cached converged network when one is there and populates the
+// cache when not; the report is bit-identical either way.
+func runPlan(w io.Writer, opts options, proto string, seed int64, cache *snapshot.Cache,
+	jsonl telemetry.Tracer) (*runResult, error) {
+	topo, err := scenario.PickTopology(opts.topology)
 	if err != nil {
 		return nil, err
 	}
@@ -240,21 +232,35 @@ func runPlan(w io.Writer, opts options, proto string, seed int64, jsonl telemetr
 	if err != nil {
 		return nil, err
 	}
-	nw := sim.NewNetwork(topo, seed)
-	stack, err := buildStack(nw, topo, proto, seed, opts.period)
+	sc, err := scenario.Build(scenario.Params{
+		Topology: topo, TopologyName: opts.topology, Protocol: proto,
+		Seed: seed, Period: opts.period,
+	})
 	if err != nil {
 		return nil, err
 	}
+	nw := sc.NW
 
-	// Formation, then a settling margin before the plan epoch.
-	formSlots, ok := nw.RunUntil(sim.SlotsFor(6*time.Minute), func() bool {
-		return stack.joined() == topo.N()
+	// Formation, then a settling margin before the plan epoch — restored
+	// from the snapshot cache instead when warm-starting.
+	meta, _, err := sc.WarmStart(cache, "formed+30s", func() (map[string]string, error) {
+		formSlots, ok := nw.RunUntil(sim.SlotsFor(6*time.Minute), func() bool {
+			return sc.Joined() == topo.N()
+		})
+		if !ok {
+			return nil, fmt.Errorf("only %d/%d nodes joined during formation", sc.Joined(), topo.N())
+		}
+		nw.Run(sim.SlotsFor(30 * time.Second))
+		return map[string]string{"formed_slots": strconv.FormatInt(formSlots, 10)}, nil
 	})
-	if !ok {
-		return nil, fmt.Errorf("only %d/%d nodes joined during formation", stack.joined(), topo.N())
+	if err != nil {
+		return nil, err
+	}
+	formSlots, err := strconv.ParseInt(meta.Extra["formed_slots"], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot metadata formed_slots: %w", err)
 	}
 	fmt.Fprintf(w, "network formed in %v\n", sim.TimeAt(formSlots))
-	nw.Run(sim.SlotsFor(30 * time.Second))
 
 	// Recovery analyzer and optional JSONL export share one emit chain;
 	// the injector rides the stack's tracer to observe route changes.
@@ -268,9 +274,9 @@ func runPlan(w io.Writer, opts options, proto string, seed int64, jsonl telemetr
 	// stack's reboot path with callbacks preserved.
 	var mon *invariant.Monitor
 	if opts.invariants {
-		mon = invariant.New(invariant.Config{Emit: chain, Heal: stack.healer})
+		mon = invariant.New(invariant.Config{Emit: chain, Heal: sc.Healer})
 		chain = telemetry.Multi(rec, jsonl, mon)
-		invariant.Attach(nw, mon, stack.prober, 0)
+		invariant.Attach(nw, mon, sc.Prober, 0)
 	}
 	live := func() int {
 		n := 0
@@ -282,15 +288,15 @@ func runPlan(w io.Writer, opts options, proto string, seed int64, jsonl telemetr
 		return n
 	}
 	inj, err := chaos.Apply(nw, plan, chain, chaos.Hooks{
-		Converged: func() bool { return stack.joined() >= live() },
+		Converged: func() bool { return sc.Joined() >= live() },
 		Reboot: func(id topology.NodeID, asn sim.ASN, lose bool) {
-			stack.macNode(int(id)).Reboot(asn, lose)
+			sc.MACNode(int(id)).Reboot(asn, lose)
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	stack.setTracer(telemetry.Multi(chain, inj))
+	sc.SetTracer(telemetry.Multi(chain, inj))
 	telemetry.AttachSim(nw, chain)
 
 	// Flows from the testbed's suggested sources; sources the plan has
@@ -305,14 +311,14 @@ func runPlan(w io.Writer, opts options, proto string, seed int64, jsonl telemetr
 		if nw.Failed(f.Source) {
 			return
 		}
-		_ = stack.macNode(int(f.Source)).InjectData(&sim.Frame{
+		_ = sc.MACNode(int(f.Source)).InjectData(&sim.Frame{
 			Origin: f.Source, FlowID: f.ID, Seq: seq, BornASN: asn,
 		})
 	})
 
 	// Run the plan window plus a drain-and-recover tail.
 	nw.Run(sim.SlotsFor(window + 45*time.Second))
-	stack.setTracer(nil)
+	sc.SetTracer(nil)
 	if err := chain.Flush(); err != nil {
 		return nil, err
 	}
@@ -408,85 +414,131 @@ func dropSummary(drops map[telemetry.DropReason]int) string {
 	return strings.Join(parts, " ")
 }
 
-// stackHandle is the minimal per-protocol surface the runner needs.
-type stackHandle struct {
-	macNode   func(i int) *mac.Node
-	joined    func() int
-	setTracer func(telemetry.Tracer)
-	prober    invariant.Prober
-	healer    func(id topology.NodeID, asn sim.ASN)
+// jobOut is one campaign job's buffered output: report text, trace part
+// and machine-readable result, printed and merged in job-index order so
+// the output is byte-identical at any worker count.
+type jobOut struct {
+	log    bytes.Buffer
+	trace  bytes.Buffer
+	result *runResult
 }
 
-func buildStack(nw *sim.Network, topo *topology.Topology, proto string, seed int64,
-	period time.Duration) (*stackHandle, error) {
-	switch proto {
-	case "digs":
-		net, err := core.Build(nw, core.DefaultConfig(topo.NumAPs), mac.DefaultConfig(), seed)
-		if err != nil {
-			return nil, err
-		}
-		return &stackHandle{
-			macNode:   func(i int) *mac.Node { return net.Nodes[i] },
-			joined:    net.JoinedCount,
-			setTracer: net.SetTracer,
-			prober:    net.Prober(nw),
-			healer:    net.Healer(),
-		}, nil
-	case "orchestra":
-		net, err := orchestra.Build(nw, orchestra.DefaultConfig(), mac.DefaultConfig(), seed)
-		if err != nil {
-			return nil, err
-		}
-		return &stackHandle{
-			macNode:   func(i int) *mac.Node { return net.Nodes[i] },
-			joined:    net.JoinedCount,
-			setTracer: net.SetTracer,
-			prober:    net.Prober(nw),
-			healer:    net.Healer(),
-		}, nil
-	case "whart":
-		var fl []whart.Flow
-		for i, src := range topo.SuggestedSources {
-			fl = append(fl, whart.Flow{
-				ID: uint16(i + 1), Source: src, PeriodSlots: sim.SlotsFor(period),
-			})
-		}
-		net, err := whart.Build(nw, fl, mac.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		return &stackHandle{
-			macNode: func(i int) *mac.Node { return net.Nodes[i] },
-			joined: func() int {
-				n := 0
-				for i := 1; i <= topo.N(); i++ {
-					if ok, _ := net.Nodes[i].Synced(); ok {
-						n++
-					}
-				}
-				return n
-			},
-			setTracer: net.SetTracer,
-			prober:    net.Prober(nw),
-			healer:    net.Healer(),
-		}, nil
+// runCampaign fans one job per (rep, protocol) over the worker pool.
+func runCampaign(opts options) ([]*jobOut, error) {
+	var cache *snapshot.Cache
+	if opts.snapCache != "" {
+		cache = &snapshot.Cache{Dir: opts.snapCache}
 	}
-	return nil, fmt.Errorf("unknown protocol %q", proto)
+	nJobs := opts.reps * len(opts.protocols)
+	outs, err := campaign.Map(campaign.New(0), nJobs, func(i int) (*jobOut, error) {
+		rep := i / len(opts.protocols)
+		proto := opts.protocols[i%len(opts.protocols)]
+		seed := opts.seed + int64(rep)
+		o := &jobOut{}
+		var jsonl telemetry.Tracer
+		if opts.trace != "" {
+			jsonl = telemetry.WithJob(telemetry.NewJSONL(&o.trace), i)
+		}
+		fmt.Fprintf(&o.log, "=== %s rep %d (seed %d) ===\n", proto, rep, seed)
+		res, err := runPlan(&o.log, opts, proto, seed, cache, jsonl)
+		if err != nil {
+			return nil, fmt.Errorf("%s rep %d (seed %d): %w", proto, rep, seed, err)
+		}
+		res.Protocol, res.Rep, res.Seed = proto, rep, seed
+		o.result = res
+		return o, nil
+	})
+	var pe *campaign.PanicError
+	if errors.As(err, &pe) {
+		return nil, fmt.Errorf("job %d panicked: %v\n%s", pe.Job, pe.Value, pe.Stack)
+	}
+	return outs, err
 }
 
-func pickTopology(name string) (*topology.Topology, error) {
-	switch name {
-	case "testbed-a":
-		return topology.TestbedA(), nil
-	case "testbed-b":
-		return topology.TestbedB(), nil
-	case "half-testbed-a":
-		return topology.HalfTestbedA(), nil
-	case "half-testbed-b":
-		return topology.HalfTestbedB(), nil
-	case "random-150":
-		return topology.NewRandom(150, 300, 300, 7), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", name)
+// renderText writes the human-readable campaign report. Nothing in it may
+// depend on whether formation ran or was restored: the bench mode
+// byte-compares a cold and a warm rendering.
+func renderText(w io.Writer, opts options, topoName string, outs []*jobOut) {
+	fmt.Fprintf(w, "chaos plan %q on %s, %d rep(s) x %s (workers=%d)\n\n",
+		opts.plan, topoName, opts.reps, strings.Join(opts.protocols, "+"), campaign.DefaultWorkers())
+	for _, o := range outs {
+		w.Write(o.log.Bytes())
+		fmt.Fprintln(w)
 	}
+}
+
+// benchReport is the -bench-warmstart JSON shape.
+type benchReport struct {
+	Plan            string   `json:"plan"`
+	Topology        string   `json:"topology"`
+	Protocols       []string `json:"protocols"`
+	Reps            int      `json:"reps"`
+	Workers         int      `json:"workers"`
+	ColdSeconds     float64  `json:"cold_seconds"`
+	WarmSeconds     float64  `json:"warm_seconds"`
+	Speedup         float64  `json:"speedup"`
+	OutputIdentical bool     `json:"output_identical"`
+}
+
+// runBench times the same campaign twice against one snapshot cache — the
+// first pass forms every network cold and populates the cache, the second
+// restores from it — verifies the two reports are byte-identical, and
+// records the wall-clock comparison.
+func runBench(opts options, topo *topology.Topology, outPath string) error {
+	if opts.snapCache == "" {
+		dir, err := os.MkdirTemp("", "digs-snapcache-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		opts.snapCache = dir
+	}
+	render := func(outs []*jobOut) []byte {
+		var b bytes.Buffer
+		renderText(&b, opts, topo.Name, outs)
+		return b.Bytes()
+	}
+	t0 := time.Now()
+	coldOuts, err := runCampaign(opts)
+	if err != nil {
+		return err
+	}
+	cold := time.Since(t0)
+	t1 := time.Now()
+	warmOuts, err := runCampaign(opts)
+	if err != nil {
+		return err
+	}
+	warm := time.Since(t1)
+
+	coldText, warmText := render(coldOuts), render(warmOuts)
+	identical := bytes.Equal(coldText, warmText)
+	os.Stdout.Write(warmText)
+
+	rep := benchReport{
+		Plan: opts.plan, Topology: topo.Name, Protocols: opts.protocols,
+		Reps: opts.reps, Workers: campaign.DefaultWorkers(),
+		ColdSeconds: cold.Seconds(), WarmSeconds: warm.Seconds(),
+		Speedup:         cold.Seconds() / warm.Seconds(),
+		OutputIdentical: identical,
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("warm-start bench: cold %.2fs, warm %.2fs (%.1fx), output identical: %v -> %s\n",
+		rep.ColdSeconds, rep.WarmSeconds, rep.Speedup, identical, outPath)
+	if !identical {
+		return errors.New("warm-started campaign output differs from the cold run")
+	}
+	return nil
 }

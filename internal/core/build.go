@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/digs-net/digs/internal/detrand"
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/sim"
 	"github.com/digs-net/digs/internal/telemetry"
@@ -32,10 +33,14 @@ func Build(nw *sim.Network, cfg Config, macCfg mac.Config, seed int64) (*Network
 	for i := 1; i <= topo.N(); i++ {
 		id := topology.NodeID(i)
 		isAP := topo.IsAP(id)
-		stack, err := NewStack(id, isAP, cfg, rand.New(rand.NewSource(seed*7919+int64(i))))
+		// A counting source (same value stream as rand.NewSource) keeps
+		// the stack's RNG position checkpointable for snapshots.
+		src := detrand.New(seed*7919 + int64(i))
+		stack, err := NewStack(id, isAP, cfg, rand.New(src))
 		if err != nil {
 			return nil, err
 		}
+		stack.rngSrc = src
 		node := mac.NewNode(id, isAP, stack, macCfg)
 		if err := nw.Attach(node); err != nil {
 			return nil, fmt.Errorf("digs build: %w", err)

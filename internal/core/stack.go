@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/digs-net/digs/internal/detrand"
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/phy"
 	"github.com/digs-net/digs/internal/sim"
@@ -33,6 +34,10 @@ type Stack struct {
 	sched  *scheduler
 	tr     *trickle.Timer
 	rng    *rand.Rand
+	// rngSrc is set when the stack was built over a counting source
+	// (core.Build does this); it is what makes the stack's RNG position
+	// checkpointable.
+	rngSrc *detrand.Source
 
 	pending      []pendingCallback
 	wantJoinIn   bool

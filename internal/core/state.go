@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/digs-net/digs/internal/link"
+	"github.com/digs-net/digs/internal/topology"
+	"github.com/digs-net/digs/internal/trickle"
+)
+
+// NeighborState is one neighbour-table entry as plain old data.
+type NeighborState struct {
+	Node      topology.NodeID
+	Rank      uint16
+	ETXw      float64
+	LastHeard int64
+}
+
+// ChildState is one child-table entry as plain old data.
+type ChildState struct {
+	Node      topology.NodeID
+	Role      uint8
+	LastHeard int64
+}
+
+// RouterState is the complete mutable routing state of one DiGS node.
+type RouterState struct {
+	Rank          uint16
+	ETXw          float64
+	Best          topology.NodeID
+	Second        topology.NodeID
+	ETXaBest      float64
+	ETXaSecond    float64
+	Neighbors     []NeighborState // sorted by node ID
+	Children      []ChildState    // sorted by node ID
+	Links         []link.LinkState
+	FirstParentAt int64
+	HasParentedAt bool
+	ParentChanges int64
+	ChildVersion  int64
+}
+
+// PendingCallbackState is one queued joined-callback.
+type PendingCallbackState struct {
+	To    topology.NodeID
+	Role  uint8
+	Tries int
+}
+
+// StackState is the complete mutable state of one DiGS stack: router,
+// Trickle timer, RNG position and the handshake/maintenance registers.
+// The scheduler's slot maps are construction-derived (transmit side) or a
+// cache keyed on the router's child version (receive side) and are rebuilt
+// lazily after a restore.
+type StackState struct {
+	Router   RouterState
+	Trickle  trickle.State
+	RNGDraws uint64
+
+	Pending      []PendingCallbackState
+	WantJoinIn   bool
+	NextMaintain int64
+	NextSolicit  int64
+	Synced       bool
+
+	LastBest        topology.NodeID
+	LastSecond      topology.NodeID
+	BestConfirmed   bool
+	SecondConfirmed bool
+	FallbackParent  topology.NodeID
+}
+
+// CaptureState snapshots the router, with tables sorted for a stable wire
+// form.
+func (r *Router) CaptureState() RouterState {
+	st := RouterState{
+		Rank:          r.rank,
+		ETXw:          r.etxw,
+		Best:          r.best,
+		Second:        r.second,
+		ETXaBest:      r.etxaBest,
+		ETXaSecond:    r.etxaSecond,
+		Links:         r.est.CaptureState(),
+		FirstParentAt: r.firstParentAt,
+		HasParentedAt: r.hasParentedAt,
+		ParentChanges: r.parentChanges,
+		ChildVersion:  r.childVersion,
+	}
+	if len(r.neighbors) > 0 {
+		st.Neighbors = make([]NeighborState, 0, len(r.neighbors))
+		for id, e := range r.neighbors {
+			st.Neighbors = append(st.Neighbors, NeighborState{Node: id, Rank: e.rank,
+				ETXw: e.etxw, LastHeard: e.lastHeard})
+		}
+		sort.Slice(st.Neighbors, func(i, j int) bool { return st.Neighbors[i].Node < st.Neighbors[j].Node })
+	}
+	if len(r.children) > 0 {
+		st.Children = make([]ChildState, 0, len(r.children))
+		for id, c := range r.children {
+			st.Children = append(st.Children, ChildState{Node: id, Role: uint8(c.role),
+				LastHeard: c.lastHeard})
+		}
+		sort.Slice(st.Children, func(i, j int) bool { return st.Children[i].Node < st.Children[j].Node })
+	}
+	return st
+}
+
+// RestoreState overlays a captured routing state. The OnRouteChange
+// callback installed on the freshly built router survives.
+func (r *Router) RestoreState(st RouterState) {
+	r.rank = st.Rank
+	r.etxw = st.ETXw
+	r.best = st.Best
+	r.second = st.Second
+	r.etxaBest = st.ETXaBest
+	r.etxaSecond = st.ETXaSecond
+	r.est.RestoreState(st.Links)
+	r.neighbors = make(map[topology.NodeID]neighborEntry, len(st.Neighbors))
+	for _, e := range st.Neighbors {
+		r.neighbors[e.Node] = neighborEntry{rank: e.Rank, etxw: e.ETXw, lastHeard: e.LastHeard}
+	}
+	r.children = make(map[topology.NodeID]childEntry, len(st.Children))
+	for _, c := range st.Children {
+		r.children[c.Node] = childEntry{role: ParentRole(c.Role), lastHeard: c.LastHeard}
+	}
+	r.firstParentAt = st.FirstParentAt
+	r.hasParentedAt = st.HasParentedAt
+	r.parentChanges = st.ParentChanges
+	r.childVersion = st.ChildVersion
+}
+
+// CaptureState snapshots the stack. It fails for stacks constructed with
+// an external RNG (NewStack with a caller-owned rand.Rand): only
+// Build-created stacks track their generator position.
+func (s *Stack) CaptureState() (*StackState, error) {
+	if s.rngSrc == nil {
+		return nil, fmt.Errorf("digs stack %d: not built with a checkpointable RNG (use core.Build)", s.id)
+	}
+	st := &StackState{
+		Router:          s.router.CaptureState(),
+		Trickle:         s.tr.CaptureState(),
+		RNGDraws:        s.rngSrc.Draws(),
+		WantJoinIn:      s.wantJoinIn,
+		NextMaintain:    s.nextMaintain,
+		NextSolicit:     s.nextSolicit,
+		Synced:          s.synced,
+		LastBest:        s.lastBest,
+		LastSecond:      s.lastSecond,
+		BestConfirmed:   s.bestConfirmed,
+		SecondConfirmed: s.secondConfirmed,
+		FallbackParent:  s.fallbackParent,
+	}
+	if len(s.pending) > 0 {
+		st.Pending = make([]PendingCallbackState, len(s.pending))
+		for i, p := range s.pending {
+			st.Pending[i] = PendingCallbackState{To: p.to, Role: uint8(p.role), Tries: p.tries}
+		}
+	}
+	return st, nil
+}
+
+// RestoreState overlays a captured stack state onto a freshly built stack
+// (same node, same configuration, same build seed). The receive-side
+// schedule cache is invalidated; it rebuilds lazily from the restored
+// child table, exactly as it would have after the next child change.
+func (s *Stack) RestoreState(st *StackState) error {
+	if s.rngSrc == nil {
+		return fmt.Errorf("digs stack %d: not built with a checkpointable RNG (use core.Build)", s.id)
+	}
+	s.router.RestoreState(st.Router)
+	s.tr.RestoreState(st.Trickle)
+	s.rngSrc.Reset(st.RNGDraws)
+	s.pending = nil
+	if len(st.Pending) > 0 {
+		s.pending = make([]pendingCallback, len(st.Pending))
+		for i, p := range st.Pending {
+			s.pending[i] = pendingCallback{to: p.To, role: ParentRole(p.Role), tries: p.Tries}
+		}
+	}
+	s.wantJoinIn = st.WantJoinIn
+	s.nextMaintain = st.NextMaintain
+	s.nextSolicit = st.NextSolicit
+	s.synced = st.Synced
+	s.lastBest = st.LastBest
+	s.lastSecond = st.LastSecond
+	s.bestConfirmed = st.BestConfirmed
+	s.secondConfirmed = st.SecondConfirmed
+	s.fallbackParent = st.FallbackParent
+	s.sched.cacheValid = false
+	return nil
+}
+
+// CaptureState snapshots every stack and MAC node of the network, indexed
+// by node ID (entry 0 nil).
+func (n *Network) CaptureState() ([]*StackState, error) {
+	out := make([]*StackState, len(n.Stacks))
+	for i, s := range n.Stacks {
+		if s == nil {
+			continue
+		}
+		st, err := s.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// RestoreState overlays captured stack states onto a freshly built
+// network.
+func (n *Network) RestoreState(states []*StackState) error {
+	if len(states) != len(n.Stacks) {
+		return fmt.Errorf("digs restore: %d stack states for %d stacks", len(states), len(n.Stacks))
+	}
+	for i, s := range n.Stacks {
+		if s == nil {
+			continue
+		}
+		if states[i] == nil {
+			return fmt.Errorf("digs restore: missing state for node %d", i)
+		}
+		if err := s.RestoreState(states[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

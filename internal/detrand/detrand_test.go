@@ -1,0 +1,74 @@
+package detrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The wrapper must not perturb the value stream: wrapping rand.NewSource
+// yields the same rand.Rand outputs as using it directly.
+func TestStreamIdentical(t *testing.T) {
+	plain := rand.New(rand.NewSource(42))
+	counted := rand.New(New(42))
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := plain.Int63(), counted.Int63(); a != b {
+				t.Fatalf("Int63 diverged at %d: %d vs %d", i, a, b)
+			}
+		case 1:
+			if a, b := plain.Float64(), counted.Float64(); a != b {
+				t.Fatalf("Float64 diverged at %d: %v vs %v", i, a, b)
+			}
+		case 2:
+			if a, b := plain.NormFloat64(), counted.NormFloat64(); a != b {
+				t.Fatalf("NormFloat64 diverged at %d: %v vs %v", i, a, b)
+			}
+		case 3:
+			if a, b := plain.Intn(17), counted.Intn(17); a != b {
+				t.Fatalf("Intn diverged at %d: %d vs %d", i, a, b)
+			}
+		}
+	}
+}
+
+// Reset(draws) must position a stream exactly where an uninterrupted one
+// would be, through the full rand.Rand API.
+func TestResetFastForward(t *testing.T) {
+	src := New(7)
+	r := rand.New(src)
+	for i := 0; i < 500; i++ {
+		r.NormFloat64()
+		r.Intn(100)
+	}
+	mark := src.Draws()
+	want := make([]float64, 50)
+	for i := range want {
+		want[i] = r.Float64()
+	}
+
+	resumedSrc := New(7)
+	resumedSrc.Reset(mark)
+	resumed := rand.New(resumedSrc)
+	for i := range want {
+		if got := resumed.Float64(); got != want[i] {
+			t.Fatalf("resumed stream diverged at draw %d: %v vs %v", i, got, want[i])
+		}
+	}
+	if resumedSrc.Draws() != mark+50 {
+		t.Fatalf("draw counter after resume: %d, want %d", resumedSrc.Draws(), mark+50)
+	}
+}
+
+func TestSeedRestarts(t *testing.T) {
+	s := New(3)
+	r := rand.New(s)
+	first := r.Int63()
+	s.Seed(3)
+	if s.Draws() != 0 {
+		t.Fatalf("Seed must zero the counter, got %d", s.Draws())
+	}
+	if again := rand.New(s).Int63(); again != first {
+		t.Fatalf("reseeded stream differs: %d vs %d", again, first)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/digs-net/digs/internal/metrics"
 	"github.com/digs-net/digs/internal/orchestra"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/snapshot"
 	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
 )
@@ -152,6 +153,64 @@ func convergeFraction(nw *sim.Network, net stackNet, budget time.Duration, frac 
 	return nil
 }
 
+// warmConverge brings a freshly built, never-stepped network to the
+// converged + settled state a measurement campaign starts from. With a
+// cache directory it restores a matching snapshot (see internal/snapshot)
+// instead of re-running formation, storing one on miss; continuing from
+// the restored state is bit-identical to having formed inline, so cached
+// and uncached campaigns produce the same figures.
+func warmConverge(cacheDir string, nw *sim.Network, net stackNet, seed int64,
+	cfgHash uint64, settle time.Duration) error {
+	form := func() error {
+		if err := converge(nw, net, 240*time.Second); err != nil {
+			return err
+		}
+		nw.Run(sim.SlotsFor(settle))
+		return nil
+	}
+	var take func(snapshot.Meta) (*snapshot.Snapshot, error)
+	var restore func(*snapshot.Snapshot) error
+	var proto string
+	switch n := net.(type) {
+	case digsNet:
+		proto = snapshot.ProtocolDiGS
+		take = func(m snapshot.Meta) (*snapshot.Snapshot, error) { return snapshot.TakeDiGS(m, nw, n.Network) }
+		restore = func(s *snapshot.Snapshot) error { return s.RestoreDiGS(nw, n.Network) }
+	case orchNet:
+		proto = snapshot.ProtocolOrchestra
+		take = func(m snapshot.Meta) (*snapshot.Snapshot, error) { return snapshot.TakeOrchestra(m, nw, n.Network) }
+		restore = func(s *snapshot.Snapshot) error { return s.RestoreOrchestra(nw, n.Network) }
+	}
+	if cacheDir == "" || take == nil {
+		return form()
+	}
+	cache := &snapshot.Cache{Dir: cacheDir}
+	key := snapshot.Key{
+		Topology:   nw.Topology().Name,
+		Protocol:   proto,
+		Seed:       seed,
+		ConfigHash: cfgHash,
+		Label:      fmt.Sprintf("formed+%ds", int(settle.Seconds())),
+	}
+	snap, err := cache.Load(key)
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		return restore(snap)
+	}
+	if err := form(); err != nil {
+		return err
+	}
+	snap, err = take(snapshot.Meta{
+		Topology: key.Topology, Seed: seed, ConfigHash: cfgHash, Label: key.Label,
+	})
+	if err != nil {
+		return err
+	}
+	return cache.Store(key, snap)
+}
+
 // netStats sums MAC counters across all nodes.
 type netStats struct {
 	energyJ   float64
@@ -159,7 +218,7 @@ type netStats struct {
 	delivered int64
 }
 
-func snapshot(net stackNet, n int) netStats {
+func statsSnapshot(net stackNet, n int) netStats {
 	var s netStats
 	for i := 1; i <= n; i++ {
 		st := net.MACNode(i).Stats()
@@ -235,11 +294,11 @@ func runFlowSets(nw *sim.Network, net stackNet, opts FlowSetOptions) ([]FlowSetR
 			})
 		})
 
-		before := snapshot(net, topo.N())
+		before := statsSnapshot(net, topo.N())
 		window := opts.PacketPeriod*time.Duration(opts.PacketsPerFlow) + opts.Drain
 		startASN := nw.ASN()
 		nw.Run(sim.SlotsFor(window))
-		after := snapshot(net, topo.N())
+		after := statsSnapshot(net, topo.N())
 		elapsed := sim.TimeAt(nw.ASN() - startASN)
 		net.OnDeliver(nil)
 

@@ -1,15 +1,17 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/digs-net/digs/internal/campaign"
 	"github.com/digs-net/digs/internal/core"
-	"github.com/digs-net/digs/internal/mac"
-
 	"github.com/digs-net/digs/internal/flows"
+	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/metrics"
+	"github.com/digs-net/digs/internal/orchestra"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/snapshot"
 	"github.com/digs-net/digs/internal/topology"
 )
 
@@ -25,6 +27,10 @@ type FailureOptions struct {
 	// Parallel bounds the campaign worker pool; 0 uses the process-wide
 	// default (GOMAXPROCS or the -parallel flag).
 	Parallel int
+
+	// CacheDir names a snapshot cache directory; see
+	// InterferenceOptions.CacheDir.
+	CacheDir string
 }
 
 // DefaultFailureOptions sizes the campaign for interactive use; raise
@@ -58,7 +64,7 @@ func RunFig11(opts FailureOptions) (digs, orch *FailureResult, err error) {
 	parts, err := campaign.Map(campaign.New(opts.Parallel), len(protos)*reps,
 		func(i int) (*FailureResult, error) {
 			seed := opts.Seed*997 + int64(i%reps)
-			return runFailureOnceCfg(protos[i/reps], seed, opts.Victims, opts.DiGSConfig)
+			return runFailureOnceCfg(protos[i/reps], seed, opts.Victims, opts.DiGSConfig, opts.CacheDir)
 		})
 	if err != nil {
 		return nil, nil, err
@@ -72,7 +78,7 @@ func runFailureCampaign(proto Protocol, opts FailureOptions) (*FailureResult, er
 	parts, err := campaign.Map(campaign.New(opts.Parallel), opts.Repetitions,
 		func(rep int) (*FailureResult, error) {
 			seed := opts.Seed*997 + int64(rep)
-			return runFailureOnceCfg(proto, seed, opts.Victims, opts.DiGSConfig)
+			return runFailureOnceCfg(proto, seed, opts.Victims, opts.DiGSConfig, opts.CacheDir)
 		})
 	if err != nil {
 		return nil, err
@@ -100,27 +106,40 @@ func RunFailureSingle(proto Protocol, opts FailureOptions) (*FailureResult, erro
 
 // runFailureOnceCfg runs one repetition and returns its partial result.
 func runFailureOnceCfg(proto Protocol, seed int64, victims int,
-	digsCfg *core.Config) (*FailureResult, error) {
+	digsCfg *core.Config, cacheDir string) (*FailureResult, error) {
 	out := &FailureResult{}
 	topo := testbedATopo()
-	var nw *sim.Network
+	nw := sim.NewNetwork(topo, seed)
 	var net stackNet
-	var err error
-	if proto == DiGS && digsCfg != nil {
-		nw = sim.NewNetwork(topo, seed)
-		var cn *core.Network
-		cn, err = core.Build(nw, *digsCfg, mac.DefaultConfig(), seed)
-		net = digsNet{cn}
-	} else {
-		nw, net, err = buildNetwork(proto, topo, seed)
+	var cfgHash uint64
+	switch {
+	case proto == DiGS:
+		cfg := core.DefaultConfig(topo.NumAPs)
+		macCfg := mac.DefaultConfig()
+		if digsCfg != nil {
+			cfg = *digsCfg
+		} else {
+			// Equal-time retry persistence: see buildNetwork.
+			macCfg.MaxTxPerPacket *= 3
+		}
+		cn, err := core.Build(nw, cfg, macCfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		net, cfgHash = digsNet{cn}, snapshot.HashConfig(cfg, macCfg)
+	case proto == Orchestra:
+		cfg, macCfg := orchestra.DefaultConfig(), mac.DefaultConfig()
+		on, err := orchestra.Build(nw, cfg, macCfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		net, cfgHash = orchNet{on}, snapshot.HashConfig(cfg, macCfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown protocol %d", proto)
 	}
-	if err != nil {
+	if err := warmConverge(cacheDir, nw, net, seed, cfgHash, 60*time.Second); err != nil {
 		return nil, err
 	}
-	if err := converge(nw, net, 240*time.Second); err != nil {
-		return nil, err
-	}
-	nw.Run(sim.SlotsFor(60 * time.Second))
 
 	fset := flows.FixedSet(topo.SuggestedSources, 5*time.Second)
 	sources := map[topology.NodeID]bool{}
@@ -160,10 +179,10 @@ func runFailureOnceCfg(proto Protocol, seed int64, victims int,
 				Origin: f.Source, FlowID: f.ID, Seq: seq, BornASN: asn,
 			})
 		})
-		before := snapshot(net, topo.N())
+		before := statsSnapshot(net, topo.N())
 		start := nw.ASN()
 		nw.Run(sim.SlotsFor(5*time.Second*packets + 15*time.Second))
-		after := snapshot(net, topo.N())
+		after := statsSnapshot(net, topo.N())
 		net.OnDeliver(nil)
 
 		for _, f := range fset {

@@ -12,7 +12,9 @@ import (
 	"github.com/digs-net/digs/internal/interference"
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/metrics"
+	"github.com/digs-net/digs/internal/orchestra"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/snapshot"
 	"github.com/digs-net/digs/internal/topology"
 )
 
@@ -39,6 +41,13 @@ type InterferenceOptions struct {
 	// Parallel bounds the campaign worker pool; 0 uses the process-wide
 	// default (GOMAXPROCS or the -parallel flag).
 	Parallel int
+
+	// CacheDir names a snapshot cache directory (see internal/snapshot):
+	// the converge + settle phase restores from it when a matching
+	// snapshot exists and populates it when not, so repeated campaigns
+	// (figure re-runs, ablation sweeps) pay network formation once.
+	// Empty disables caching. Results are bit-identical either way.
+	CacheDir string
 }
 
 // DefaultInterferenceOptions returns a campaign sized for interactive use;
@@ -95,24 +104,37 @@ func runInterferenceCampaign(proto Protocol, opts InterferenceOptions) ([]FlowSe
 	if opts.Testbed == "B" {
 		topo = testbedBTopo()
 	}
-	var nw *sim.Network
+	nw := sim.NewNetwork(topo, opts.Seed)
 	var net stackNet
-	var err error
-	if proto == DiGS && opts.DiGSConfig != nil {
-		nw = sim.NewNetwork(topo, opts.Seed)
-		var cn *core.Network
-		cn, err = core.Build(nw, *opts.DiGSConfig, mac.DefaultConfig(), opts.Seed)
-		net = digsNet{cn}
-	} else {
-		nw, net, err = buildNetwork(proto, topo, opts.Seed)
+	var cfgHash uint64
+	switch {
+	case proto == DiGS:
+		cfg := core.DefaultConfig(topo.NumAPs)
+		macCfg := mac.DefaultConfig()
+		if opts.DiGSConfig != nil {
+			cfg = *opts.DiGSConfig
+		} else {
+			// Equal-time retry persistence: see buildNetwork.
+			macCfg.MaxTxPerPacket *= 3
+		}
+		cn, err := core.Build(nw, cfg, macCfg, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		net, cfgHash = digsNet{cn}, snapshot.HashConfig(cfg, macCfg)
+	case proto == Orchestra:
+		cfg, macCfg := orchestra.DefaultConfig(), mac.DefaultConfig()
+		on, err := orchestra.Build(nw, cfg, macCfg, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		net, cfgHash = orchNet{on}, snapshot.HashConfig(cfg, macCfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown protocol %d", proto)
 	}
-	if err != nil {
+	if err := warmConverge(opts.CacheDir, nw, net, opts.Seed, cfgHash, 30*time.Second); err != nil {
 		return nil, err
 	}
-	if err := converge(nw, net, 240*time.Second); err != nil {
-		return nil, err
-	}
-	nw.Run(sim.SlotsFor(30 * time.Second))
 
 	// Jammers on for the whole measurement campaign — the Figure 8
 	// scenario, expressed as a chaos plan: a WiFi jammer at each suggested

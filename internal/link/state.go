@@ -1,0 +1,42 @@
+package link
+
+import (
+	"sort"
+
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// LinkState is one neighbour's estimator entry as plain old data.
+type LinkState struct {
+	Node           topology.NodeID
+	ETX            float64
+	RSSAvg         float64
+	ConsecFails    int
+	TxSeen         bool
+	ResurrectCount int
+}
+
+// CaptureState returns every neighbour entry, sorted by node ID so the
+// wire form is stable across runs. The reaction profile is
+// construction-time configuration and not part of the state.
+func (e *Estimator) CaptureState() []LinkState {
+	if len(e.links) == 0 {
+		return nil
+	}
+	out := make([]LinkState, 0, len(e.links))
+	for id, s := range e.links {
+		out = append(out, LinkState{Node: id, ETX: s.etx, RSSAvg: s.rssAvg,
+			ConsecFails: s.consecFails, TxSeen: s.txSeen, ResurrectCount: s.resurrectCount})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// RestoreState replaces the neighbour table with the captured entries.
+func (e *Estimator) RestoreState(entries []LinkState) {
+	e.links = make(map[topology.NodeID]linkState, len(entries))
+	for _, s := range entries {
+		e.links[s.Node] = linkState{etx: s.ETX, rssAvg: s.RSSAvg,
+			consecFails: s.ConsecFails, txSeen: s.TxSeen, resurrectCount: s.ResurrectCount}
+	}
+}

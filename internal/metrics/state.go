@@ -1,0 +1,60 @@
+package metrics
+
+import "sort"
+
+// PacketRecord is one (flow, seq) → slot entry of a collector map.
+type PacketRecord struct {
+	Flow uint16
+	Seq  uint16
+	ASN  int64
+}
+
+// CollectorState is a measurement window's complete state as plain old
+// data, with both maps flattened in sorted order for a stable wire form.
+type CollectorState struct {
+	Sent          []PacketRecord
+	Delivered     []PacketRecord
+	OutOfWindow   int64
+	DupDeliveries int64
+}
+
+func captureRecords(m map[packetKey]int64) []PacketRecord {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]PacketRecord, 0, len(m))
+	for k, at := range m {
+		out = append(out, PacketRecord{Flow: k.flow, Seq: k.seq, ASN: at})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flow != out[j].Flow {
+			return out[i].Flow < out[j].Flow
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// CaptureState snapshots the collector.
+func (c *Collector) CaptureState() *CollectorState {
+	return &CollectorState{
+		Sent:          captureRecords(c.sent),
+		Delivered:     captureRecords(c.delivered),
+		OutOfWindow:   c.outOfWindow,
+		DupDeliveries: c.dupDeliveries,
+	}
+}
+
+// RestoreState replaces the collector's contents with the captured window.
+func (c *Collector) RestoreState(st *CollectorState) {
+	c.sent = make(map[packetKey]int64, len(st.Sent))
+	for _, r := range st.Sent {
+		c.sent[packetKey{r.Flow, r.Seq}] = r.ASN
+	}
+	c.delivered = make(map[packetKey]int64, len(st.Delivered))
+	for _, r := range st.Delivered {
+		c.delivered[packetKey{r.Flow, r.Seq}] = r.ASN
+	}
+	c.outOfWindow = st.OutOfWindow
+	c.dupDeliveries = st.DupDeliveries
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/digs-net/digs/internal/detrand"
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/rpl"
 	"github.com/digs-net/digs/internal/sim"
@@ -103,6 +104,10 @@ type Stack struct {
 	tr       *trickle.Timer
 	rng      *rand.Rand
 	combiner *mac.Combiner
+	// rngSrc is set when the stack was built over a counting source
+	// (orchestra.Build does this); it is what makes the stack's RNG
+	// position checkpointable.
+	rngSrc *detrand.Source
 
 	wantDIO      bool
 	nextMaintain sim.ASN

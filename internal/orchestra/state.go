@@ -1,0 +1,127 @@
+package orchestra
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/digs-net/digs/internal/rpl"
+	"github.com/digs-net/digs/internal/topology"
+	"github.com/digs-net/digs/internal/trickle"
+)
+
+// ChildSlotState is one sender-cell cache entry (sender-based mode).
+type ChildSlotState struct {
+	Slot int64
+	Node topology.NodeID
+}
+
+// StackState is the complete mutable state of one Orchestra stack. The
+// child-slot cache is captured rather than recomputed on restore: it
+// refreshes only at maintenance ticks, so a restore-time recompute could
+// be fresher than the interrupted run's cache and diverge from it.
+type StackState struct {
+	Router   rpl.RouterState
+	Trickle  trickle.State
+	RNGDraws uint64
+
+	WantDIO      bool
+	NextMaintain int64
+	NextSolicit  int64
+	Synced       bool
+	TxBackoff    int
+
+	// HasChildSlots distinguishes a nil cache (never refreshed since
+	// construction or reset) from an empty refreshed one.
+	HasChildSlots bool
+	ChildSlots    []ChildSlotState // sorted by slot
+}
+
+// CaptureState snapshots the stack. It fails for stacks constructed with
+// an external RNG (NewStack with a caller-owned rand.Rand): only
+// Build-created stacks track their generator position.
+func (s *Stack) CaptureState() (*StackState, error) {
+	if s.rngSrc == nil {
+		return nil, fmt.Errorf("orchestra stack %d: not built with a checkpointable RNG (use orchestra.Build)", s.id)
+	}
+	st := &StackState{
+		Router:       s.router.CaptureState(),
+		Trickle:      s.tr.CaptureState(),
+		RNGDraws:     s.rngSrc.Draws(),
+		WantDIO:      s.wantDIO,
+		NextMaintain: s.nextMaintain,
+		NextSolicit:  s.nextSolicit,
+		Synced:       s.synced,
+		TxBackoff:    s.txBackoff,
+	}
+	if s.childSlots != nil {
+		st.HasChildSlots = true
+		st.ChildSlots = make([]ChildSlotState, 0, len(s.childSlots))
+		for slot, id := range s.childSlots {
+			st.ChildSlots = append(st.ChildSlots, ChildSlotState{Slot: slot, Node: id})
+		}
+		sort.Slice(st.ChildSlots, func(i, j int) bool { return st.ChildSlots[i].Slot < st.ChildSlots[j].Slot })
+	}
+	return st, nil
+}
+
+// RestoreState overlays a captured stack state onto a freshly built stack
+// (same node, same configuration, same build seed).
+func (s *Stack) RestoreState(st *StackState) error {
+	if s.rngSrc == nil {
+		return fmt.Errorf("orchestra stack %d: not built with a checkpointable RNG (use orchestra.Build)", s.id)
+	}
+	s.router.RestoreState(st.Router)
+	s.tr.RestoreState(st.Trickle)
+	s.rngSrc.Reset(st.RNGDraws)
+	s.wantDIO = st.WantDIO
+	s.nextMaintain = st.NextMaintain
+	s.nextSolicit = st.NextSolicit
+	s.synced = st.Synced
+	s.txBackoff = st.TxBackoff
+	if st.HasChildSlots {
+		s.childSlots = make(map[int64]topology.NodeID, len(st.ChildSlots))
+		for _, c := range st.ChildSlots {
+			s.childSlots[c.Slot] = c.Node
+		}
+	} else {
+		s.childSlots = nil
+	}
+	return nil
+}
+
+// CaptureState snapshots every stack of the network, indexed by node ID
+// (entry 0 nil).
+func (n *Network) CaptureState() ([]*StackState, error) {
+	out := make([]*StackState, len(n.Stacks))
+	for i, s := range n.Stacks {
+		if s == nil {
+			continue
+		}
+		st, err := s.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// RestoreState overlays captured stack states onto a freshly built
+// network.
+func (n *Network) RestoreState(states []*StackState) error {
+	if len(states) != len(n.Stacks) {
+		return fmt.Errorf("orchestra restore: %d stack states for %d stacks", len(states), len(n.Stacks))
+	}
+	for i, s := range n.Stacks {
+		if s == nil {
+			continue
+		}
+		if states[i] == nil {
+			return fmt.Errorf("orchestra restore: missing state for node %d", i)
+		}
+		if err := s.RestoreState(states[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+// Package scenario builds ready-to-run protocol scenarios — one of the
+// three stacks attached to a simulated network on a named topology — and
+// pairs each with its checkpoint surface. It is the layer the CLIs and the
+// warm-start machinery share: digs-snap takes and resumes snapshots of
+// scenarios, digs-chaos branches fault plans off a cached converged one,
+// and both must agree exactly on how a (topology, protocol, seed)
+// combination is constructed, or a restored snapshot would overlay the
+// wrong simulation.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/digs-net/digs/internal/core"
+	"github.com/digs-net/digs/internal/invariant"
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/orchestra"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/snapshot"
+	"github.com/digs-net/digs/internal/telemetry"
+	"github.com/digs-net/digs/internal/topology"
+	"github.com/digs-net/digs/internal/whart"
+)
+
+// PickTopology resolves the deployment names the CLIs accept.
+func PickTopology(name string) (*topology.Topology, error) {
+	switch name {
+	case "testbed-a":
+		return topology.TestbedA(), nil
+	case "testbed-b":
+		return topology.TestbedB(), nil
+	case "half-testbed-a":
+		return topology.HalfTestbedA(), nil
+	case "half-testbed-b":
+		return topology.HalfTestbedB(), nil
+	case "random-150":
+		return topology.NewRandom(150, 300, 300, 7), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+// TopologyNames lists the accepted -topology values.
+const TopologyNames = "testbed-a, testbed-b, half-testbed-a, half-testbed-b, random-150"
+
+// Params selects and parameterises a scenario. The same Params always
+// build the same simulation, which is what makes snapshots restorable:
+// Meta records them, and Restore rejects a mismatch.
+type Params struct {
+	Topology *topology.Topology
+	// TopologyName is the PickTopology name (stored in snapshot metadata
+	// so a resuming process can rebuild the deployment).
+	TopologyName string
+	// Protocol is one of snapshot.ProtocolDiGS/Orchestra/WHART.
+	Protocol string
+	Seed     int64
+	// Period is the per-flow packet period; the WirelessHART central
+	// schedule is dimensioned by it (the other stacks ignore it).
+	Period time.Duration
+	// MacBoost multiplies the MAC attempt budget (0 or 1 = default). The
+	// experiment runners give DiGS 3x: it schedules three attempts per
+	// slotframe where Orchestra has one.
+	MacBoost int
+	// DiGSConfig overrides the DiGS stack configuration (ablations).
+	DiGSConfig *core.Config
+}
+
+// Scenario is a built, runnable protocol scenario with a uniform surface
+// over the three stacks.
+type Scenario struct {
+	Params Params
+	NW     *sim.Network
+	// ConfigHash fingerprints everything that shaped the build beyond
+	// (topology, protocol, seed); snapshot metadata carries it.
+	ConfigHash uint64
+
+	MACNode   func(i int) *mac.Node
+	Joined    func() int
+	SetTracer func(telemetry.Tracer)
+	OnDeliver func(fn func(asn sim.ASN, f *sim.Frame))
+	Prober    invariant.Prober
+	Healer    func(id topology.NodeID, asn sim.ASN)
+
+	take    func(meta snapshot.Meta) (*snapshot.Snapshot, error)
+	restore func(s *snapshot.Snapshot) error
+}
+
+// Build constructs the scenario: a fresh network with the selected stack
+// attached to every node, not yet stepped.
+func Build(p Params) (*Scenario, error) {
+	if p.Topology == nil {
+		topo, err := PickTopology(p.TopologyName)
+		if err != nil {
+			return nil, err
+		}
+		p.Topology = topo
+	}
+	if p.TopologyName == "" {
+		p.TopologyName = p.Topology.Name
+	}
+	if p.Period == 0 {
+		p.Period = 5 * time.Second
+	}
+	topo := p.Topology
+	nw := sim.NewNetwork(topo, p.Seed)
+	macCfg := mac.DefaultConfig()
+	if p.MacBoost > 1 {
+		macCfg.MaxTxPerPacket *= p.MacBoost
+	}
+	sc := &Scenario{Params: p, NW: nw}
+
+	switch p.Protocol {
+	case snapshot.ProtocolDiGS:
+		cfg := core.DefaultConfig(topo.NumAPs)
+		if p.DiGSConfig != nil {
+			cfg = *p.DiGSConfig
+		}
+		net, err := core.Build(nw, cfg, macCfg, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sc.ConfigHash = snapshot.HashConfig(cfg, macCfg)
+		sc.MACNode = func(i int) *mac.Node { return net.Nodes[i] }
+		sc.Joined = net.JoinedCount
+		sc.SetTracer = net.SetTracer
+		sc.OnDeliver = net.OnDeliver
+		sc.Prober = net.Prober(nw)
+		sc.Healer = net.Healer()
+		sc.take = func(meta snapshot.Meta) (*snapshot.Snapshot, error) {
+			return snapshot.TakeDiGS(meta, nw, net)
+		}
+		sc.restore = func(s *snapshot.Snapshot) error { return s.RestoreDiGS(nw, net) }
+
+	case snapshot.ProtocolOrchestra:
+		cfg := orchestra.DefaultConfig()
+		net, err := orchestra.Build(nw, cfg, macCfg, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sc.ConfigHash = snapshot.HashConfig(cfg, macCfg)
+		sc.MACNode = func(i int) *mac.Node { return net.Nodes[i] }
+		sc.Joined = net.JoinedCount
+		sc.SetTracer = net.SetTracer
+		sc.OnDeliver = net.OnDeliver
+		sc.Prober = net.Prober(nw)
+		sc.Healer = net.Healer()
+		sc.take = func(meta snapshot.Meta) (*snapshot.Snapshot, error) {
+			return snapshot.TakeOrchestra(meta, nw, net)
+		}
+		sc.restore = func(s *snapshot.Snapshot) error { return s.RestoreOrchestra(nw, net) }
+
+	case snapshot.ProtocolWHART:
+		var fl []whart.Flow
+		for i, src := range topo.SuggestedSources {
+			fl = append(fl, whart.Flow{
+				ID: uint16(i + 1), Source: src, PeriodSlots: sim.SlotsFor(p.Period),
+			})
+		}
+		net, err := whart.Build(nw, fl, macCfg)
+		if err != nil {
+			return nil, err
+		}
+		sc.ConfigHash = snapshot.HashConfig(macCfg, fl)
+		sc.MACNode = func(i int) *mac.Node { return net.Nodes[i] }
+		sc.Joined = func() int {
+			n := 0
+			for i := 1; i <= topo.N(); i++ {
+				if ok, _ := net.Nodes[i].Synced(); ok {
+					n++
+				}
+			}
+			return n
+		}
+		sc.SetTracer = net.SetTracer
+		sc.OnDeliver = net.OnDeliver
+		sc.Prober = net.Prober(nw)
+		sc.Healer = net.Healer()
+		sc.take = func(meta snapshot.Meta) (*snapshot.Snapshot, error) {
+			return snapshot.TakeWHART(meta, nw, net)
+		}
+		sc.restore = func(s *snapshot.Snapshot) error { return s.RestoreWHART(nw, net) }
+
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", p.Protocol)
+	}
+	return sc, nil
+}
+
+// BuildFromMeta rebuilds the scenario a snapshot was taken from, using the
+// parameters its metadata records.
+func BuildFromMeta(m snapshot.Meta) (*Scenario, error) {
+	p := Params{
+		TopologyName: m.Topology,
+		Protocol:     m.Protocol,
+		Seed:         m.Seed,
+	}
+	if v := m.Extra["period"]; v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot meta period %q: %w", v, err)
+		}
+		p.Period = d
+	}
+	if v := m.Extra["mac_boost"]; v != "" {
+		b, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot meta mac_boost %q: %w", v, err)
+		}
+		p.MacBoost = b
+	}
+	sc, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	if sc.ConfigHash != m.ConfigHash {
+		return nil, fmt.Errorf("snapshot configuration hash %016x, this build produces %016x (config drift?)",
+			m.ConfigHash, sc.ConfigHash)
+	}
+	return sc, nil
+}
+
+// Take captures the scenario at the current slot under the given label.
+// Extra entries land in the metadata next to the params needed to rebuild.
+func (sc *Scenario) Take(label string, extra map[string]string) (*snapshot.Snapshot, error) {
+	meta := snapshot.Meta{
+		Topology:   sc.Params.TopologyName,
+		Seed:       sc.Params.Seed,
+		ConfigHash: sc.ConfigHash,
+		Label:      label,
+		Extra:      map[string]string{"period": sc.Params.Period.String()},
+	}
+	if sc.Params.MacBoost > 1 {
+		meta.Extra["mac_boost"] = strconv.Itoa(sc.Params.MacBoost)
+	}
+	for k, v := range extra {
+		meta.Extra[k] = v
+	}
+	return sc.take(meta)
+}
+
+// Restore overlays the snapshot onto this freshly built, never-stepped
+// scenario.
+func (sc *Scenario) Restore(s *snapshot.Snapshot) error {
+	if s.Meta.ConfigHash != sc.ConfigHash {
+		return fmt.Errorf("snapshot configuration hash %016x, scenario built %016x",
+			s.Meta.ConfigHash, sc.ConfigHash)
+	}
+	return sc.restore(s)
+}
+
+// CacheKey is the warm-start cache identity of this scenario at a phase
+// label.
+func (sc *Scenario) CacheKey(label string) snapshot.Key {
+	return snapshot.Key{
+		Topology:   sc.Params.TopologyName,
+		Protocol:   sc.Params.Protocol,
+		Seed:       sc.Params.Seed,
+		ConfigHash: sc.ConfigHash,
+		Label:      label,
+	}
+}
+
+// WarmStart brings the scenario to the phase named by label: from the
+// cache when a snapshot is there (restoring it), otherwise by running
+// form — which must leave the scenario at that phase and return any extra
+// metadata to record — and storing the result for the next caller. It
+// returns the snapshot metadata and whether the cache supplied it.
+func (sc *Scenario) WarmStart(cache *snapshot.Cache, label string,
+	form func() (map[string]string, error)) (snapshot.Meta, bool, error) {
+	if cache != nil {
+		snap, err := cache.Load(sc.CacheKey(label))
+		if err != nil {
+			return snapshot.Meta{}, false, err
+		}
+		if snap != nil {
+			if err := sc.Restore(snap); err != nil {
+				return snapshot.Meta{}, false, err
+			}
+			return snap.Meta, true, nil
+		}
+	}
+	extra, err := form()
+	if err != nil {
+		return snapshot.Meta{}, false, err
+	}
+	snap, err := sc.Take(label, extra)
+	if err != nil {
+		return snapshot.Meta{}, false, err
+	}
+	if cache != nil {
+		if err := cache.Store(sc.CacheKey(label), snap); err != nil {
+			return snapshot.Meta{}, false, err
+		}
+	}
+	return snap.Meta, false, nil
+}

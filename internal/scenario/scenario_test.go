@@ -1,0 +1,318 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/digs-net/digs/internal/campaign"
+	"github.com/digs-net/digs/internal/chaos"
+	"github.com/digs-net/digs/internal/flows"
+	"github.com/digs-net/digs/internal/metrics"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/snapshot"
+	"github.com/digs-net/digs/internal/telemetry"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+const testTopo = "half-testbed-a"
+
+// form runs the scenario through network formation plus the 30 s settling
+// margin every consumer uses before measuring, and returns the metadata a
+// warm-started run needs to report identically.
+func form(sc *Scenario) (map[string]string, error) {
+	n := sc.Params.Topology.N()
+	slots, ok := sc.NW.RunUntil(sim.SlotsFor(6*time.Minute), func() bool {
+		return sc.Joined() == n
+	})
+	if !ok {
+		return nil, fmt.Errorf("only %d/%d joined during formation", sc.Joined(), n)
+	}
+	sc.NW.Run(sim.SlotsFor(30 * time.Second))
+	return map[string]string{"formed_slots": strconv.FormatInt(slots, 10)}, nil
+}
+
+// runTraffic drives a fixed-source traffic window over the scenario with a
+// JSONL tracer and a metrics collector attached, and returns both outputs:
+// the complete telemetry stream and the measurement window, byte-for-byte
+// comparable between two runs that should be identical.
+func runTraffic(sc *Scenario) ([]byte, *metrics.CollectorState, error) {
+	var trace bytes.Buffer
+	jsonl := telemetry.NewJSONL(&trace)
+	sc.SetTracer(jsonl)
+	telemetry.AttachSim(sc.NW, jsonl)
+	col := metrics.NewCollector()
+	sc.OnDeliver(func(asn sim.ASN, f *sim.Frame) { col.Delivered(f.FlowID, f.Seq, asn) })
+
+	const packets = 20
+	period := time.Second
+	fset := flows.FixedSet(sc.Params.Topology.SuggestedSources, period)
+	flows.Schedule(sc.NW, fset, packets, func(f flows.Flow, seq uint16, asn sim.ASN) {
+		col.Sent(f.ID, seq, asn)
+		_ = sc.MACNode(int(f.Source)).InjectData(&sim.Frame{
+			Origin: f.Source, FlowID: f.ID, Seq: seq, BornASN: asn,
+		})
+	})
+	sc.NW.Run(sim.SlotsFor(period*packets + 15*time.Second))
+	sc.OnDeliver(nil)
+	sc.SetTracer(nil)
+	telemetry.AttachSim(sc.NW, nil)
+	if err := jsonl.Flush(); err != nil {
+		return nil, nil, err
+	}
+	return trace.Bytes(), col.CaptureState(), nil
+}
+
+// TestResumeBitIdentity is the subsystem's core promise, per protocol:
+// snapshot at S, restore into a fresh process (modelled by a fresh build),
+// continue to T — and the trace, the metrics window and the complete final
+// state are bit-identical to the run that never stopped.
+func TestResumeBitIdentity(t *testing.T) {
+	for _, proto := range []string{snapshot.ProtocolDiGS, snapshot.ProtocolOrchestra, snapshot.ProtocolWHART} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			scA, err := Build(Params{TopologyName: testTopo, Protocol: proto, Seed: 1, Period: time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := form(scA); err != nil {
+				t.Fatal(err)
+			}
+			snapS, err := scA.Take("formed+30s", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wireS, err := snapshot.Encode(snapS)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Straight-through: keep running A to T.
+			traceA, colA, err := runTraffic(scA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			finalA, err := scA.Take("end", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wireA, err := snapshot.Encode(finalA)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Resumed: decode the wire form into a fresh build, continue to T.
+			decoded, err := snapshot.Decode(wireS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scB, err := BuildFromMeta(decoded.Meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := scB.Restore(decoded); err != nil {
+				t.Fatal(err)
+			}
+			traceB, colB, err := runTraffic(scB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			finalB, err := scB.Take("end", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wireB, err := snapshot.Encode(finalB)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if snapS.Meta.Slot == 0 {
+				t.Fatal("snapshot taken at slot 0: formation did not run")
+			}
+			if len(traceA) == 0 || colA == nil || len(colA.Sent) == 0 {
+				t.Fatalf("traffic window produced no evidence (trace %dB, %v)", len(traceA), colA)
+			}
+			if !bytes.Equal(traceA, traceB) {
+				t.Errorf("telemetry traces diverge: %d vs %d bytes", len(traceA), len(traceB))
+			}
+			if !reflect.DeepEqual(colA, colB) {
+				t.Errorf("metrics windows diverge: %+v vs %+v", colA, colB)
+			}
+			if !bytes.Equal(wireA, wireB) {
+				d := snapshot.Diff(finalA, finalB)
+				max := len(d)
+				if max > 10 {
+					d = d[:10]
+				}
+				t.Errorf("final snapshots diverge (%d fields):\n%v", max, d)
+			}
+		})
+	}
+}
+
+// runChaos applies the Figure 8 jammer plan to an already-formed scenario
+// and returns the recovery report plus run totals — the digs-chaos output
+// a warm-started run must reproduce exactly.
+func runChaos(sc *Scenario) ([]chaos.FaultReport, int, int, error) {
+	topo := sc.Params.Topology
+	plan := chaos.Fig8JammerPlan(topo, sc.Params.Seed)
+	rec := chaos.NewRecovery()
+	chain := telemetry.Multi(rec)
+	live := func() int {
+		n := 0
+		for i := 1; i <= topo.N(); i++ {
+			if !sc.NW.Failed(topology.NodeID(i)) {
+				n++
+			}
+		}
+		return n
+	}
+	inj, err := chaos.Apply(sc.NW, plan, chain, chaos.Hooks{
+		Converged: func() bool { return sc.Joined() >= live() },
+		Reboot: func(id topology.NodeID, asn sim.ASN, lose bool) {
+			sc.MACNode(int(id)).Reboot(asn, lose)
+		},
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	sc.SetTracer(telemetry.Multi(chain, inj))
+	period := time.Second
+	fset := flows.FixedSet(topo.SuggestedSources, period)
+	window := plan.Horizon() + 60*time.Second
+	flows.Schedule(sc.NW, fset, int(window/period), func(f flows.Flow, seq uint16, asn sim.ASN) {
+		if sc.NW.Failed(f.Source) {
+			return
+		}
+		_ = sc.MACNode(int(f.Source)).InjectData(&sim.Frame{
+			Origin: f.Source, FlowID: f.ID, Seq: seq, BornASN: asn,
+		})
+	})
+	sc.NW.Run(sim.SlotsFor(window + 30*time.Second))
+	sc.SetTracer(nil)
+	if err := chain.Flush(); err != nil {
+		return nil, 0, 0, err
+	}
+	return rec.Report(), rec.Generated(), rec.Lost(), nil
+}
+
+// TestWarmStartChaosRecovery proves the warm-start path end to end: a
+// chaos run branched off a cached formation snapshot produces exactly the
+// recovery table of the run that formed the network itself.
+func TestWarmStartChaosRecovery(t *testing.T) {
+	cache := &snapshot.Cache{Dir: t.TempDir()}
+	build := func() *Scenario {
+		sc, err := Build(Params{TopologyName: testTopo, Protocol: snapshot.ProtocolDiGS, Seed: 3, Period: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+
+	cold := build()
+	meta, warmed, err := cold.WarmStart(cache, "formed+30s", func() (map[string]string, error) {
+		return form(cold)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed {
+		t.Fatal("first run must miss the empty cache")
+	}
+	coldRep, coldGen, coldLost, err := runChaos(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := build()
+	wMeta, warmed, err := warm.WarmStart(cache, "formed+30s", func() (map[string]string, error) {
+		t.Fatal("warm run must not re-form")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmed {
+		t.Fatal("second run must hit the cache")
+	}
+	if wMeta.Extra["formed_slots"] != meta.Extra["formed_slots"] || wMeta.Extra["formed_slots"] == "" {
+		t.Fatalf("formation metadata lost: %q vs %q", wMeta.Extra["formed_slots"], meta.Extra["formed_slots"])
+	}
+	warmRep, warmGen, warmLost, err := runChaos(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(coldRep, warmRep) {
+		t.Errorf("recovery tables diverge:\ncold: %+v\nwarm: %+v", coldRep, warmRep)
+	}
+	if coldGen != warmGen || coldLost != warmLost {
+		t.Errorf("run totals diverge: cold %d/%d, warm %d/%d", coldLost, coldGen, warmLost, warmGen)
+	}
+}
+
+// TestWarmStartCampaignDeterminism runs the same warm-started campaign at
+// 1, 2, 4 and 8 workers and demands byte-identical output from all of
+// them — including the first pass, which forms networks and populates the
+// cache, so resumed campaigns are proven identical to uninterrupted ones
+// at every worker count.
+func TestWarmStartCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker campaign sweep")
+	}
+	cache := &snapshot.Cache{Dir: t.TempDir()}
+	protos := []string{snapshot.ProtocolDiGS, snapshot.ProtocolOrchestra}
+
+	runCampaign := func(workers int) ([]string, error) {
+		return campaign.Map(campaign.New(workers), len(protos)*2, func(i int) (string, error) {
+			sc, err := Build(Params{
+				TopologyName: testTopo,
+				Protocol:     protos[i%len(protos)],
+				Seed:         5 + int64(i/len(protos)),
+				Period:       time.Second,
+			})
+			if err != nil {
+				return "", err
+			}
+			meta, _, err := sc.WarmStart(cache, "formed+30s", func() (map[string]string, error) {
+				return form(sc)
+			})
+			if err != nil {
+				return "", err
+			}
+			trace, col, err := runTraffic(sc)
+			if err != nil {
+				return "", err
+			}
+			final, err := sc.Take("end", nil)
+			if err != nil {
+				return "", err
+			}
+			wire, err := snapshot.Encode(final)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("formed=%s trace=%d delivered=%d state=%x",
+				meta.Extra["formed_slots"], len(trace), len(col.Delivered), snapshot.HashConfig(wire)), nil
+		})
+	}
+
+	var first []string
+	for _, workers := range []int{1, 2, 4, 8} {
+		out, err := runCampaign(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if first == nil {
+			first = out
+			continue
+		}
+		if !reflect.DeepEqual(first, out) {
+			t.Errorf("workers=%d output diverges:\nfirst: %v\n  now: %v", workers, first, out)
+		}
+	}
+}

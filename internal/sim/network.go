@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/digs-net/digs/internal/detrand"
 	"github.com/digs-net/digs/internal/phy"
 	"github.com/digs-net/digs/internal/topology"
 )
@@ -79,6 +80,8 @@ type Network struct {
 	devices     []Device // indexed by node ID; nil when not attached
 	failed      []bool
 	interferers []Interferer
+	seed        int64
+	rngSrc      *detrand.Source
 	rng         *rand.Rand
 	asn         ASN
 	started     bool
@@ -132,11 +135,14 @@ type Network struct {
 // reproducibility.
 func NewNetwork(topo *topology.Topology, seed int64) *Network {
 	n := topo.N()
+	src := detrand.New(seed)
 	nw := &Network{
 		topo:              topo,
 		devices:           make([]Device, n+1),
 		failed:            make([]bool, n+1),
-		rng:               rand.New(rand.NewSource(seed)),
+		seed:              seed,
+		rngSrc:            src,
+		rng:               rand.New(src),
 		FastFadingSigmaDB: 2.0,
 		rss:               make([]float64, (n+1)*(n+1)),
 		rssDim:            n + 1,

@@ -1,0 +1,79 @@
+package snapshot
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+)
+
+// Cache is a directory of snapshots keyed by scenario identity. Warm-start
+// campaigns use it to pay a scenario's formation cost once: the first run
+// of a (topology, protocol, seed, config, phase) combination stores its
+// converged state, and every later run — other fault plans, other branches
+// — restores it instead of re-forming the network.
+type Cache struct {
+	Dir string
+}
+
+// Key identifies a cached snapshot. Label names the scenario phase the
+// snapshot was taken at (e.g. "formed+30s"): the slot number itself cannot
+// key the cache because formation length is an output of the run, not an
+// input.
+type Key struct {
+	Topology   string
+	Protocol   string
+	Seed       int64
+	ConfigHash uint64
+	Label      string
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s seed=%d cfg=%016x %s", k.Topology, k.Protocol, k.Seed, k.ConfigHash, k.Label)
+}
+
+// Path returns the file the key maps to. The name embeds the readable
+// parts plus a hash of the full key, so collisions are impossible and a
+// directory listing stays meaningful.
+func (c *Cache) Path(k Key) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%s", k.Topology, k.Protocol, k.Seed, k.ConfigHash, k.Label)
+	name := fmt.Sprintf("%s-%s-s%d-%016x.snap", k.Topology, k.Protocol, k.Seed, h.Sum64())
+	return filepath.Join(c.Dir, name)
+}
+
+// Load returns the cached snapshot for the key, or (nil, nil) on a miss. A
+// present-but-unreadable entry (corrupt, version-skewed) is also a miss:
+// the stale file is removed so the caller's fresh run can replace it.
+func (c *Cache) Load(k Key) (*Snapshot, error) {
+	path := c.Path(k)
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(b)
+	if err != nil {
+		os.Remove(path)
+		return nil, nil
+	}
+	if s.Meta.Topology != k.Topology || s.Meta.Protocol != k.Protocol ||
+		s.Meta.Seed != k.Seed || s.Meta.ConfigHash != k.ConfigHash || s.Meta.Label != k.Label {
+		// Hash collision in the file name cannot happen, but a hand-copied
+		// file can; never restore state from a different scenario.
+		return nil, fmt.Errorf("snapshot cache: %s holds %s, wanted %s", path, s.Meta.Label, k)
+	}
+	return s, nil
+}
+
+// Store writes the snapshot under the key, atomically (tmp + rename), so
+// concurrent workers racing on the same key leave a complete file.
+func (c *Cache) Store(k Key, s *Snapshot) error {
+	if s.Meta.Topology != k.Topology || s.Meta.Protocol != k.Protocol ||
+		s.Meta.Seed != k.Seed || s.Meta.ConfigHash != k.ConfigHash || s.Meta.Label != k.Label {
+		return fmt.Errorf("snapshot cache: storing snapshot %q under mismatched key %s", s.Meta.Label, k)
+	}
+	return WriteFile(c.Path(k), s)
+}

@@ -1,0 +1,229 @@
+// Package snapshot implements the deterministic checkpoint/restore layer:
+// a versioned, self-describing binary codec over the plain-old-data state
+// every stateful package exports (sim.NetworkState, mac.NodeState, the
+// protocol StackStates, metrics.CollectorState). A snapshot taken at a
+// quiesce point restores into a freshly built scenario — same topology,
+// configuration and seeds — such that continuing the run is bit-identical
+// to never having stopped: every RNG stream position, queue, routing
+// table, timer and counter round-trips exactly.
+//
+// What is not captured: scheduled event closures and interferers (the
+// scenario layer re-schedules them after restore; taking a snapshot while
+// any exist is an error), telemetry sinks (external observers, re-attached
+// by the caller), and everything construction-derived (schedules, RSS
+// matrices, wiring), which the deterministic build path reproduces.
+package snapshot
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/digs-net/digs/internal/core"
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/metrics"
+	"github.com/digs-net/digs/internal/orchestra"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/whart"
+)
+
+// Protocol identifiers stored in snapshot metadata.
+const (
+	ProtocolDiGS      = "digs"
+	ProtocolOrchestra = "orchestra"
+	ProtocolWHART     = "whart"
+)
+
+// Meta is the self-describing header of a snapshot: everything a consumer
+// needs to rebuild the scenario the state overlays onto, plus free-form
+// labelling for caches and tooling.
+type Meta struct {
+	// Protocol is one of the Protocol* constants.
+	Protocol string
+	// Topology names the deployment (e.g. "testbed-a"); the restoring
+	// side resolves it to the same generator the taking side used.
+	Topology string
+	Nodes    int
+	NumAPs   int
+	// Seed is the scenario seed: the sim.Network seed, from which the
+	// per-node stack seeds derive in the build path.
+	Seed int64
+	// Slot is the ASN the snapshot was taken at.
+	Slot int64
+	// ConfigHash fingerprints the build configuration (HashConfig). A
+	// restore under a different configuration would not be the same
+	// simulation; consumers compare fingerprints before restoring.
+	ConfigHash uint64
+	// Label tags the scenario phase (e.g. "formed+30s"); the snapshot
+	// cache keys on it alongside topology/protocol/seed/config.
+	Label string
+	// Extra carries free-form key/value pairs (e.g. the formation length
+	// a warm-started run reports); encoded sorted by key.
+	Extra map[string]string
+}
+
+// Snapshot is a fully decoded checkpoint.
+type Snapshot struct {
+	Meta Meta
+	Net  *sim.NetworkState
+	// MACs is indexed by node ID (entry 0 nil), length Nodes+1.
+	MACs []*mac.NodeState
+	// Exactly one of DiGS/Orchestra is populated for those protocols;
+	// the WirelessHART stack is stateless beyond its MAC nodes.
+	DiGS      []*core.StackState
+	Orchestra []*orchestra.StackState
+	// Metrics optionally carries an in-window collector (snapshots taken
+	// mid-measurement).
+	Metrics *metrics.CollectorState
+
+	// SectionSizes reports the encoded byte size per section tag after a
+	// Decode (inspection/tooling); Encode ignores it.
+	SectionSizes map[string]int
+}
+
+// HashConfig fingerprints build configuration values. Pass plain-old-data
+// structs (mac.Config, core.Config, orchestra.Config, slotframe lengths…);
+// the hash is over their printed form, stable across processes.
+func HashConfig(parts ...any) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%+v|", p)
+	}
+	return h.Sum64()
+}
+
+func captureMACs(nodes []*mac.Node) []*mac.NodeState {
+	out := make([]*mac.NodeState, len(nodes))
+	for i, n := range nodes {
+		if n != nil {
+			out[i] = n.CaptureState()
+		}
+	}
+	return out
+}
+
+func restoreMACs(nodes []*mac.Node, states []*mac.NodeState) error {
+	if len(states) != len(nodes) {
+		return fmt.Errorf("snapshot: %d MAC states for %d nodes", len(states), len(nodes))
+	}
+	for i, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if err := n.RestoreState(states[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fillMeta(meta Meta, proto string, nw *sim.Network) Meta {
+	meta.Protocol = proto
+	meta.Nodes = nw.Topology().N()
+	meta.NumAPs = nw.Topology().NumAPs
+	meta.Slot = nw.ASN()
+	return meta
+}
+
+func (s *Snapshot) checkRestore(proto string, nw *sim.Network) error {
+	if s.Meta.Protocol != proto {
+		return fmt.Errorf("snapshot: restoring %q snapshot into a %s scenario", s.Meta.Protocol, proto)
+	}
+	if s.Meta.Nodes != nw.Topology().N() {
+		return fmt.Errorf("snapshot: %d nodes in snapshot, topology has %d", s.Meta.Nodes, nw.Topology().N())
+	}
+	if s.Net == nil {
+		return fmt.Errorf("snapshot: missing network section")
+	}
+	return nil
+}
+
+// TakeDiGS captures a complete DiGS scenario at the current slot.
+func TakeDiGS(meta Meta, nw *sim.Network, net *core.Network) (*Snapshot, error) {
+	netSt, err := nw.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	stacks, err := net.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Meta: fillMeta(meta, ProtocolDiGS, nw),
+		Net:  netSt,
+		MACs: captureMACs(net.Nodes),
+		DiGS: stacks,
+	}, nil
+}
+
+// RestoreDiGS overlays the snapshot onto a freshly built DiGS scenario.
+func (s *Snapshot) RestoreDiGS(nw *sim.Network, net *core.Network) error {
+	if err := s.checkRestore(ProtocolDiGS, nw); err != nil {
+		return err
+	}
+	if err := nw.RestoreState(s.Net); err != nil {
+		return err
+	}
+	if err := restoreMACs(net.Nodes, s.MACs); err != nil {
+		return err
+	}
+	return net.RestoreState(s.DiGS)
+}
+
+// TakeOrchestra captures a complete Orchestra scenario at the current slot.
+func TakeOrchestra(meta Meta, nw *sim.Network, net *orchestra.Network) (*Snapshot, error) {
+	netSt, err := nw.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	stacks, err := net.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Meta:      fillMeta(meta, ProtocolOrchestra, nw),
+		Net:       netSt,
+		MACs:      captureMACs(net.Nodes),
+		Orchestra: stacks,
+	}, nil
+}
+
+// RestoreOrchestra overlays the snapshot onto a freshly built Orchestra
+// scenario.
+func (s *Snapshot) RestoreOrchestra(nw *sim.Network, net *orchestra.Network) error {
+	if err := s.checkRestore(ProtocolOrchestra, nw); err != nil {
+		return err
+	}
+	if err := nw.RestoreState(s.Net); err != nil {
+		return err
+	}
+	if err := restoreMACs(net.Nodes, s.MACs); err != nil {
+		return err
+	}
+	return net.RestoreState(s.Orchestra)
+}
+
+// TakeWHART captures a complete WirelessHART scenario at the current slot.
+// The centrally computed stack is stateless, so MAC state is all there is.
+func TakeWHART(meta Meta, nw *sim.Network, net *whart.Network) (*Snapshot, error) {
+	netSt, err := nw.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Meta: fillMeta(meta, ProtocolWHART, nw),
+		Net:  netSt,
+		MACs: captureMACs(net.Nodes),
+	}, nil
+}
+
+// RestoreWHART overlays the snapshot onto a freshly built WirelessHART
+// scenario.
+func (s *Snapshot) RestoreWHART(nw *sim.Network, net *whart.Network) error {
+	if err := s.checkRestore(ProtocolWHART, nw); err != nil {
+		return err
+	}
+	if err := nw.RestoreState(s.Net); err != nil {
+		return err
+	}
+	return restoreMACs(net.Nodes, s.MACs)
+}

@@ -1,0 +1,171 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Low-level wire primitives. Integers are varints (zigzag for signed),
+// floats are fixed 8-byte little-endian IEEE bit patterns (Inf and NaN
+// round-trip exactly), byte strings are length-prefixed. The reader never
+// panics on malformed input: every length and count is bounded by the
+// bytes actually remaining, so truncated, corrupt or adversarial inputs
+// fail with an error before any oversized allocation.
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) uvarint(v uint64)  { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) varint(v int64)    { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *writer) float(v float64)   { w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v)) }
+func (w *writer) bytes(b []byte)    { w.uvarint(uint64(len(b))); w.buf = append(w.buf, b...) }
+func (w *writer) str(s string)      { w.uvarint(uint64(len(s))); w.buf = append(w.buf, s...) }
+func (w *writer) u8(v uint8)        { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16)      { w.uvarint(uint64(v)) }
+func (w *writer) u64(v uint64)      { w.uvarint(v) }
+func (w *writer) i64(v int64)       { w.varint(v) }
+func (w *writer) intval(v int)      { w.varint(int64(v)) }
+func (w *writer) boolean(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("snapshot: truncated or malformed uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("snapshot: truncated or malformed varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 8 {
+		r.fail("snapshot: truncated float at offset %d", r.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.remaining()) {
+		r.fail("snapshot: byte string of %d exceeds %d remaining at offset %d", n, r.remaining(), r.off)
+		return nil
+	}
+	out := append([]byte(nil), r.buf[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return out
+}
+
+func (r *reader) str() string {
+	return string(r.bytes())
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 1 {
+		r.fail("snapshot: truncated byte at offset %d", r.off)
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	v := r.uvarint()
+	if v > math.MaxUint16 {
+		r.fail("snapshot: value %d overflows uint16", v)
+		return 0
+	}
+	return uint16(v)
+}
+
+func (r *reader) u64() uint64 { return r.uvarint() }
+func (r *reader) i64() int64  { return r.varint() }
+
+func (r *reader) intval() int {
+	v := r.varint()
+	if v > math.MaxInt32 || v < math.MinInt32 {
+		r.fail("snapshot: value %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) boolean() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("snapshot: invalid bool at offset %d", r.off-1)
+		return false
+	}
+}
+
+// count reads a collection length and bounds it by the remaining input:
+// every element costs at least minElemBytes on the wire, so a count
+// exceeding remaining/minElemBytes proves corruption before allocation.
+func (r *reader) count(minElemBytes int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minElemBytes < 1 {
+		minElemBytes = 1
+	}
+	if n > uint64(r.remaining()/minElemBytes) {
+		r.fail("snapshot: count %d exceeds remaining input at offset %d", n, r.off)
+		return 0
+	}
+	return int(n)
+}
