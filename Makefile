@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden snap-smoke baseline bench-warmstart clean
+.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden snap-smoke scale-smoke bench-scale bench-gate baseline bench-warmstart clean
 
 ## ci: everything the driver checks — vet, build, race-enabled tests, a
 ## short fuzz pass over the wire codecs, a one-shot large-scale benchmark
-## smoke run, the telemetry pipeline smoke test, and the snapshot
-## round-trip smoke test.
-ci: vet build race fuzz bench-smoke trace-smoke snap-smoke
+## smoke run, the telemetry pipeline smoke test, the snapshot round-trip
+## smoke test, and a short 10k-node run on the sparse sharded engine.
+ci: vet build race fuzz bench-smoke trace-smoke snap-smoke scale-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalJoinedCallback -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzScanJSONL -fuzztime=$(FUZZTIME) ./internal/telemetry
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/snapshot
+	$(GO) test -run='^$$' -fuzz=FuzzGenerate -fuzztime=$(FUZZTIME) ./internal/topology
 
 ## bench-smoke: run the heaviest benchmark once to catch bit-rot without
 ## paying for a full measurement.
@@ -66,6 +67,28 @@ snap-smoke:
 		-slots 5000 -label golden -o $(SNAP_SMOKE_DIR)/straight.snap >/dev/null
 	cmp $(SNAP_SMOKE_DIR)/resumed.snap $(SNAP_SMOKE_DIR)/straight.snap
 	@echo snap-smoke: OK
+
+## scale-smoke: spin up a procedurally generated 10k-node deployment on
+## the sparse sharded engine and step it briefly under DiGS and Orchestra
+## — catches engine bit-rot at a scale the dense matrix cannot represent.
+## WirelessHART is excluded by design: its centralised manager computes
+## the whole schedule up front, which is exactly the scaling limit the
+## paper's distributed approach removes.
+scale-smoke:
+	$(GO) run ./cmd/digs-bench -scale-smoke
+	@echo scale-smoke: OK
+
+## bench-scale: regenerate BENCH_scale.json — the nodes x protocol x
+## shards throughput matrix, including the dense-engine twin that anchors
+## the sparse engine's speedup claim.
+bench-scale:
+	$(GO) run ./cmd/digs-bench -bench-scale BENCH_scale.json
+
+## bench-gate: re-time the gated BENCH_scale.json cells and fail when any
+## regresses more than 15% in slots/s. Kept out of `ci`: wall-clock gates
+## belong on dedicated runners, not shared machines.
+bench-gate:
+	$(GO) run ./cmd/digs-bench -bench-gate BENCH_scale.json
 
 ## bench-warmstart: regenerate BENCH_warmstart.json — cold vs warm-started
 ## chaos campaign wall-clock, with a byte-identity check on the reports.

@@ -28,11 +28,16 @@ type baselineCampaign struct {
 // baselineReport is the BENCH_baseline.json schema future PRs diff against
 // to track the perf trajectory.
 type baselineReport struct {
-	GeneratedAt string             `json:"generated_at"`
-	GoVersion   string             `json:"go_version"`
-	NumCPU      int                `json:"num_cpu"`
-	Workers     int                `json:"workers"`
-	Campaigns   []baselineCampaign `json:"campaigns"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	// GOMAXPROCS and SingleCPU label the parallel timings: on a
+	// single-CPU runner a ~1.0x campaign "speedup" is goroutine
+	// time-slicing, not a parallelism regression.
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	SingleCPU  bool               `json:"single_cpu"`
+	Workers    int                `json:"workers"`
+	Campaigns  []baselineCampaign `json:"campaigns"`
 }
 
 // writePerfBaseline times reduced campaigns sequentially (one worker) and
@@ -45,6 +50,8 @@ func writePerfBaseline(path string, seed int64) error {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		SingleCPU:   runtime.GOMAXPROCS(0) == 1,
 		Workers:     workers,
 		Campaigns:   []baselineCampaign{},
 	}

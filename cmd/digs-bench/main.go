@@ -44,11 +44,26 @@ func run() error {
 		"run the invariant monitor with self-healing watchdogs during the Figure 4/5 campaign")
 	snapCache := flag.String("snap-cache", "",
 		"snapshot cache directory for the Figure 9/10/11 campaigns: formation restores from it when cached and populates it when not, with bit-identical figures")
+	benchScale := flag.String("bench-scale", "",
+		"run the scale benchmark matrix (nodes x protocol x shards), write the JSON report to this file, and exit")
+	benchGate := flag.String("bench-gate", "",
+		"re-time the gated scale matrix cells and fail on >15% slots/s regression vs this checked-in BENCH_scale.json")
+	scaleSmoke := flag.Bool("scale-smoke", false,
+		"briefly step a generated 10k-node deployment on the sparse sharded engine under DiGS and Orchestra, then exit")
 	flag.Parse()
 
 	campaign.SetDefaultWorkers(*parallel)
 	if *baseline != "" {
 		return writePerfBaseline(*baseline, *seed)
+	}
+	if *benchScale != "" {
+		return writeBenchScale(*benchScale, *seed)
+	}
+	if *benchGate != "" {
+		return gateBenchScale(*benchGate, *seed)
+	}
+	if *scaleSmoke {
+		return runScaleSmoke(*seed)
 	}
 	if *trace != "" && *fig != "4" && *fig != "5" {
 		return fmt.Errorf("-trace is only wired into the Figure 4/5 campaign; add -fig 4")

@@ -72,6 +72,81 @@ func DefaultConfig(numAPs int) Config {
 	}
 }
 
+// paperEnvelopeNodes is the largest deployment the paper's fixed
+// slotframe lengths are dimensioned for (the Section VII-D large-scale
+// study). Up to here ScaledConfig returns DefaultConfig unchanged, so
+// every paper-reproduction testbed keeps its exact published schedule.
+const paperEnvelopeNodes = 150
+
+// ScaledConfig returns a configuration dimensioned for a deployment of
+// the given total size. The paper's evaluation parameters assume
+// A*(N-N_AP) < L_app and N < L_sync; beyond a few hundred nodes both
+// wrap many times over and the network degrades in three distinct ways,
+// each countered by one scaling rule:
+//
+//   - EB collisions: with N > L_sync several nodes share each sync slot
+//     and beacons collide persistently, so nodes cannot join. L_sync
+//     grows to the smallest prime >= N+5, capped at 2003 — beyond the
+//     cap, co-slot nodes are thousands of IDs apart, which the
+//     generators' spatial ID assignment turns into physical distance
+//     (spatial reuse).
+//   - App-slot contention: Eq. (4) slots wrap mod L_app and co-slot
+//     transmitters collide, while receivers' child-slot maps overwrite
+//     each other. L_app grows to the smallest prime >= A*(N-N_AP)/appLanes,
+//     so the channel lanes keep co-slot transmitters mostly separable.
+//     Larger L_app trades per-hop latency (one app frame per hop) for
+//     less contention.
+//   - Routing-state expiry: neighbour freshness is only refreshed by
+//     join-ins on the single shared routing slot, whose contention grows
+//     with density; with Trickle at Imax (~2 min) a 5-minute timeout
+//     expires live parents and the converged network churns. The
+//     timeouts widen to 30 minutes (~15x Imax).
+//
+// The three slotframe lengths stay pairwise coprime (all prime, and
+// distinct from RoutingFrameLen 47).
+func ScaledConfig(numAPs, nodes int) Config {
+	cfg := DefaultConfig(numAPs)
+	if nodes <= paperEnvelopeNodes {
+		return cfg
+	}
+	sync := nextPrime(int64(nodes) + 5)
+	if sync > 2003 {
+		sync = 2003
+	}
+	if sync > cfg.SyncFrameLen {
+		cfg.SyncFrameLen = sync
+	}
+	app := nextPrime(int64(cfg.Attempts*(nodes-numAPs)) / appLanes)
+	if app > cfg.AppFrameLen {
+		cfg.AppFrameLen = app
+	}
+	if cfg.AppFrameLen == cfg.SyncFrameLen {
+		cfg.AppFrameLen = nextPrime(cfg.AppFrameLen + 1)
+	}
+	cfg.NeighborTimeout = 30 * time.Minute
+	cfg.ChildTimeout = 30 * time.Minute
+	return cfg
+}
+
+// nextPrime returns the smallest prime >= n (and >= 2).
+func nextPrime(n int64) int64 {
+	if n < 2 {
+		return 2
+	}
+	for ; ; n++ {
+		prime := true
+		for d := int64(2); d*d <= n; d++ {
+			if n%d == 0 {
+				prime = false
+				break
+			}
+		}
+		if prime {
+			return n
+		}
+	}
+}
+
 // Validate checks the configuration for structural problems.
 func (c Config) Validate() error {
 	if c.NumAPs < 1 {

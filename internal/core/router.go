@@ -269,7 +269,9 @@ func (r *Router) reselect(asn sim.ASN) bool {
 		if r.rank < RankInfinity && e.rank >= r.rank {
 			continue
 		}
-		if a := r.accETX(id, e); a < bestETXa {
+		// Tie-break equal costs on the lower node ID: the winner must not
+		// depend on map iteration order, or identical seeds diverge.
+		if a := r.accETX(id, e); a < bestETXa || (a == bestETXa && best != 0 && id < best) {
 			best, bestETXa = id, a
 		}
 	}
@@ -307,7 +309,7 @@ func (r *Router) reselect(asn sim.ASN) bool {
 		if uint16(e.rank) >= rank {
 			continue // loop avoidance: parents must be strictly closer
 		}
-		if a := r.accETX(id, e); a < secondETXa {
+		if a := r.accETX(id, e); a < secondETXa || (a == secondETXa && second != 0 && id < second) {
 			second, secondETXa = id, a
 		}
 	}

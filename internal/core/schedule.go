@@ -151,23 +151,67 @@ func (s *scheduler) appRole(offset int64, _ sim.ASN) (mac.SlotRole, int) {
 	return mac.RoleSleep, 0
 }
 
+// nextOffset returns the first ASN >= after that lands on the given slot
+// offset of a slotframe of length frameLen.
+func nextOffset(after sim.ASN, frameLen, offset int64) sim.ASN {
+	return after + ((offset-after%frameLen)%frameLen+frameLen)%frameLen
+}
+
+// NextActive returns the earliest slot at or after `after` in which this
+// node's combined schedule assigns any non-sleep role: its own EB slot,
+// its best parent's EB slot, the shared routing slot, and its Eq. (4)
+// transmit and listen cells. The result is the union over slotframes —
+// conservative with respect to the combiner, which only ever picks among
+// these same cells. Minimising over map keys is iteration-order safe.
+func (s *scheduler) NextActive(after sim.ASN) sim.ASN {
+	w := nextOffset(after, s.cfg.SyncFrameLen, int64(s.id-1)%s.cfg.SyncFrameLen)
+	if best, _ := s.router.Parents(); best != 0 {
+		if v := nextOffset(after, s.cfg.SyncFrameLen, int64(best-1)%s.cfg.SyncFrameLen); v < w {
+			w = v
+		}
+	}
+	if v := nextOffset(after, s.cfg.RoutingFrameLen, 0); v < w {
+		w = v
+	}
+	for off := range s.txSlots {
+		if v := nextOffset(after, s.cfg.AppFrameLen, off); v < w {
+			w = v
+		}
+	}
+	s.refreshRxCache()
+	for off := range s.rxSlots {
+		if v := nextOffset(after, s.cfg.AppFrameLen, off); v < w {
+			w = v
+		}
+	}
+	return w
+}
+
 func (s *scheduler) refreshRxCache() {
 	v := s.router.ChildVersion()
 	if s.cacheValid && v == s.cacheVersion {
 		return
 	}
 	s.rxSlots = make(map[int64]topology.NodeID)
+	// When two children's Eq. (4) cells collide on the same offset, the
+	// lowest child ID wins — a deterministic rule, so the choice cannot
+	// depend on the children map's iteration order.
+	claim := func(slot int64, child topology.NodeID) {
+		if cur, ok := s.rxSlots[slot]; !ok || child < cur {
+			s.rxSlots[slot] = child
+		}
+	}
 	for child, role := range s.router.Children() {
 		switch role {
 		case RoleBestParent:
 			for p := 1; p < s.cfg.Attempts; p++ {
-				s.rxSlots[AppTxSlot(child, s.cfg.NumAPs, s.cfg.Attempts, p, s.cfg.AppFrameLen)] = child
+				claim(AppTxSlot(child, s.cfg.NumAPs, s.cfg.Attempts, p, s.cfg.AppFrameLen), child)
 			}
 			if s.cfg.Attempts == 1 {
-				s.rxSlots[AppTxSlot(child, s.cfg.NumAPs, s.cfg.Attempts, 1, s.cfg.AppFrameLen)] = child
+				claim(AppTxSlot(child, s.cfg.NumAPs, s.cfg.Attempts, 1, s.cfg.AppFrameLen), child)
 			}
 		case RoleSecondParent:
-			s.rxSlots[AppTxSlot(child, s.cfg.NumAPs, s.cfg.Attempts, s.cfg.Attempts, s.cfg.AppFrameLen)] = child
+			claim(AppTxSlot(child, s.cfg.NumAPs, s.cfg.Attempts, s.cfg.Attempts, s.cfg.AppFrameLen), child)
 		}
 	}
 	s.cacheVersion = v

@@ -134,6 +134,28 @@ func (s *Stack) Assignment(asn sim.ASN) mac.Assignment {
 	return s.sched.Assignment(asn)
 }
 
+// NextActive implements mac.NextActiver: the schedule's next non-sleep
+// slot, pulled earlier when one of the stack's own timers needs an exact
+// slot — the Trickle timer's fire/rollover point, and the periodic
+// maintenance deadline (so neighbour and parent timeouts are not checked
+// later than per-slot stepping would have).
+func (s *Stack) NextActive(after sim.ASN) sim.ASN {
+	w := s.sched.NextActive(after)
+	if s.synced {
+		if e := s.tr.NextEvent(int64(after)); e >= int64(after) && sim.ASN(e) < w {
+			w = sim.ASN(e)
+		}
+	}
+	if s.nextMaintain < w {
+		if s.nextMaintain >= after {
+			w = s.nextMaintain
+		} else {
+			w = after
+		}
+	}
+	return w
+}
+
 // OnSynced implements mac.Protocol: the node joined the TSCH network and
 // may start routing.
 func (s *Stack) OnSynced(asn sim.ASN) {

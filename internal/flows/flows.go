@@ -74,7 +74,10 @@ func Schedule(nw *sim.Network, set []Flow, packets int,
 		for p := 0; p < packets; p++ {
 			seq := uint16(p)
 			at := base + stagger + sim.ASN(p)*periodSlots
-			nw.At(at, func() { inject(f, seq, at) })
+			// A napping source must be woken before the enqueue: the
+			// scale engine skips napping nodes entirely, and the nap was
+			// computed from a schedule that assumed an empty queue.
+			nw.At(at, func() { nw.Wake(f.Source); inject(f, seq, at) })
 		}
 	}
 }

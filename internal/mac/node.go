@@ -559,6 +559,52 @@ func (n *Node) watchdog(dst topology.NodeID) {
 	n.wdFails = 0
 }
 
+// NextActiver is optionally implemented by protocols whose schedule can
+// be queried structurally: NextActive(after) returns the earliest slot at
+// or after `after` in which the node's combined schedule assigns any
+// non-sleep role. It must be conservative — returning a slot early is
+// harmless (the node wakes, plans sleep, naps again), returning one late
+// would make the node sleep through its own cells.
+type NextActiver interface {
+	NextActive(after sim.ASN) sim.ASN
+}
+
+// NextWake implements sim.Napper: it reports the next slot this node
+// could possibly do radio work. A node only naps when it is synchronised
+// with nothing queued anywhere and its protocol can enumerate its
+// schedule structurally; the optional downlink/broadcast slotframes keep
+// a node permanently wakeful because their cells depend on frames other
+// nodes may send. Anything handing a napping node new work outside the
+// radio path (flow injection) must go through Network.Wake.
+func (n *Node) NextWake(asn sim.ASN) sim.ASN {
+	if !n.synced || len(n.queue) > 0 || len(n.downQueue) > 0 || n.bcastOut != nil ||
+		n.cfg.DownlinkFrameLen > 0 || n.cfg.BroadcastFrameLen > 0 {
+		return asn + 1
+	}
+	na, ok := n.proto.(NextActiver)
+	if !ok {
+		return asn + 1
+	}
+	w := na.NextActive(asn + 1)
+	if w < asn+1 {
+		w = asn + 1
+	}
+	return w
+}
+
+// AccrueSleep implements sim.Napper: it settles the per-slot accounting
+// for slots the engine skipped while this node napped. Energy accumulates
+// one slot at a time so the totals are bit-identical to a run where
+// EndSlot saw each sleep slot individually.
+func (n *Node) AccrueSleep(slots int64) {
+	e := phy.EnergyJoules(phy.ActivitySleep)
+	for i := int64(0); i < slots; i++ {
+		n.stats.EnergyJoules += e
+	}
+	n.stats.Slots += slots
+	n.stats.RadioOnTime += time.Duration(slots) * phy.RadioOnTime(phy.ActivitySleep)
+}
+
 // Resetter is optionally implemented by protocols that can discard their
 // routing state for a cold reboot (see Node.Reboot with state loss).
 type Resetter interface {

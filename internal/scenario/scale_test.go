@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/digs-net/digs/internal/flows"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/snapshot"
+	"github.com/digs-net/digs/internal/telemetry"
+)
+
+// runScale builds a DiGS scenario on a generated sparse topology with the
+// given shard count, converges it, runs one flow window with telemetry
+// attached, and returns a fingerprint of every observable output: the
+// delivered-packet ledger, the per-node MAC statistics (exact float bits),
+// the final ASN, and the raw telemetry JSONL bytes.
+func runScale(t *testing.T, topoName string, shards int) (string, []byte) {
+	t.Helper()
+	sc, err := Build(Params{
+		TopologyName: topoName,
+		Protocol:     snapshot.ProtocolDiGS,
+		Seed:         42,
+		Period:       2 * time.Second,
+		Shards:       shards,
+	})
+	if err != nil {
+		t.Fatalf("build (%d shards): %v", shards, err)
+	}
+	if !sc.NW.ScaleMode() {
+		t.Fatalf("expected scale mode for %s", topoName)
+	}
+	var trace bytes.Buffer
+	sc.SetTracer(telemetry.NewJSONL(&trace))
+
+	topo := sc.NW.Topology()
+	n := topo.N()
+	// Converge to full join or the slot cap, whichever first — either way
+	// every shard count runs the identical slot sequence. Nodes whose only
+	// links sit in the sub-sensitivity guard band can take very long to
+	// join; they don't carry the test's flows.
+	sc.NW.RunUntil(60_000, func() bool { return sc.Joined() == n })
+	if j := sc.Joined(); j < n*9/10 {
+		t.Fatalf("(%d shards) only %d/%d joined after %d slots", shards, j, n, sc.NW.ASN())
+	}
+
+	var delivered []string
+	sc.OnDeliver(func(asn sim.ASN, f *sim.Frame) {
+		delivered = append(delivered, fmt.Sprintf("%d/%d/%d@%d", f.Origin, f.FlowID, f.Seq, asn))
+	})
+	fset := flows.FixedSet(topo.SuggestedSources, 2*time.Second)
+	sent := 0
+	flows.Schedule(sc.NW, fset, 4, func(f flows.Flow, seq uint16, asn sim.ASN) {
+		sent++
+		_ = sc.MACNode(int(f.Source)).InjectData(&sim.Frame{
+			Origin: f.Source, FlowID: f.ID, Seq: seq, BornASN: asn,
+		})
+	})
+	sc.NW.Run(sim.SlotsFor(12 * time.Second))
+
+	var fp bytes.Buffer
+	fmt.Fprintf(&fp, "asn=%d sent=%d\n", sc.NW.ASN(), sent)
+	for _, d := range delivered {
+		fmt.Fprintln(&fp, d)
+	}
+	for i := 1; i <= n; i++ {
+		st := sc.MACNode(i).Stats()
+		fmt.Fprintf(&fp, "%d e=%x on=%d slots=%d tx=%d/%d rx=%d gen=%d fwd=%d sink=%d drop=%d/%d dup=%d\n",
+			i, math.Float64bits(st.EnergyJoules), int64(st.RadioOnTime), st.Slots,
+			st.TxData, st.TxControl, st.RxFrames, st.Generated, st.Forwarded,
+			st.SinkDelivered, st.DroppedQueue, st.DroppedRetries, st.Duplicates)
+	}
+	return fp.String(), trace.Bytes()
+}
+
+// TestScaleShardBitIdentity is the tentpole's determinism guarantee: a
+// sharded run is an implementation detail, not a simulation parameter.
+// Metrics, per-node statistics and the telemetry stream must be
+// bit-identical for shard counts 1, 2, 4 and 8.
+func TestScaleShardBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run convergence test")
+	}
+	baseFP, baseTrace := runScale(t, "gen-field-300-3", 1)
+	if len(baseTrace) == 0 {
+		t.Fatal("telemetry stream empty — tracer not wired through the splitter")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		fp, tr := runScale(t, "gen-field-300-3", shards)
+		if fp != baseFP {
+			t.Errorf("%d shards: metrics fingerprint diverged from 1-shard run:\n%s",
+				shards, firstDiff(baseFP, fp))
+		}
+		if !bytes.Equal(tr, baseTrace) {
+			t.Errorf("%d shards: telemetry JSONL diverged from 1-shard run (%d vs %d bytes)",
+				shards, len(tr), len(baseTrace))
+		}
+	}
+}
+
+// TestScaleSnapshotRoundTrip10k takes a snapshot of a sharded 10k-node
+// run mid-flight, restores it into a fresh build with a different shard
+// count, and checks both continuations are bit-identical: checkpointing
+// composes with the scale engine, and the shard count is free to change
+// across a resume.
+func TestScaleSnapshotRoundTrip10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node run")
+	}
+	build := func(shards int) *Scenario {
+		sc, err := Build(Params{
+			TopologyName: "gen-plant-10000",
+			Protocol:     snapshot.ProtocolDiGS,
+			Seed:         7,
+			Shards:       shards,
+		})
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		return sc
+	}
+	fingerprint := func(sc *Scenario) string {
+		var fp bytes.Buffer
+		fmt.Fprintf(&fp, "asn=%d joined=%d\n", sc.NW.ASN(), sc.Joined())
+		for i := 1; i <= sc.NW.Topology().N(); i++ {
+			st := sc.MACNode(i).Stats()
+			fmt.Fprintf(&fp, "%d e=%x slots=%d tx=%d/%d rx=%d\n",
+				i, math.Float64bits(st.EnergyJoules), st.Slots, st.TxData, st.TxControl, st.RxFrames)
+		}
+		return fp.String()
+	}
+
+	orig := build(2)
+	orig.NW.Run(2000)
+	snap, err := orig.Take("midflight", nil)
+	if err != nil {
+		t.Fatalf("take: %v", err)
+	}
+	wire, err := snapshot.Encode(snap)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := snapshot.Decode(wire)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	resumed := build(8)
+	if err := resumed.Restore(back); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got, want := fingerprint(resumed), fingerprint(orig); got != want {
+		t.Fatalf("restored state diverges before stepping:\n%s", firstDiff(want, got))
+	}
+	orig.NW.Run(1000)
+	resumed.NW.Run(1000)
+	if got, want := fingerprint(resumed), fingerprint(orig); got != want {
+		t.Fatalf("continuations diverge (2 shards vs 8 shards from snapshot):\n%s", firstDiff(want, got))
+	}
+}
+
+func firstDiff(a, b string) string {
+	la, lb := len(a), len(b)
+	n := la
+	if lb < n {
+		n = lb
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+80, i+80
+			if hiA > la {
+				hiA = la
+			}
+			if hiB > lb {
+				hiB = lb
+			}
+			return fmt.Sprintf("at byte %d:\n  a: …%s…\n  b: …%s…", i, a[lo:hiA], b[lo:hiB])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d", la, lb)
+}

@@ -38,12 +38,19 @@ func PickTopology(name string) (*topology.Topology, error) {
 	case "random-150":
 		return topology.NewRandom(150, 300, 300, 7), nil
 	default:
+		if p, ok, err := topology.ParseGenSpec(name); ok {
+			if err != nil {
+				return nil, err
+			}
+			return topology.Generate(p)
+		}
 		return nil, fmt.Errorf("unknown topology %q", name)
 	}
 }
 
 // TopologyNames lists the accepted -topology values.
-const TopologyNames = "testbed-a, testbed-b, half-testbed-a, half-testbed-b, random-150"
+const TopologyNames = "testbed-a, testbed-b, half-testbed-a, half-testbed-b, random-150, " +
+	"gen-{plant,campus,field}-<nodes>[-<seed>]"
 
 // Params selects and parameterises a scenario. The same Params always
 // build the same simulation, which is what makes snapshots restorable:
@@ -65,6 +72,12 @@ type Params struct {
 	MacBoost int
 	// DiGSConfig overrides the DiGS stack configuration (ablations).
 	DiGSConfig *core.Config
+	// Shards selects the scale engine's shard count (0 = 1 shard when the
+	// topology is sparse-only, dense engine otherwise). Any positive value
+	// forces the scale engine; results are bit-identical for every shard
+	// count, so Shards is a throughput knob, not a simulation parameter —
+	// snapshots taken at one count restore at any other.
+	Shards int
 }
 
 // Scenario is a built, runnable protocol scenario with a uniform surface
@@ -104,7 +117,16 @@ func Build(p Params) (*Scenario, error) {
 		p.Period = 5 * time.Second
 	}
 	topo := p.Topology
-	nw := sim.NewNetwork(topo, p.Seed)
+	var nw *sim.Network
+	if p.Shards > 0 || topo.SparseOnly() {
+		shards := p.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		nw = sim.NewScaleNetwork(topo, p.Seed, shards)
+	} else {
+		nw = sim.NewNetwork(topo, p.Seed)
+	}
 	macCfg := mac.DefaultConfig()
 	if p.MacBoost > 1 {
 		macCfg.MaxTxPerPacket *= p.MacBoost
@@ -113,7 +135,9 @@ func Build(p Params) (*Scenario, error) {
 
 	switch p.Protocol {
 	case snapshot.ProtocolDiGS:
-		cfg := core.DefaultConfig(topo.NumAPs)
+		// ScaledConfig == DefaultConfig within the paper envelope; only
+		// generated massive-scale deployments get re-dimensioned frames.
+		cfg := core.ScaledConfig(topo.NumAPs, topo.N())
 		if p.DiGSConfig != nil {
 			cfg = *p.DiGSConfig
 		}
@@ -185,6 +209,22 @@ func Build(p Params) (*Scenario, error) {
 	default:
 		return nil, fmt.Errorf("unknown protocol %q", p.Protocol)
 	}
+	if nw.ScaleMode() {
+		// Device layers record telemetry from inside the shard-parallel
+		// phases; interpose the per-shard splitter so any downstream sink
+		// sees one deterministic stream regardless of shard count.
+		inner := sc.SetTracer
+		sc.SetTracer = func(t telemetry.Tracer) {
+			if t == nil {
+				nw.SetParallelNotify(nil)
+				inner(nil)
+				return
+			}
+			sp := telemetry.NewSplitter(t, nw.ShardCount(), nw.ShardOf)
+			nw.SetParallelNotify(sp.SetParallel)
+			inner(sp)
+		}
+	}
 	return sc, nil
 }
 
@@ -210,6 +250,12 @@ func BuildFromMeta(m snapshot.Meta) (*Scenario, error) {
 		}
 		p.MacBoost = b
 	}
+	if v := m.Extra["scale"]; v != "" {
+		// The snapshot came from a scale-engine run; rebuild in scale mode
+		// (the exact shard count is a throughput knob, not identity — the
+		// restoring process picks its own).
+		p.Shards = 1
+	}
 	sc, err := Build(p)
 	if err != nil {
 		return nil, err
@@ -233,6 +279,11 @@ func (sc *Scenario) Take(label string, extra map[string]string) (*snapshot.Snaps
 	}
 	if sc.Params.MacBoost > 1 {
 		meta.Extra["mac_boost"] = strconv.Itoa(sc.Params.MacBoost)
+	}
+	if sc.NW.ScaleMode() && !sc.Params.Topology.SparseOnly() {
+		// Sparse-only topologies rebuild in scale mode from the name alone;
+		// explicitly-forced scale runs on small topologies need the marker.
+		meta.Extra["scale"] = "1"
 	}
 	for k, v := range extra {
 		meta.Extra[k] = v

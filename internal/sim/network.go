@@ -112,6 +112,11 @@ type Network struct {
 	// first AddLinkFade keeps the unfaulted hot path branch-predictable.
 	fade []float64
 
+	// scale, when non-nil, switches the network to the sparse sharded
+	// engine (see scale.go): Step dispatches to stepScale, the dense rss
+	// matrix stays unallocated, and fades key on sparse link indices.
+	scale *scaleState
+
 	// driftProb holds each node's per-slot clock misalignment
 	// probability (0 = slot timer healthy), driftSeed the deterministic
 	// per-node hash seed; both nil until the first SetClockDrift.
@@ -175,6 +180,20 @@ func (nw *Network) rssAt(a, b topology.NodeID) float64 {
 // lift one. Out-of-range IDs and self-links are ignored.
 func (nw *Network) AddLinkFade(a, b topology.NodeID, dB float64) {
 	if a == b || a < 1 || b < 1 || int(a) >= nw.rssDim || int(b) >= nw.rssDim {
+		return
+	}
+	if sc := nw.scale; sc != nil {
+		// Scale mode keys fades on sparse link indices; a pruned link is
+		// already unreceivable, so fading it is a no-op.
+		i, j := sc.sparse.LinkIndex(a, b), sc.sparse.LinkIndex(b, a)
+		if i < 0 || j < 0 {
+			return
+		}
+		if sc.fade == nil {
+			sc.fade = make([]float64, sc.sparse.Links())
+		}
+		sc.fade[i] += dB
+		sc.fade[j] += dB
 		return
 	}
 	if nw.fade == nil {
@@ -253,6 +272,9 @@ func (nw *Network) Attach(d Device) error {
 		return fmt.Errorf("attach device %d: already attached", id)
 	}
 	nw.devices[id] = d
+	if nw.scale != nil {
+		nw.scale.awake.Add(1)
+	}
 	return nil
 }
 
@@ -264,6 +286,7 @@ func (nw *Network) AddInterferer(i Interferer) {
 // Fail marks a node as dead: it stops planning, transmitting and receiving.
 func (nw *Network) Fail(id topology.NodeID) {
 	if id >= 1 && int(id) < len(nw.failed) {
+		nw.Wake(id) // settle nap accounting up to the failure
 		nw.failed[id] = true
 	}
 }
@@ -272,6 +295,7 @@ func (nw *Network) Fail(id topology.NodeID) {
 func (nw *Network) Restore(id topology.NodeID) {
 	if id >= 1 && int(id) < len(nw.failed) {
 		nw.failed[id] = false
+		nw.Wake(id)
 	}
 }
 
@@ -280,9 +304,19 @@ func (nw *Network) Failed(id topology.NodeID) bool {
 	return id >= 1 && int(id) < len(nw.failed) && nw.failed[id]
 }
 
-// Run advances the network by the given number of slots.
+// Run advances the network to the slot `slots` after the current one. In
+// scale mode a single Step may fast-forward through a stretch where every
+// device naps, so the loop tracks the slot clock, not the call count; the
+// fast-forward cap keeps it from overshooting the target.
 func (nw *Network) Run(slots int64) {
-	for i := int64(0); i < slots; i++ {
+	target := nw.asn + slots
+	if nw.scale != nil {
+		defer func() { nw.scale.runCap = 0 }()
+	}
+	for nw.asn < target {
+		if nw.scale != nil {
+			nw.scale.runCap = target
+		}
 		nw.Step()
 	}
 }
@@ -291,13 +325,21 @@ func (nw *Network) Run(slots int64) {
 // slot budget is exhausted. It returns the number of slots executed and
 // whether the predicate fired.
 func (nw *Network) RunUntil(maxSlots int64, done func() bool) (int64, bool) {
-	for i := int64(0); i < maxSlots; i++ {
+	start := nw.asn
+	target := start + maxSlots
+	if nw.scale != nil {
+		defer func() { nw.scale.runCap = 0 }()
+	}
+	for nw.asn < target {
 		if done() {
-			return i, true
+			return nw.asn - start, true
+		}
+		if nw.scale != nil {
+			nw.scale.runCap = target
 		}
 		nw.Step()
 	}
-	return maxSlots, done()
+	return nw.asn - start, done()
 }
 
 // At schedules fn to run at the start of the given slot (failure injection,
@@ -320,6 +362,10 @@ func (nw *Network) AfterDuration(d time.Duration, fn func()) {
 
 // Step executes one TSCH slot: plan, resolve the medium, report.
 func (nw *Network) Step() {
+	if nw.scale != nil {
+		nw.stepScale()
+		return
+	}
 	nw.started = true
 	asn := nw.asn
 	n := nw.numDevs

@@ -1,0 +1,574 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/digs-net/digs/internal/detrand"
+	"github.com/digs-net/digs/internal/phy"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// The scale engine is the massive-topology execution mode of Network: the
+// same device contract and medium model, restructured so per-slot cost
+// scales with active links instead of n^2 and the device phases can run
+// shard-parallel while staying bit-identical for every shard count.
+//
+// Three things differ from the legacy slot loop:
+//
+//  1. The dense (n+1)^2 RSS matrix is replaced by the topology's
+//     radius-pruned CSR adjacency. A listener resolves receptions by
+//     scanning its own neighbour row (O(degree)) instead of the global
+//     per-channel transmitter lists, and the fade overlay is keyed on
+//     sparse link indices.
+//
+//  2. All randomness is counter-based: each fading and decode draw is a
+//     pure hash of (seed, asn, src, dst, salt) instead of the next value
+//     of a shared sequential generator. Draw values therefore do not
+//     depend on the order listeners resolve, which is what makes the
+//     output invariant across shard counts — the same trick the engine
+//     already used for clock-drift decisions.
+//
+//  3. Devices are partitioned into contiguous node-ID ranges, one per
+//     shard. The plan and end-of-slot phases run shard-parallel;
+//     per-shard event buffers are drained in shard order after each
+//     parallel section, which is ascending node-ID order and therefore
+//     the same order for 1, 2, 4 or 8 shards. The procedural generators
+//     assign IDs in spatial scan order, so contiguous ID ranges are also
+//     spatially compact regions. Access points always land in shard 0
+//     (lowest IDs), making that goroutine the only one that runs sink
+//     callbacks and touches gateway-side state.
+//
+// Devices that implement Napper additionally let the engine skip their
+// Plan/EndSlot calls entirely across structurally idle stretches, and
+// Run fast-forwards the clock through the event heap when every device
+// is napping.
+
+// Napper is optionally implemented by devices that can predict their own
+// idle stretches. After EndSlot(asn) the engine asks NextWake(asn); a
+// return w > asn+1 promises the device would plan OpSleep for every slot
+// in (asn, w), and the engine then skips its Plan/EndSlot calls until
+// slot w (or until Network.Wake). On waking, AccrueSleep(k) reports the k
+// skipped slots so the device can settle its per-slot accounting exactly
+// as if EndSlot had been called with a sleep report k times.
+type Napper interface {
+	NextWake(asn ASN) ASN
+	AccrueSleep(slots int64)
+}
+
+// Hash salts separating the independent per-(slot, src, dst) draw streams.
+const (
+	saltFade      = 1
+	saltDecode    = 2
+	saltAckFade   = 3
+	saltAckDecode = 4
+)
+
+// shardBuf is one shard's scratch: resolution buffers plus the trace
+// buffer drained in shard order after each parallel section.
+type shardBuf struct {
+	traces    []TraceEvent
+	cand      []candidate
+	interf    []float64
+	ackInterf []float64
+}
+
+type scaleState struct {
+	sparse   *topology.SparseRSS
+	shards   int
+	seedHash uint64
+
+	// bounds[s]..bounds[s+1] is shard s's half-open node-ID range.
+	bounds []int
+	bufs   []*shardBuf
+
+	// shardBusy accumulates wall-clock time spent in each shard's device
+	// phases; busy is the goroutine-safe accumulator behind it.
+	shardBusy []time.Duration
+	busy      []atomic.Int64
+
+	// fade is the link attenuation overlay keyed by sparse link index
+	// (directed entries, kept symmetric); nil until the first AddLinkFade.
+	fade []float64
+
+	// napUntil[id] != 0 means the device sleeps until that slot
+	// (exclusive); napStart[id] is the last slot it executed.
+	napUntil []ASN
+	napStart []ASN
+	// awake counts attached devices not napping (touched from shard
+	// goroutines during plan/finish, hence atomic); the all-idle
+	// fast-forward check reads it between phases.
+	awake atomic.Int64
+
+	// notify, when set, brackets the device-parallel phases (telemetry
+	// splitters buffer per shard between notify(true) and notify(false)).
+	notify func(parallel bool)
+
+	// runCap bounds the all-napping fast-forward so Run/RunUntil stop at
+	// their target slot; 0 means single-stepping (no fast-forward).
+	runCap ASN
+}
+
+// NewScaleNetwork creates a network in scale mode over the topology's
+// radius-pruned sparse adjacency, partitioned into the given number of
+// shards. Output is bit-identical for any shard count (the legacy
+// NewNetwork engine is a different medium resolution order and RNG
+// discipline, so legacy and scale runs are each internally deterministic
+// but not comparable to each other). Shard counts are clamped to [1, n].
+func NewScaleNetwork(topo *topology.Topology, seed int64, shards int) *Network {
+	n := topo.N()
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	src := detrand.New(seed)
+	nw := &Network{
+		topo:              topo,
+		devices:           make([]Device, n+1),
+		failed:            make([]bool, n+1),
+		seed:              seed,
+		rngSrc:            src,
+		rng:               nil, // scale mode draws are counter-based
+		FastFadingSigmaDB: 2.0,
+		rssDim:            n + 1,
+		numDevs:           n,
+		ops:               make([]RadioOp, n+1),
+		reports:           make([]SlotReport, n+1),
+	}
+	sc := &scaleState{
+		sparse:   topo.SparseView(),
+		shards:   shards,
+		seedHash: detrand.Mix(0, uint64(seed)),
+		napUntil: make([]ASN, n+1),
+		napStart: make([]ASN, n+1),
+		bufs:     make([]*shardBuf, shards),
+		bounds:   shardBounds(n, topo.NumAPs, shards),
+	}
+	sc.shardBusy = make([]time.Duration, shards)
+	sc.busy = make([]atomic.Int64, shards)
+	for s := range sc.bufs {
+		sc.bufs[s] = &shardBuf{}
+	}
+	nw.scale = sc
+	return nw
+}
+
+// shardBounds splits 1..n into `shards` contiguous half-open ranges,
+// keeping every access point (IDs 1..numAPs) inside shard 0 so sink
+// callbacks and the event heap have a single owning goroutine per phase.
+func shardBounds(n, numAPs, shards int) []int {
+	bounds := make([]int, shards+1)
+	bounds[0] = 1
+	for s := 1; s < shards; s++ {
+		b := 1 + (n*s)/shards
+		if b < numAPs+1 {
+			b = numAPs + 1
+		}
+		if b < bounds[s-1] {
+			b = bounds[s-1]
+		}
+		bounds[s] = b
+	}
+	bounds[shards] = n + 1
+	return bounds
+}
+
+// ScaleMode reports whether this network runs the sparse sharded engine.
+func (nw *Network) ScaleMode() bool { return nw.scale != nil }
+
+// ShardCount returns the number of shards (1 outside scale mode).
+func (nw *Network) ShardCount() int {
+	if nw.scale == nil {
+		return 1
+	}
+	return nw.scale.shards
+}
+
+// ShardOf returns the shard owning the given node (0 outside scale mode).
+// Telemetry splitters use it to give each node the buffer matching the
+// goroutine that will record through it.
+func (nw *Network) ShardOf(id topology.NodeID) int {
+	if nw.scale == nil {
+		return 0
+	}
+	b := nw.scale.bounds
+	for s := 0; s < len(b)-1; s++ {
+		if int(id) < b[s+1] {
+			return s
+		}
+	}
+	return len(b) - 2
+}
+
+// SetParallelNotify installs a hook called with true right before each
+// device-parallel phase and false right after it joins. Scale mode only;
+// telemetry splitters use it to switch between direct and per-shard
+// buffered recording.
+func (nw *Network) SetParallelNotify(fn func(parallel bool)) {
+	if nw.scale != nil {
+		nw.scale.notify = fn
+	}
+}
+
+// Wake cancels a napping device's remaining sleep: it settles the skipped
+// slots immediately and resumes Plan calls from the next Step. Layers
+// that hand a device new work outside the radio path (flow injection,
+// node restoration) must call it first, or the device would sleep through
+// its own transmit slots.
+func (nw *Network) Wake(id topology.NodeID) {
+	sc := nw.scale
+	if sc == nil || id < 1 || int(id) > nw.numDevs || sc.napUntil[id] == 0 {
+		return
+	}
+	if slept := nw.asn - sc.napStart[id] - 1; slept > 0 {
+		if d, ok := nw.devices[id].(Napper); ok {
+			d.AccrueSleep(slept)
+		}
+	}
+	sc.napUntil[id] = 0
+	sc.awake.Add(1)
+}
+
+// slotHash derives the order-independent draw for one (slot, src, dst,
+// salt) event.
+func (nw *Network) slotHash(asn ASN, a, b topology.NodeID, salt uint64) uint64 {
+	h := detrand.Mix(nw.scale.seedHash, uint64(asn))
+	h = detrand.Mix(h, uint64(a))
+	h = detrand.Mix(h, uint64(b))
+	return detrand.Mix(h, salt)
+}
+
+// run executes fn once per shard over its ID range, in parallel when the
+// network has more than one shard, accumulating each shard's busy time.
+func (sc *scaleState) run(fn func(shard, lo, hi int)) {
+	if sc.shards == 1 {
+		start := time.Now()
+		fn(0, sc.bounds[0], sc.bounds[1])
+		sc.shardBusy[0] += time.Since(start)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(sc.shards)
+	for s := 0; s < sc.shards; s++ {
+		go func(s int) {
+			defer wg.Done()
+			start := time.Now()
+			fn(s, sc.bounds[s], sc.bounds[s+1])
+			sc.busy[s].Add(int64(time.Since(start)))
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < sc.shards; s++ {
+		sc.shardBusy[s] = time.Duration(sc.busy[s].Load())
+	}
+}
+
+// ShardBusy returns the cumulative wall-clock time each shard goroutine
+// spent executing device phases (nil outside scale mode). On a single-CPU
+// host the per-shard times sum to roughly the whole run — the benchmark
+// reports use them to label a ~1.0x "speedup" as scheduler time-slicing
+// rather than real parallel speedup.
+func (nw *Network) ShardBusy() []time.Duration {
+	if nw.scale == nil {
+		return nil
+	}
+	return append([]time.Duration(nil), nw.scale.shardBusy...)
+}
+
+// drainTraces forwards each shard's buffered engine trace events in shard
+// order — ascending node-ID order, identical for every shard count.
+func (nw *Network) drainTraces() {
+	for _, buf := range nw.scale.bufs {
+		if nw.Trace != nil {
+			for i := range buf.traces {
+				nw.Trace(buf.traces[i])
+			}
+		}
+		buf.traces = buf.traces[:0]
+	}
+}
+
+func (sc *scaleState) notifyParallel(on bool) {
+	if sc.notify != nil {
+		sc.notify(on)
+	}
+}
+
+// stepScale executes one slot in scale mode.
+func (nw *Network) stepScale() {
+	nw.started = true
+	sc := nw.scale
+	asn := nw.asn
+
+	for len(nw.pending) > 0 && nw.pending[0].asn <= asn {
+		nw.pending.pop().fn()
+	}
+
+	// All-napping fast-forward: when every attached live device is asleep,
+	// jump straight to the earliest wake or scheduled event (bounded by the
+	// Run target). Nothing can happen in between: no device plans, so the
+	// medium is silent, and sleep accounting settles at each wake.
+	if sc.awake.Load() == 0 && sc.runCap > asn+1 {
+		target := sc.runCap
+		for id := 1; id <= nw.numDevs; id++ {
+			if nw.devices[id] == nil || nw.failed[id] {
+				continue
+			}
+			if w := sc.napUntil[id]; w != 0 && w < target {
+				target = w
+			}
+		}
+		if len(nw.pending) > 0 && nw.pending[0].asn < target {
+			target = nw.pending[0].asn
+		}
+		if target > asn {
+			nw.asn = target
+			asn = target
+			for len(nw.pending) > 0 && nw.pending[0].asn <= asn {
+				nw.pending.pop().fn()
+			}
+		}
+	}
+
+	// Phase 1: plans, shard-parallel.
+	sc.notifyParallel(true)
+	sc.run(func(shard, lo, hi int) {
+		buf := sc.bufs[shard]
+		for id := lo; id < hi; id++ {
+			nw.planOne(topology.NodeID(id), asn, buf)
+		}
+	})
+	sc.notifyParallel(false)
+	nw.drainTraces()
+
+	// Phase 2: medium resolution per listener, shard-parallel. Pure engine
+	// code — no device calls — so no parallel notification is needed; each
+	// listener writes only its own report plus the unique Acked flag of a
+	// unicast sender addressing it.
+	sc.run(func(shard, lo, hi int) {
+		buf := sc.bufs[shard]
+		for id := lo; id < hi; id++ {
+			op := nw.ops[id]
+			if op.Kind != OpRx && op.Kind != OpScan {
+				continue
+			}
+			if nw.driftProb != nil && nw.misses[id] {
+				continue // listening outside the slot's guard window
+			}
+			nw.resolveListenerScale(topology.NodeID(id), op, asn, buf)
+		}
+	})
+	nw.drainTraces()
+
+	// Phase 3: energy classes, reports and nap decisions, shard-parallel.
+	sc.notifyParallel(true)
+	sc.run(func(shard, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			nw.finishOne(topology.NodeID(id), asn)
+		}
+	})
+	sc.notifyParallel(false)
+
+	nw.asn++
+}
+
+// planOne runs the plan phase for one device: nap bookkeeping, the Plan
+// call, drift, and the transmit trace into the shard's buffer.
+func (nw *Network) planOne(id topology.NodeID, asn ASN, buf *shardBuf) {
+	sc := nw.scale
+	nw.ops[id] = RadioOp{Kind: OpSleep}
+	nw.reports[id] = SlotReport{}
+	d := nw.devices[id]
+	if d == nil || nw.failed[id] {
+		return
+	}
+	if w := sc.napUntil[id]; w != 0 {
+		if w > asn {
+			return // napping: Plan and EndSlot both skipped this slot
+		}
+		// Wake: settle the skipped slots before the device plans again.
+		if slept := asn - sc.napStart[id] - 1; slept > 0 {
+			if np, ok := d.(Napper); ok {
+				np.AccrueSleep(slept)
+			}
+		}
+		sc.napUntil[id] = 0
+		sc.awake.Add(1)
+	}
+	op := d.Plan(asn)
+	nw.ops[id] = op
+	nw.reports[id].Op = op
+	if nw.driftProb != nil {
+		if nw.misses[id] = nw.driftMiss(int(id), asn); nw.misses[id] {
+			return
+		}
+	}
+	if op.Kind == OpTx {
+		if op.Frame == nil {
+			nw.ops[id] = RadioOp{Kind: OpSleep}
+			nw.reports[id].Op = nw.ops[id]
+			return
+		}
+		if nw.Trace != nil {
+			buf.traces = append(buf.traces, TraceEvent{ASN: asn, Kind: TraceTx,
+				Src: id, Dst: op.Frame.Dst, Frame: op.Frame, Channel: op.Channel})
+		}
+	}
+}
+
+// resolveListenerScale decides what a listener hears, walking the
+// listener's sparse neighbour row instead of the global per-channel
+// transmitter lists: per-slot resolution cost is O(degree), independent
+// of network size. The row is in ascending neighbour-ID order, so
+// candidate ordering — and with it capture ties and the interference
+// summation order — is identical for every shard count.
+func (nw *Network) resolveListenerScale(listener topology.NodeID, op RadioOp, asn ASN, buf *shardBuf) {
+	sc := nw.scale
+	rep := &nw.reports[listener]
+	cols, vals, base := sc.sparse.Row(listener)
+	wide := op.Kind == OpScan && op.Channel == 0
+
+	cands := buf.cand[:0]
+	for i, src := range cols {
+		sop := &nw.ops[src]
+		if sop.Kind != OpTx {
+			continue
+		}
+		if int(sop.Channel) >= int(phy.LastChannel)+1 {
+			continue // out-of-band plan: never heard (legacy parity)
+		}
+		if !wide && sop.Channel != op.Channel {
+			continue
+		}
+		if nw.driftProb != nil && nw.misses[src] {
+			continue // transmitter fired outside the guard window
+		}
+		mean := vals[i]
+		if sc.fade != nil {
+			mean -= sc.fade[base+i]
+		}
+		rss := mean + detrand.Norm(nw.slotHash(asn, src, listener, saltFade))*nw.FastFadingSigmaDB
+		if rss >= phy.SensitivityDBm {
+			cands = append(cands, candidate{src: src, rss: rss, ch: sop.Channel})
+		}
+	}
+	buf.cand = cands
+	if len(cands) == 0 {
+		return // idle listen
+	}
+
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].rss > cands[best].rss {
+			best = i
+		}
+	}
+	interf := buf.interf[:0]
+	for i, c := range cands {
+		if i != best && c.ch == cands[best].ch {
+			interf = append(interf, c.rss)
+		}
+	}
+	interf = nw.interferenceAt(listener, cands[best].ch, asn, interf)
+	buf.interf = interf
+
+	rep.Activity = phy.ActivityRxFrame
+	if phy.SIRdB(cands[best].rss, interf) < phy.CaptureThresholdDB {
+		rep.Collision = true
+		if nw.Trace != nil {
+			buf.traces = append(buf.traces, TraceEvent{ASN: asn, Kind: TraceCollision,
+				Dst: listener, Channel: cands[best].ch})
+		}
+		return
+	}
+	if detrand.Uniform(nw.slotHash(asn, cands[best].src, listener, saltDecode)) >= phy.PRR(cands[best].rss) {
+		rep.Collision = true
+		return
+	}
+
+	frame := nw.ops[cands[best].src].Frame
+	if !frame.Broadcast() && frame.Dst != listener {
+		return
+	}
+	rep.Received = frame
+	rep.RSSI = cands[best].rss
+	if nw.Trace != nil {
+		buf.traces = append(buf.traces, TraceEvent{ASN: asn, Kind: TraceDeliver,
+			Src: cands[best].src, Dst: listener, Frame: frame,
+			Channel: cands[best].ch, RSS: cands[best].rss})
+	}
+
+	if frame.Dst == listener && nw.ops[cands[best].src].NeedAck {
+		rep.Activity = phy.ActivityRxFrameAck
+		nw.resolveAckScale(cands[best].src, listener, cands[best].ch, asn, buf)
+	}
+}
+
+// resolveAckScale decides whether the ACK decodes at the sender. Only the
+// unique unicast destination reaches here for a given sender, so the
+// cross-shard write to reports[sender].Acked has exactly one writer.
+func (nw *Network) resolveAckScale(sender, receiver topology.NodeID, ch phy.Channel, asn ASN, buf *shardBuf) {
+	sc := nw.scale
+	idx := sc.sparse.LinkIndex(receiver, sender)
+	if idx < 0 {
+		return // pruned link: the data frame arrived on fading luck, the ACK will not
+	}
+	mean := sc.sparse.ValueAt(idx)
+	if sc.fade != nil {
+		mean -= sc.fade[idx]
+	}
+	rss := mean + detrand.Norm(nw.slotHash(asn, receiver, sender, saltAckFade))*nw.FastFadingSigmaDB
+	if rss < phy.SensitivityDBm {
+		return
+	}
+	interf := nw.interferenceAt(sender, ch, asn, buf.ackInterf[:0])
+	buf.ackInterf = interf
+	if phy.SIRdB(rss, interf) < phy.CaptureThresholdDB {
+		return
+	}
+	if detrand.Uniform(nw.slotHash(asn, receiver, sender, saltAckDecode)) < phy.PRR(rss+1.5) {
+		nw.reports[sender].Acked = true
+	}
+}
+
+// finishOne assigns the slot's energy class, delivers the report, and asks
+// the device for its next wake.
+func (nw *Network) finishOne(id topology.NodeID, asn ASN) {
+	sc := nw.scale
+	d := nw.devices[id]
+	if d == nil || nw.failed[id] {
+		return
+	}
+	if w := sc.napUntil[id]; w != 0 && w > asn {
+		return // napping: accounting settles at wake
+	}
+	op := nw.ops[id]
+	rep := &nw.reports[id]
+	switch op.Kind {
+	case OpSleep:
+		rep.Activity = phy.ActivitySleep
+	case OpScan:
+		rep.Activity = phy.ActivityScan
+	case OpRx:
+		if rep.Activity == 0 {
+			rep.Activity = phy.ActivityRxIdle
+		}
+	case OpTx:
+		if op.NeedAck {
+			rep.Activity = phy.ActivityTxAwaitAck
+		} else {
+			rep.Activity = phy.ActivityTx
+		}
+	}
+	d.EndSlot(asn, *rep)
+	if np, ok := d.(Napper); ok {
+		if w := np.NextWake(asn); w > asn+1 {
+			sc.napUntil[id] = w
+			sc.napStart[id] = asn
+			sc.awake.Add(-1)
+		}
+	}
+}

@@ -26,6 +26,20 @@ type NetworkState struct {
 	// when drift was never configured.
 	DriftProb []float64
 	DriftSeed []uint64
+
+	// FadeLinkIdx/FadeLinkVal carry the scale engine's fade overlay as
+	// (sparse link index, attenuation dB) pairs; nil outside scale mode or
+	// when no fade is active. The indices are positions in the topology's
+	// radius-pruned adjacency, which is a pure function of the topology —
+	// the same deployment always yields the same link numbering.
+	FadeLinkIdx []int32
+	FadeLinkVal []float64
+
+	// NapUntil/NapStart are the scale engine's per-node nap windows
+	// (indexed by node ID, entry 0 unused); nil outside scale mode or when
+	// no device was napping at capture.
+	NapUntil []int64
+	NapStart []int64
 }
 
 // CaptureState snapshots the network's mutable state. It fails while
@@ -56,6 +70,21 @@ func (nw *Network) CaptureState() (*NetworkState, error) {
 		st.DriftProb = append([]float64(nil), nw.driftProb...)
 		st.DriftSeed = append([]uint64(nil), nw.driftSeed...)
 	}
+	if sc := nw.scale; sc != nil {
+		for i, v := range sc.fade {
+			if v != 0 {
+				st.FadeLinkIdx = append(st.FadeLinkIdx, int32(i))
+				st.FadeLinkVal = append(st.FadeLinkVal, v)
+			}
+		}
+		for id := 1; id <= nw.numDevs; id++ {
+			if sc.napUntil[id] != 0 {
+				st.NapUntil = append([]int64(nil), sc.napUntil...)
+				st.NapStart = append([]int64(nil), sc.napStart...)
+				break
+			}
+		}
+	}
 	return st, nil
 }
 
@@ -72,6 +101,12 @@ func (nw *Network) RestoreState(st *NetworkState) error {
 	}
 	if len(st.Failed) != len(nw.failed) {
 		return fmt.Errorf("sim: restore failed-vector length %d, topology wants %d", len(st.Failed), len(nw.failed))
+	}
+	if nw.scale == nil && (st.FadeLinkIdx != nil || st.NapUntil != nil) {
+		return fmt.Errorf("sim: restore scale-engine state into a dense-matrix network")
+	}
+	if nw.scale != nil && st.Fade != nil {
+		return fmt.Errorf("sim: restore dense fade overlay into a scale-mode network")
 	}
 	if st.Fade != nil && len(st.Fade) != len(nw.rss) {
 		return fmt.Errorf("sim: restore fade overlay length %d, topology wants %d", len(st.Fade), len(nw.rss))
@@ -97,6 +132,42 @@ func (nw *Network) RestoreState(st *NetworkState) error {
 		nw.misses = make([]bool, nw.rssDim)
 	} else {
 		nw.driftProb, nw.driftSeed, nw.misses = nil, nil, nil
+	}
+	if sc := nw.scale; sc != nil {
+		if len(st.FadeLinkIdx) != len(st.FadeLinkVal) {
+			return fmt.Errorf("sim: restore sparse fade pairs mismatched (%d indices, %d values)",
+				len(st.FadeLinkIdx), len(st.FadeLinkVal))
+		}
+		sc.fade = nil
+		for k, i := range st.FadeLinkIdx {
+			if int(i) < 0 || int(i) >= sc.sparse.Links() {
+				return fmt.Errorf("sim: restore fade link index %d outside adjacency (%d links)",
+					i, sc.sparse.Links())
+			}
+			if sc.fade == nil {
+				sc.fade = make([]float64, sc.sparse.Links())
+			}
+			sc.fade[i] = st.FadeLinkVal[k]
+		}
+		if st.NapUntil != nil {
+			if len(st.NapUntil) != len(sc.napUntil) || len(st.NapStart) != len(sc.napStart) {
+				return fmt.Errorf("sim: restore nap vectors length %d/%d, topology wants %d",
+					len(st.NapUntil), len(st.NapStart), len(sc.napUntil))
+			}
+			copy(sc.napUntil, st.NapUntil)
+			copy(sc.napStart, st.NapStart)
+		} else {
+			for i := range sc.napUntil {
+				sc.napUntil[i] = 0
+				sc.napStart[i] = 0
+			}
+		}
+		sc.awake.Store(0)
+		for id := 1; id <= nw.numDevs; id++ {
+			if nw.devices[id] != nil && sc.napUntil[id] == 0 {
+				sc.awake.Add(1)
+			}
+		}
 	}
 	return nil
 }

@@ -29,8 +29,11 @@ import (
 const (
 	magic = "DIGSSNAP"
 	// Version is the current wire format version. Bump it on any layout
-	// change; decoders reject versions they do not know.
-	Version = 1
+	// change; decoders reject versions they do not know. Version 2 added
+	// the scale engine's network-state fields (sparse fade pairs and nap
+	// vectors); version-1 snapshots still decode (they predate the scale
+	// engine, so those fields are simply absent).
+	Version = 2
 )
 
 // Section tags.
@@ -98,8 +101,9 @@ func Decode(b []byte) (*Snapshot, error) {
 	}
 
 	r := &reader{buf: body, off: len(magic)}
-	if v := r.uvarint(); r.err == nil && v != Version {
-		return nil, fmt.Errorf("snapshot: format version %d, this build reads %d", v, Version)
+	ver := r.uvarint()
+	if r.err == nil && ver != 1 && ver != Version {
+		return nil, fmt.Errorf("snapshot: format version %d, this build reads <= %d", ver, Version)
 	}
 
 	s := &Snapshot{SectionSizes: make(map[string]int)}
@@ -123,7 +127,7 @@ func Decode(b []byte) (*Snapshot, error) {
 		case secMeta:
 			decodeMeta(sr, &s.Meta)
 		case secNet:
-			s.Net = decodeNet(sr)
+			s.Net = decodeNet(sr, ver)
 		case secMAC:
 			s.MACs = decodeMACs(sr)
 		case secDiGS:
@@ -284,9 +288,30 @@ func encodeNet(w *writer, st *sim.NetworkState) {
 			w.u64(s)
 		}
 	}
+	// Version 2: scale-engine state.
+	w.boolean(st.FadeLinkIdx != nil)
+	if st.FadeLinkIdx != nil {
+		w.uvarint(uint64(len(st.FadeLinkIdx)))
+		for _, i := range st.FadeLinkIdx {
+			w.uvarint(uint64(uint32(i)))
+		}
+		for _, v := range st.FadeLinkVal {
+			w.float(v)
+		}
+	}
+	w.boolean(st.NapUntil != nil)
+	if st.NapUntil != nil {
+		w.uvarint(uint64(len(st.NapUntil)))
+		for _, v := range st.NapUntil {
+			w.i64(v)
+		}
+		for _, v := range st.NapStart {
+			w.i64(v)
+		}
+	}
 }
 
-func decodeNet(r *reader) *sim.NetworkState {
+func decodeNet(r *reader, ver uint64) *sim.NetworkState {
 	st := &sim.NetworkState{}
 	st.Seed = r.i64()
 	st.ASN = r.i64()
@@ -316,6 +341,30 @@ func decodeNet(r *reader) *sim.NetworkState {
 		st.DriftSeed = make([]uint64, n)
 		for i := range st.DriftSeed {
 			st.DriftSeed[i] = r.u64()
+		}
+	}
+	if ver >= 2 {
+		if r.boolean() {
+			n := r.count(9)
+			st.FadeLinkIdx = make([]int32, n)
+			for i := range st.FadeLinkIdx {
+				st.FadeLinkIdx[i] = int32(uint32(r.uvarint()))
+			}
+			st.FadeLinkVal = make([]float64, n)
+			for i := range st.FadeLinkVal {
+				st.FadeLinkVal[i] = r.float()
+			}
+		}
+		if r.boolean() {
+			n := r.count(2)
+			st.NapUntil = make([]int64, n)
+			for i := range st.NapUntil {
+				st.NapUntil[i] = r.i64()
+			}
+			st.NapStart = make([]int64, n)
+			for i := range st.NapStart {
+				st.NapStart[i] = r.i64()
+			}
 		}
 	}
 	return st

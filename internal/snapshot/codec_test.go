@@ -80,8 +80,8 @@ func synthDiGS() *Snapshot {
 		MACs: macs,
 		DiGS: stacks,
 		Metrics: &metrics.CollectorState{
-			Sent:      []metrics.PacketRecord{{Flow: 1, Seq: 1, ASN: 100}, {Flow: 1, Seq: 2, ASN: 200}},
-			Delivered: []metrics.PacketRecord{{Flow: 1, Seq: 1, ASN: 140}},
+			Sent:        []metrics.PacketRecord{{Flow: 1, Seq: 1, ASN: 100}, {Flow: 1, Seq: 2, ASN: 200}},
+			Delivered:   []metrics.PacketRecord{{Flow: 1, Seq: 1, ASN: 140}},
 			OutOfWindow: 1, DupDeliveries: 2,
 		},
 	}

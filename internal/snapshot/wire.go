@@ -17,16 +17,18 @@ type writer struct {
 	buf []byte
 }
 
-func (w *writer) uvarint(v uint64)  { w.buf = binary.AppendUvarint(w.buf, v) }
-func (w *writer) varint(v int64)    { w.buf = binary.AppendVarint(w.buf, v) }
-func (w *writer) float(v float64)   { w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v)) }
-func (w *writer) bytes(b []byte)    { w.uvarint(uint64(len(b))); w.buf = append(w.buf, b...) }
-func (w *writer) str(s string)      { w.uvarint(uint64(len(s))); w.buf = append(w.buf, s...) }
-func (w *writer) u8(v uint8)        { w.buf = append(w.buf, v) }
-func (w *writer) u16(v uint16)      { w.uvarint(uint64(v)) }
-func (w *writer) u64(v uint64)      { w.uvarint(v) }
-func (w *writer) i64(v int64)       { w.varint(v) }
-func (w *writer) intval(v int)      { w.varint(int64(v)) }
+func (w *writer) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *writer) float(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+func (w *writer) bytes(b []byte) { w.uvarint(uint64(len(b))); w.buf = append(w.buf, b...) }
+func (w *writer) str(s string)   { w.uvarint(uint64(len(s))); w.buf = append(w.buf, s...) }
+func (w *writer) u8(v uint8)     { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16)   { w.uvarint(uint64(v)) }
+func (w *writer) u64(v uint64)   { w.uvarint(v) }
+func (w *writer) i64(v int64)    { w.varint(v) }
+func (w *writer) intval(v int)   { w.varint(int64(v)) }
 func (w *writer) boolean(v bool) {
 	if v {
 		w.buf = append(w.buf, 1)

@@ -1,0 +1,69 @@
+package telemetry
+
+import "github.com/digs-net/digs/internal/topology"
+
+// Splitter adapts any Tracer for the scale engine's shard-parallel slot
+// phases. During a parallel phase, Record calls land on per-shard buffers
+// — safe without locks because every instrumented layer records events
+// with Node set to the node being processed, and each node is processed
+// by exactly one shard goroutine. When the phase ends, the buffers drain
+// into the downstream tracer in shard order, which (with the engine's
+// contiguous ID-range sharding and ascending in-shard processing order)
+// is ascending node-ID order for any shard count: the downstream stream
+// is bit-identical whether the run used 1 shard or 8.
+//
+// Outside parallel phases — scheduled events, the engine's own trace
+// drain, and every dense-engine run — Record passes straight through.
+//
+// Wire it with Network.SetParallelNotify(sp.SetParallel); the engine
+// calls SetParallel from the main goroutine only, so no synchronisation
+// is needed around the mode flag.
+type Splitter struct {
+	out      Tracer
+	shardOf  func(topology.NodeID) int
+	bufs     [][]Event
+	parallel bool
+}
+
+// NewSplitter wraps the downstream tracer for a network with the given
+// shard count; shardOf maps a node ID to its owning shard (use
+// Network.ShardOf).
+func NewSplitter(out Tracer, shards int, shardOf func(topology.NodeID) int) *Splitter {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Splitter{out: out, shardOf: shardOf, bufs: make([][]Event, shards)}
+}
+
+// SetParallel is the engine's phase bracket: true as a shard-parallel
+// phase starts, false as it ends. Ending a phase drains the buffers in
+// shard order.
+func (s *Splitter) SetParallel(on bool) {
+	if on {
+		s.parallel = true
+		return
+	}
+	s.parallel = false
+	for i := range s.bufs {
+		for _, ev := range s.bufs[i] {
+			s.out.Record(ev)
+		}
+		s.bufs[i] = s.bufs[i][:0]
+	}
+}
+
+// Record implements Tracer.
+func (s *Splitter) Record(ev Event) {
+	if !s.parallel {
+		s.out.Record(ev)
+		return
+	}
+	sh := s.shardOf(ev.Node)
+	if sh < 0 || sh >= len(s.bufs) {
+		sh = 0
+	}
+	s.bufs[sh] = append(s.bufs[sh], ev)
+}
+
+// Flush implements Tracer by flushing the downstream tracer.
+func (s *Splitter) Flush() error { return s.out.Flush() }

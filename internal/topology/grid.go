@@ -1,0 +1,102 @@
+package topology
+
+import "math"
+
+// grid is a uniform spatial hash over node positions, the index the sparse
+// neighbor builder uses to avoid the O(n^2) all-pairs distance scan. Cells
+// are square with side cellM; a node's plausible radio neighbours all live
+// in the cells overlapping a circle of the search radius around it, so the
+// builder only visits those. Nodes of every floor share one 2D grid: floor
+// separation only ever attenuates further, so the same-floor search radius
+// is a conservative bound for cross-floor pairs too.
+type grid struct {
+	cellM      float64
+	minX, minY float64
+	nx, ny     int
+	// cells is a CSR layout: node IDs of cell c are
+	// ids[cellStart[c]:cellStart[c+1]], sorted ascending so every walk over
+	// the grid visits nodes in a deterministic order.
+	cellStart []int32
+	ids       []NodeID
+}
+
+// buildGrid indexes all nodes of the topology with the given cell size.
+func buildGrid(t *Topology, cellM float64) *grid {
+	if cellM <= 0 {
+		cellM = 1
+	}
+	g := &grid{cellM: cellM, minX: math.Inf(1), minY: math.Inf(1)}
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	n := t.N()
+	for i := 1; i <= n; i++ {
+		nd := &t.Nodes[i]
+		g.minX = math.Min(g.minX, nd.X)
+		g.minY = math.Min(g.minY, nd.Y)
+		maxX = math.Max(maxX, nd.X)
+		maxY = math.Max(maxY, nd.Y)
+	}
+	g.nx = int((maxX-g.minX)/cellM) + 1
+	g.ny = int((maxY-g.minY)/cellM) + 1
+
+	counts := make([]int32, g.nx*g.ny+1)
+	for i := 1; i <= n; i++ {
+		counts[g.cellOf(t.Nodes[i].X, t.Nodes[i].Y)+1]++
+	}
+	for c := 1; c < len(counts); c++ {
+		counts[c] += counts[c-1]
+	}
+	g.cellStart = counts
+	g.ids = make([]NodeID, n)
+	next := make([]int32, g.nx*g.ny)
+	copy(next, counts[:len(counts)-1])
+	// Node IDs ascend within the fill because the outer loop does; cells
+	// end up sorted without an explicit sort pass.
+	for i := 1; i <= n; i++ {
+		c := g.cellOf(t.Nodes[i].X, t.Nodes[i].Y)
+		g.ids[next[c]] = NodeID(i)
+		next[c]++
+	}
+	return g
+}
+
+func (g *grid) cellOf(x, y float64) int {
+	cx := int((x - g.minX) / g.cellM)
+	cy := int((y - g.minY) / g.cellM)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cy*g.nx + cx
+}
+
+// forNear calls fn for every node within radiusM of (x, y), in ascending
+// cell order and ascending ID within each cell (deterministic). The circle
+// test itself is left to the caller; forNear over-approximates by visiting
+// all cells intersecting the bounding square.
+func (g *grid) forNear(x, y, radiusM float64, fn func(id NodeID)) {
+	r := int(radiusM/g.cellM) + 1
+	cx := int((x - g.minX) / g.cellM)
+	cy := int((y - g.minY) / g.cellM)
+	for dy := -r; dy <= r; dy++ {
+		yy := cy + dy
+		if yy < 0 || yy >= g.ny {
+			continue
+		}
+		for dx := -r; dx <= r; dx++ {
+			xx := cx + dx
+			if xx < 0 || xx >= g.nx {
+				continue
+			}
+			c := yy*g.nx + xx
+			for _, id := range g.ids[g.cellStart[c]:g.cellStart[c+1]] {
+				fn(id)
+			}
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package topology
+
+import (
+	"math"
+	"sort"
+
+	"github.com/digs-net/digs/internal/phy"
+)
+
+// DefaultGuardDB is the default guard band below the radio sensitivity
+// floor for sparse link pruning: a link is kept only while its mean RSS
+// clears SensitivityDBm - guard, so per-reception fast fading (sigma ~2 dB)
+// cannot realistically lift a pruned link back above the decode floor.
+const DefaultGuardDB = 6.0
+
+// shadowGuardSigmas bounds the search radius: a pair further apart than the
+// distance at which even a +4-sigma shadowing draw cannot clear the prune
+// floor is never evaluated. Beyond it the per-pair keep probability is
+// below ~3e-5 and falls off a cliff with distance.
+const shadowGuardSigmas = 4.0
+
+// sparseAutoThreshold is the node count above which Topology.RSS refuses
+// to materialise the dense (n+1)^2 matrix and builds the radius-pruned
+// sparse structure instead (a 5000-node dense matrix is already 200 MB).
+const sparseAutoThreshold = 2048
+
+// SparseRSS is a radius-pruned CSR adjacency over the topology's mean-RSS
+// links: for each node, the IDs of its plausible radio neighbours in
+// ascending order with the symmetric mean RSS of each link. Links are kept
+// exactly when the pair is within the shadowing-guarded search radius and
+// its mean RSS (including static shadowing) clears the prune floor
+// SensitivityDBm - GuardDB. Directed entries exist for both directions and
+// carry equal values; the entry index is the link's identity for overlays
+// (the simulator keys its fade deltas on it).
+type SparseRSS struct {
+	n        int
+	GuardDB  float64
+	RadiusM  float64
+	rowStart []int32
+	cols     []NodeID
+	rss      []float64
+}
+
+// PruneFloorDBm returns the mean-RSS threshold below which links were
+// dropped.
+func (s *SparseRSS) PruneFloorDBm() float64 { return phy.SensitivityDBm - s.GuardDB }
+
+// Links returns the number of directed link entries (twice the undirected
+// link count).
+func (s *SparseRSS) Links() int { return len(s.cols) }
+
+// N returns the number of nodes the structure was built over.
+func (s *SparseRSS) N() int { return s.n }
+
+// Row returns node a's neighbour IDs (ascending) and the mean RSS of each
+// link, plus the base index of the row: entry i of the row has link index
+// base+i. The slices alias internal storage and must not be modified.
+func (s *SparseRSS) Row(a NodeID) (cols []NodeID, rss []float64, base int) {
+	lo, hi := s.rowStart[a], s.rowStart[a+1]
+	return s.cols[lo:hi], s.rss[lo:hi], int(lo)
+}
+
+// LinkIndex returns the directed entry index of link a->b, or -1 when the
+// link was pruned.
+func (s *SparseRSS) LinkIndex(a, b NodeID) int {
+	if int(a) < 1 || int(a) > s.n {
+		return -1
+	}
+	lo, hi := int(s.rowStart[a]), int(s.rowStart[a+1])
+	row := s.cols[lo:hi]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= b })
+	if i < len(row) && row[i] == b {
+		return lo + i
+	}
+	return -1
+}
+
+// ValueAt returns the mean RSS of the directed entry at the given link
+// index (as produced by LinkIndex or a Row base offset).
+func (s *SparseRSS) ValueAt(i int) float64 { return s.rss[i] }
+
+// RSS returns the mean RSS of link a->b and whether the link exists.
+func (s *SparseRSS) RSS(a, b NodeID) (float64, bool) {
+	i := s.LinkIndex(a, b)
+	if i < 0 {
+		return -math.MaxFloat64, false
+	}
+	return s.rss[i], true
+}
+
+// searchRadiusM computes the conservative candidate radius for the given
+// parameters: the distance at which the mean path-loss RSS plus a
+// +4-sigma shadowing excursion exactly meets the prune floor.
+func searchRadiusM(txPowerDBm, shadowSigmaDB, guardDB float64) float64 {
+	budget := txPowerDBm - phy.ReferenceLossDBm +
+		shadowGuardSigmas*shadowSigmaDB - (phy.SensitivityDBm - guardDB)
+	if budget <= 0 {
+		return 1
+	}
+	return math.Pow(10, budget/(10*phy.PathLossExponent))
+}
+
+// BuildSparseRSS constructs the radius-pruned adjacency for the topology.
+// The build is deterministic: candidate pairs are enumerated in ascending
+// grid-cell and node-ID order, and the shadowing term is the same pure
+// function of the pair the dense matrix uses, so every retained link
+// carries the bit-identical RSS the dense path would have computed.
+func BuildSparseRSS(t *Topology, guardDB float64) *SparseRSS {
+	if guardDB <= 0 {
+		guardDB = DefaultGuardDB
+	}
+	n := t.N()
+	s := &SparseRSS{
+		n:       n,
+		GuardDB: guardDB,
+		RadiusM: searchRadiusM(t.TxPowerDBm, t.ShadowSigmaDB, guardDB),
+	}
+	floor := s.PruneFloorDBm()
+	// Cell size near the radius keeps the per-node candidate walk at ~9
+	// cells; a cap bounds grid memory for tiny dense deployments.
+	cell := s.RadiusM
+	if cell < 2 {
+		cell = 2
+	}
+	g := buildGrid(t, cell)
+
+	type half struct {
+		b   NodeID
+		rss float64
+	}
+	rows := make([][]half, n+1)
+	r2 := s.RadiusM * s.RadiusM
+	for a := 1; a <= n; a++ {
+		na := &t.Nodes[a]
+		g.forNear(na.X, na.Y, s.RadiusM, func(b NodeID) {
+			if b <= NodeID(a) {
+				return // each unordered pair once, from its lower ID
+			}
+			nb := &t.Nodes[b]
+			dx, dy := na.X-nb.X, na.Y-nb.Y
+			if dx*dx+dy*dy > r2 {
+				return
+			}
+			// math.Hypot, not Sqrt(dx²+dy²): the dense matrix uses Hypot
+			// and the two can differ in the last ULP — retained links must
+			// be bit-identical to the dense path.
+			loss := phy.PathLossDB(math.Hypot(dx, dy), t.Floors(NodeID(a), b))
+			rss := phy.RSS(t.TxPowerDBm, loss, t.shadowing(a, int(b)))
+			if rss < floor {
+				return
+			}
+			rows[a] = append(rows[a], half{b: b, rss: rss})
+			rows[b] = append(rows[b], half{b: NodeID(a), rss: rss})
+		})
+	}
+
+	s.rowStart = make([]int32, n+2)
+	total := 0
+	for a := 1; a <= n; a++ {
+		total += len(rows[a])
+	}
+	s.cols = make([]NodeID, 0, total)
+	s.rss = make([]float64, 0, total)
+	for a := 1; a <= n; a++ {
+		row := rows[a]
+		// The forNear walk visits cells in row-major order, not by ID; the
+		// per-row sort restores the canonical ascending layout.
+		sort.Slice(row, func(i, j int) bool { return row[i].b < row[j].b })
+		s.rowStart[a] = int32(len(s.cols))
+		for _, h := range row {
+			s.cols = append(s.cols, h.b)
+			s.rss = append(s.rss, h.rss)
+		}
+		rows[a] = nil
+	}
+	s.rowStart[0] = 0
+	s.rowStart[n+1] = int32(len(s.cols))
+	return s
+}
+
+// SparseView returns the topology's radius-pruned adjacency, building and
+// caching it on first use with the default guard band. It never
+// materialises the dense matrix, so it is the entry point for deployments
+// too large for (n+1)^2 storage.
+func (t *Topology) SparseView() *SparseRSS {
+	if t.sparse == nil {
+		t.sparse = BuildSparseRSS(t, DefaultGuardDB)
+	}
+	return t.sparse
+}
+
+// SparseOnly reports whether this topology refuses the dense RSS matrix
+// (generated large-scale deployments set ForceSparse; anything above the
+// auto threshold qualifies too).
+func (t *Topology) SparseOnly() bool {
+	return t.ForceSparse || t.N() > sparseAutoThreshold
+}
+
+// connectedSparse is the BFS over the sparse adjacency.
+func (t *Topology) connectedSparse(minPRR float64) (bool, NodeID) {
+	s := t.SparseView()
+	n := t.N()
+	visited := make([]bool, n+1)
+	queue := make([]NodeID, 0, n)
+	for _, ap := range t.APs() {
+		visited[ap] = true
+		queue = append(queue, ap)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		cols, vals, _ := s.Row(cur)
+		for i, b := range cols {
+			if !visited[b] && phy.PRR(vals[i]) >= minPRR {
+				visited[b] = true
+				queue = append(queue, b)
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if !visited[i] {
+			return false, NodeID(i)
+		}
+	}
+	return true, 0
+}

@@ -1,0 +1,186 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"github.com/digs-net/digs/internal/phy"
+)
+
+// TestSparseMatchesDenseOnTestbeds proves the prune rule on every real
+// deployment: each link the sparse structure keeps carries the
+// bit-identical RSS the dense matrix computes, and each link it drops is
+// genuinely below the prune floor — so any simulation outcome that
+// depends only on at-or-above-sensitivity links is unchanged by going
+// sparse.
+func TestSparseMatchesDenseOnTestbeds(t *testing.T) {
+	for _, topo := range []*Topology{
+		TestbedA(), TestbedB(), HalfTestbedA(), HalfTestbedB(),
+		NewRandom(150, 300, 300, 7),
+	} {
+		s := BuildSparseRSS(topo, DefaultGuardDB)
+		floor := s.PruneFloorDBm()
+		n := topo.N()
+		kept, dropped := 0, 0
+		for a := 1; a <= n; a++ {
+			for b := 1; b <= n; b++ {
+				if a == b {
+					continue
+				}
+				dense := topo.RSS(NodeID(a), NodeID(b))
+				sparse, ok := s.RSS(NodeID(a), NodeID(b))
+				if ok {
+					kept++
+					if sparse != dense {
+						t.Fatalf("%s: link %d->%d sparse %v != dense %v",
+							topo.Name, a, b, sparse, dense)
+					}
+					continue
+				}
+				dropped++
+				if dense >= floor {
+					t.Fatalf("%s: link %d->%d pruned but dense RSS %.2f is above the %.2f floor",
+						topo.Name, a, b, dense, floor)
+				}
+			}
+		}
+		if kept == 0 {
+			t.Fatalf("%s: sparse structure kept no links", topo.Name)
+		}
+		t.Logf("%s: %d directed links kept, %d pruned", topo.Name, kept, dropped)
+	}
+}
+
+// TestSparseRowsSortedSymmetric checks the structural invariants every
+// engine path relies on: rows ascend by neighbour ID, every directed
+// entry has its reverse with the identical value, and LinkIndex agrees
+// with Row bases.
+func TestSparseRowsSortedSymmetric(t *testing.T) {
+	topo := NewRandom(200, 350, 350, 11)
+	s := topo.SparseView()
+	for a := 1; a <= topo.N(); a++ {
+		cols, vals, base := s.Row(NodeID(a))
+		for i, b := range cols {
+			if i > 0 && cols[i-1] >= b {
+				t.Fatalf("row %d not strictly ascending at %d", a, i)
+			}
+			if b == NodeID(a) {
+				t.Fatalf("row %d contains self link", a)
+			}
+			if math.IsNaN(vals[i]) {
+				t.Fatalf("link %d->%d has NaN RSS", a, b)
+			}
+			if got := s.LinkIndex(NodeID(a), b); got != base+i {
+				t.Fatalf("LinkIndex(%d,%d) = %d, Row says %d", a, b, got, base+i)
+			}
+			back, ok := s.RSS(b, NodeID(a))
+			if !ok || back != vals[i] {
+				t.Fatalf("link %d->%d kept at %.2f but reverse missing or %.2f", a, b, vals[i], back)
+			}
+		}
+	}
+}
+
+// TestGeneratedTopologies runs each generator family at a few sizes and
+// checks the guarantees the scale runs build on: valid, connected to the
+// gateway component, sane degrees, and deterministic (same params, same
+// topology).
+func TestGeneratedTopologies(t *testing.T) {
+	for _, spec := range []GenParams{
+		{Kind: GenPlant, Nodes: 500, Seed: 3},
+		{Kind: GenPlant, Nodes: 5000, Seed: 1},
+		{Kind: GenCampus, Nodes: 900, Seed: 5},
+		{Kind: GenField, Nodes: 800, Seed: 2},
+	} {
+		topo, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("%s: %v", topo.Name, err)
+		}
+		if !topo.SparseOnly() {
+			t.Fatalf("%s: generated topology must be sparse-only", topo.Name)
+		}
+		if ok, missing := topo.Connected(0); !ok {
+			t.Fatalf("%s: node %d unreachable from the gateways", topo.Name, missing)
+		}
+		if len(topo.SuggestedSources) == 0 {
+			t.Fatalf("%s: no suggested sources", topo.Name)
+		}
+		s := topo.SparseView()
+		if s.Links() == 0 {
+			t.Fatalf("%s: no links", topo.Name)
+		}
+		meanDeg := float64(s.Links()) / float64(topo.N())
+		if meanDeg < 4 || meanDeg > 120 {
+			t.Fatalf("%s: mean degree %.1f outside sane range", topo.Name, meanDeg)
+		}
+
+		again, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%v again: %v", spec, err)
+		}
+		for i := range topo.Nodes {
+			if topo.Nodes[i] != again.Nodes[i] {
+				t.Fatalf("%s: node %d differs across identical generations", topo.Name, i)
+			}
+		}
+	}
+}
+
+// TestSearchRadiusConservative verifies no keepable link can sit outside
+// the candidate search radius: at the radius boundary, even a +4-sigma
+// shadowing draw cannot reach the prune floor.
+func TestSearchRadiusConservative(t *testing.T) {
+	r := searchRadiusM(genTxPowerDBm, 4, DefaultGuardDB)
+	loss := phy.PathLossDB(r, 0)
+	best := phy.RSS(genTxPowerDBm, loss, shadowGuardSigmas*4)
+	floor := phy.SensitivityDBm - DefaultGuardDB
+	if best < floor-0.5 || best > floor+0.5 {
+		t.Fatalf("radius %.1f m: best-case RSS %.2f should sit at the %.2f floor", r, best, floor)
+	}
+}
+
+// FuzzGenerate drives the generator with arbitrary parameters and checks
+// the invariants that must hold unconditionally: no NaN RSS on any kept
+// link, symmetric links, and a connected gateway component.
+func FuzzGenerate(f *testing.F) {
+	f.Add(uint8(0), int16(200), int64(1), int8(0))
+	f.Add(uint8(1), int16(450), int64(9), int8(2))
+	f.Add(uint8(2), int16(300), int64(-4), int8(5))
+	f.Fuzz(func(t *testing.T, kindSel uint8, nodes int16, seed int64, aps int8) {
+		kinds := []GenKind{GenPlant, GenCampus, GenField}
+		p := GenParams{
+			Kind:  kinds[int(kindSel)%len(kinds)],
+			Nodes: int(nodes),
+			Seed:  seed,
+			APs:   int(aps),
+		}
+		if p.Nodes < 1 || p.Nodes > 2000 {
+			t.Skip()
+		}
+		topo, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", topo.Name, err)
+		}
+		s := topo.SparseView()
+		for a := 1; a <= topo.N(); a++ {
+			cols, vals, _ := s.Row(NodeID(a))
+			for i, b := range cols {
+				if math.IsNaN(vals[i]) || math.IsInf(vals[i], 0) {
+					t.Fatalf("link %d->%d: RSS %v", a, b, vals[i])
+				}
+				if back, ok := s.RSS(b, NodeID(a)); !ok || back != vals[i] {
+					t.Fatalf("link %d->%d asymmetric", a, b)
+				}
+			}
+		}
+		if ok, missing := topo.Connected(0); !ok {
+			t.Fatalf("%s: node %d disconnected from gateways", topo.Name, missing)
+		}
+	})
+}

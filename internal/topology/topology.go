@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/digs-net/digs/internal/detrand"
 	"github.com/digs-net/digs/internal/phy"
 )
 
@@ -51,8 +52,23 @@ type Topology struct {
 	SuggestedSources []NodeID
 	SuggestedJammers []NodeID
 
+	// ForceSparse marks deployments that must never materialise the dense
+	// (n+1)^2 RSS matrix; RSS/Neighbors/Connected route through the
+	// radius-pruned sparse adjacency instead. The procedural generators set
+	// it, and any topology above the auto threshold behaves the same.
+	ForceSparse bool
+
+	// FastShadow selects the hash-based shadowing derivation instead of the
+	// per-pair rand.NewSource one. Both are pure symmetric functions of
+	// (shadowSeed, a, b); the hash path avoids allocating a 5 KB generator
+	// state per pair, which dominates sparse builds at 10k+ nodes. The two
+	// paths draw different values, so it is a property of the topology (set
+	// at construction), never toggled later.
+	FastShadow bool
+
 	shadowSeed int64
 	rssCache   [][]float64
+	sparse     *SparseRSS
 }
 
 // N returns the number of devices (APs + field devices).
@@ -93,8 +109,14 @@ func (t *Topology) Floors(a, b NodeID) int {
 
 // RSS returns the mean received signal strength of the link a->b in dBm,
 // including the static per-link shadowing term. Shadowing is symmetric and
-// deterministic in the topology seed, so runs are reproducible.
+// deterministic in the topology seed, so runs are reproducible. On
+// sparse-only topologies, pairs pruned from the sparse adjacency report
+// -MaxFloat64 (unreceivable) rather than their true sub-floor mean.
 func (t *Topology) RSS(a, b NodeID) float64 {
+	if t.SparseOnly() {
+		v, _ := t.SparseView().RSS(a, b)
+		return v
+	}
 	if t.rssCache == nil {
 		t.buildRSSCache()
 	}
@@ -109,6 +131,16 @@ func (t *Topology) PRR(a, b NodeID) float64 {
 // Neighbors returns every node whose mean RSS from id is above the radio
 // sensitivity floor, i.e. the physical neighbourhood.
 func (t *Topology) Neighbors(id NodeID) []NodeID {
+	if t.SparseOnly() {
+		cols, vals, _ := t.SparseView().Row(id)
+		var out []NodeID
+		for i, b := range cols {
+			if vals[i] >= phy.SensitivityDBm {
+				out = append(out, b)
+			}
+		}
+		return out
+	}
 	var out []NodeID
 	for i := 1; i <= t.N(); i++ {
 		n := NodeID(i)
@@ -151,6 +183,10 @@ func (t *Topology) shadowing(a, b int) float64 {
 	if a > b {
 		a, b = b, a
 	}
+	if t.FastShadow {
+		h := detrand.Hash3(uint64(t.shadowSeed), uint64(a), uint64(b), 0)
+		return detrand.Norm(h) * t.ShadowSigmaDB
+	}
 	seed := t.shadowSeed*1000003 + int64(a)*8191 + int64(b)
 	r := rand.New(rand.NewSource(seed))
 	return r.NormFloat64() * t.ShadowSigmaDB
@@ -180,6 +216,9 @@ func (t *Topology) Validate() error {
 // over links with PRR of at least minPRR, and returns the first unreachable
 // node if not.
 func (t *Topology) Connected(minPRR float64) (bool, NodeID) {
+	if t.SparseOnly() {
+		return t.connectedSparse(minPRR)
+	}
 	n := t.N()
 	visited := make([]bool, n+1)
 	queue := make([]NodeID, 0, n)

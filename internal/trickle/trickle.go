@@ -121,6 +121,21 @@ func (t *Timer) Fires(asn int64) bool {
 	return t.k <= 0 || t.counter < t.k
 }
 
+// NextEvent returns the next slot at which Fires must be called exactly:
+// the pending fire slot if it is still at or after `after`, otherwise the
+// end of the current interval (where the rollover happens). Callers that
+// skip slots must not skip past the returned slot, or a scheduled
+// transmission is silently lost. Returns `after` when not started.
+func (t *Timer) NextEvent(after int64) int64 {
+	if !t.started {
+		return after
+	}
+	if t.fireAt >= after {
+		return t.fireAt
+	}
+	return t.intervalStart + t.interval
+}
+
 // Interval returns the current interval length in slots (for tests and
 // introspection).
 func (t *Timer) Interval() int64 { return t.interval }
