@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden snap-smoke scale-smoke bench-scale bench-gate baseline bench-warmstart clean
+.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden snap-smoke scale-smoke server-smoke bench-scale bench-gate bench-server baseline bench-warmstart clean
 
 ## ci: everything the driver checks — vet, build, race-enabled tests, a
 ## short fuzz pass over the wire codecs, a one-shot large-scale benchmark
 ## smoke run, the telemetry pipeline smoke test, the snapshot round-trip
-## smoke test, and a short 10k-node run on the sparse sharded engine.
-ci: vet build race fuzz bench-smoke trace-smoke snap-smoke scale-smoke
+## smoke test, a short 10k-node run on the sparse sharded engine, and the
+## simulation-service end-to-end smoke.
+ci: vet build race fuzz bench-smoke trace-smoke snap-smoke scale-smoke server-smoke
 
 vet:
 	$(GO) vet ./...
@@ -84,11 +85,29 @@ scale-smoke:
 bench-scale:
 	$(GO) run ./cmd/digs-bench -bench-scale BENCH_scale.json
 
-## bench-gate: re-time the gated BENCH_scale.json cells and fail when any
-## regresses more than 15% in slots/s. Kept out of `ci`: wall-clock gates
-## belong on dedicated runners, not shared machines.
+## server-smoke: the simulation service end to end — self-host a
+## digs-server, submit a small generated plant over HTTP, follow its SSE
+## telemetry stream to completion, verify the result hash and the
+## content-addressed store round-trip, demand a cache hit on
+## resubmission, and byte-compare the server's result against a direct
+## in-process run of the same spec.
+server-smoke:
+	$(GO) run ./cmd/digs-load -smoke
+
+## bench-server: regenerate BENCH_server.json — the simulation service
+## under a mixed cold / warm-start / duplicate workload: sustained req/s,
+## per-class submit-to-result p50/p99, warm-hit and cache-hit rates.
+bench-server:
+	$(GO) run ./cmd/digs-load -o BENCH_server.json
+
+## bench-gate: re-time the gated BENCH_scale.json cells (fail when any
+## regresses more than 15% in slots/s) and re-run the server load bench
+## against BENCH_server.json (fail when req/s drops or a class p99 grows
+## past tolerance). Kept out of `ci`: wall-clock gates belong on
+## dedicated runners, not shared machines.
 bench-gate:
 	$(GO) run ./cmd/digs-bench -bench-gate BENCH_scale.json
+	$(GO) run ./cmd/digs-load -gate BENCH_server.json
 
 ## bench-warmstart: regenerate BENCH_warmstart.json — cold vs warm-started
 ## chaos campaign wall-clock, with a byte-identity check on the reports.

@@ -1,0 +1,559 @@
+// Command digs-load exercises a digs-server with a mixed workload and
+// reports throughput and latency:
+//
+//	digs-load -o BENCH_server.json         # self-host, bench, write report
+//	digs-load -url http://host:8080 -n 40  # hammer a remote server
+//	digs-load -gate BENCH_server.json      # re-run and fail on regression
+//	digs-load -smoke                       # end-to-end smoke (ci)
+//
+// The bench runs three request classes against the same server:
+//
+//	cold — never-seen scenarios: full formation + measurement window
+//	warm — same deployments, longer window: formation restored from the
+//	       server's warm pool, only the window simulates
+//	dup  — byte-for-byte repeats: content-addressed cache hits, no
+//	       simulation at all
+//
+// Latency is submit-to-result: the POST plus (for 202) following the
+// job's SSE stream to its terminal event. The expected shape is
+// dup ≪ warm < cold.
+//
+// -smoke runs the issue's end-to-end scenario instead: submit a small
+// generated plant, follow the SSE stream to completion, verify the
+// result hash and the content-addressed store round-trip, resubmit and
+// demand a cache hit, and check the server result is bit-identical to an
+// in-process run of the same spec.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/digs-net/digs/internal/scenario"
+	"github.com/digs-net/digs/internal/server"
+	"github.com/digs-net/digs/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "digs-load:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	url     string
+	n       int
+	conc    int
+	workers int
+	out     string
+	gate    string
+	tol     float64
+	smoke   bool
+}
+
+func run() error {
+	var opts options
+	flag.StringVar(&opts.url, "url", "", "target server base URL (empty = self-host an in-process server)")
+	flag.IntVar(&opts.n, "n", 24, "requests per class (cold, warm, dup)")
+	flag.IntVar(&opts.conc, "conc", 2, "concurrent clients")
+	flag.IntVar(&opts.workers, "workers", 2, "self-hosted server's worker pool size")
+	flag.StringVar(&opts.out, "o", "", "write the bench report to this JSON file")
+	flag.StringVar(&opts.gate, "gate", "", "re-run the bench and fail on regression vs this baseline report")
+	flag.Float64Var(&opts.tol, "tol", 0.5,
+		"gate tolerance: fail when req/s drops or p99 grows by more than this fraction")
+	flag.BoolVar(&opts.smoke, "smoke", false, "run the end-to-end smoke instead of the bench")
+	flag.Parse()
+
+	base := opts.url
+	if base == "" {
+		stop, url, err := selfHost(opts.workers)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		base = url
+	}
+	cl := &client{base: base}
+
+	if opts.smoke {
+		return smoke(cl, opts.url == "")
+	}
+	rep, err := bench(cl, opts)
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	if opts.out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := store.WriteFileAtomic(opts.out, append(b, '\n')); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", opts.out)
+	}
+	if opts.gate != "" {
+		return gate(rep, opts.gate, opts.tol)
+	}
+	return nil
+}
+
+// selfHost starts an in-process digs-server on a loopback port.
+func selfHost(workers int) (stop func(), url string, err error) {
+	srv := server.New(server.Config{
+		Workers: workers,
+		DataDir: mustTempDir(),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		srv.Shutdown(ctx)
+		hs.Shutdown(ctx)
+	}
+	return stop, "http://" + ln.Addr().String(), nil
+}
+
+func mustTempDir() string {
+	d, err := os.MkdirTemp("", "digs-load-")
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// client is a thin JSON/SSE client for the digs-server API.
+type client struct {
+	base string
+	hc   http.Client
+}
+
+type submitResp struct {
+	code     int
+	JobID    string          `json:"job_id"`
+	SpecHash string          `json:"spec_hash"`
+	Cached   bool            `json:"cached"`
+	Dedup    bool            `json:"dedup"`
+	Result   json.RawMessage `json:"result"`
+	Error    string          `json:"error"`
+}
+
+func (c *client) submit(spec scenario.Spec) (*submitResp, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/scenarios", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := &submitResp{code: resp.StatusCode}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return nil, fmt.Errorf("decoding %d response: %w", resp.StatusCode, err)
+	}
+	return out, nil
+}
+
+// followStream consumes the job's SSE stream until the terminal "done"
+// event and returns the final job view plus the telemetry line count.
+func (c *client) followStream(jobID string) (*server.View, int, error) {
+	resp, err := c.hc.Get(c.base + "/v1/jobs/" + jobID + "/stream")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("stream: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	event, lines := "message", 0
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			if event == "done" {
+				var v server.View
+				if err := json.Unmarshal([]byte(data), &v); err != nil {
+					return nil, lines, err
+				}
+				return &v, lines, nil
+			}
+			if event == "message" {
+				lines++
+			}
+		case line == "":
+			event = "message"
+		}
+	}
+	return nil, lines, fmt.Errorf("stream for %s ended without a done event (%v)", jobID, sc.Err())
+}
+
+// submitAndWait runs one request to its terminal state and returns the
+// submit-to-result latency.
+func (c *client) submitAndWait(spec scenario.Spec) (lat time.Duration, cached bool, err error) {
+	start := time.Now()
+	resp, err := c.submit(spec)
+	if err != nil {
+		return 0, false, err
+	}
+	switch resp.code {
+	case http.StatusOK:
+		return time.Since(start), true, nil
+	case http.StatusAccepted:
+		view, _, err := c.followStream(resp.JobID)
+		if err != nil {
+			return 0, false, err
+		}
+		if view.Status != server.StatusDone {
+			return 0, false, fmt.Errorf("job %s: %s (%s)", resp.JobID, view.Status, view.Error)
+		}
+		return time.Since(start), false, nil
+	default:
+		return 0, false, fmt.Errorf("submit: HTTP %d: %s", resp.code, resp.Error)
+	}
+}
+
+func (c *client) stats() (*server.Stats, error) {
+	resp, err := c.hc.Get(c.base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// benchSpec is the workload scenario family: a 20-node testbed whose
+// cold run is dominated by formation, so warm starts have real headroom.
+func benchSpec(seed int64, window time.Duration) scenario.Spec {
+	return scenario.Spec{
+		Topology: "half-testbed-a", Protocol: "digs", Seed: seed,
+		Period: scenario.Duration(2 * time.Second),
+		Window: scenario.Duration(window),
+	}
+}
+
+// ClassReport is one request class's latency summary.
+type ClassReport struct {
+	Name     string  `json:"name"`
+	Requests int     `json:"requests"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// Report is the BENCH_server.json document.
+type Report struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	SingleCPU   bool          `json:"single_cpu"`
+	Note        string        `json:"note"`
+	Workers     int           `json:"workers"`
+	Concurrency int           `json:"concurrency"`
+	PerClass    int           `json:"per_class"`
+	TotalReqs   int           `json:"total_requests"`
+	WallS       float64       `json:"wall_s"`
+	ReqPerS     float64       `json:"req_per_s"`
+	WarmHits    int64         `json:"warm_hits"`
+	WarmHitRate float64       `json:"warm_hit_rate"`
+	CacheHits   int64         `json:"cache_hits"`
+	Classes     []ClassReport `json:"classes"`
+}
+
+// runClass pushes n requests of one class through conc clients and
+// returns the sorted latencies in ms.
+func runClass(cl *client, conc int, specs []scenario.Spec) ([]float64, error) {
+	lats := make([]float64, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				lat, _, err := cl.submitAndWait(specs[i])
+				lats[i], errs[i] = float64(lat)/float64(time.Millisecond), err
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	sort.Float64s(lats)
+	return lats, nil
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func bench(cl *client, opts options) (*Report, error) {
+	const coldWindow, warmWindow = 10 * time.Second, 15 * time.Second
+	cold := make([]scenario.Spec, opts.n)
+	warm := make([]scenario.Spec, opts.n)
+	dup := make([]scenario.Spec, opts.n)
+	for i := range cold {
+		seed := int64(1000 + i)
+		cold[i] = benchSpec(seed, coldWindow)
+		// Same deployment and seed, longer window: shares the cold run's
+		// formation snapshot but is a distinct scenario (no cache hit).
+		warm[i] = benchSpec(seed, warmWindow)
+		// Byte-identical resubmission: content-addressed cache hit.
+		dup[i] = benchSpec(seed, coldWindow)
+	}
+
+	start := time.Now()
+	classes := make([]ClassReport, 0, 3)
+	for _, c := range []struct {
+		name  string
+		specs []scenario.Spec
+	}{{"cold", cold}, {"warm", warm}, {"dup", dup}} {
+		fmt.Fprintf(os.Stderr, "class %s: %d requests, conc %d\n", c.name, len(c.specs), opts.conc)
+		lats, err := runClass(cl, opts.conc, c.specs)
+		if err != nil {
+			return nil, fmt.Errorf("class %s: %w", c.name, err)
+		}
+		classes = append(classes, ClassReport{
+			Name: c.name, Requests: len(lats),
+			MeanMs: mean(lats), P50Ms: quantile(lats, 0.5), P99Ms: quantile(lats, 0.99),
+		})
+	}
+	wall := time.Since(start)
+
+	st, err := cl.stats()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		SingleCPU:   runtime.NumCPU() == 1,
+		Note: "latency is submit-to-result over HTTP (SSE followed to the done event); " +
+			"warm rides the server's formation snapshot pool, dup is a content-addressed cache hit",
+		Workers:     opts.workers,
+		Concurrency: opts.conc,
+		PerClass:    opts.n,
+		TotalReqs:   3 * opts.n,
+		WallS:       wall.Seconds(),
+		ReqPerS:     float64(3*opts.n) / wall.Seconds(),
+		WarmHits:    st.WarmHits,
+		CacheHits:   st.CacheHits,
+		Classes:     classes,
+	}
+	if st.Completed > 0 {
+		rep.WarmHitRate = float64(st.WarmHits) / float64(st.Completed)
+	}
+
+	// The warm pool must actually be doing its job, or the report is
+	// advertising a feature that silently broke.
+	if rep.WarmHits < int64(opts.n) {
+		return nil, fmt.Errorf("only %d/%d warm-class requests warm-started", rep.WarmHits, opts.n)
+	}
+	if rep.CacheHits < int64(opts.n) {
+		return nil, fmt.Errorf("only %d/%d dup-class requests hit the result cache", rep.CacheHits, opts.n)
+	}
+	if cw, ww := classMean(classes, "cold"), classMean(classes, "warm"); ww >= cw {
+		return nil, fmt.Errorf("warm starts are not faster than cold runs (warm %.0f ms >= cold %.0f ms)", ww, cw)
+	}
+	return rep, nil
+}
+
+func classMean(cs []ClassReport, name string) float64 {
+	for _, c := range cs {
+		if c.Name == name {
+			return c.MeanMs
+		}
+	}
+	return 0
+}
+
+func printReport(r *Report) {
+	fmt.Printf("=== digs-server load: %d requests in %.2fs (%.1f req/s, conc %d, workers %d) ===\n",
+		r.TotalReqs, r.WallS, r.ReqPerS, r.Concurrency, r.Workers)
+	for _, c := range r.Classes {
+		fmt.Printf("  %-5s %3d reqs  mean %7.1f ms  p50 %7.1f ms  p99 %7.1f ms\n",
+			c.Name, c.Requests, c.MeanMs, c.P50Ms, c.P99Ms)
+	}
+	fmt.Printf("  warm hits %d (rate %.2f), cache hits %d\n", r.WarmHits, r.WarmHitRate, r.CacheHits)
+}
+
+// gate fails when the fresh report regresses past tolerance vs the
+// baseline: lower req/s or higher per-class p99.
+func gate(fresh *Report, baselinePath string, tol float64) error {
+	b, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	var fails []string
+	if floor := base.ReqPerS * (1 - tol); fresh.ReqPerS < floor {
+		fails = append(fails, fmt.Sprintf("req/s %.1f below floor %.1f (baseline %.1f)",
+			fresh.ReqPerS, floor, base.ReqPerS))
+	}
+	for _, bc := range base.Classes {
+		fc := classReport(fresh.Classes, bc.Name)
+		if fc == nil {
+			fails = append(fails, fmt.Sprintf("class %s missing from fresh report", bc.Name))
+			continue
+		}
+		if ceil := bc.P99Ms * (1 + tol); fc.P99Ms > ceil {
+			fails = append(fails, fmt.Sprintf("class %s p99 %.1f ms above ceiling %.1f (baseline %.1f)",
+				bc.Name, fc.P99Ms, ceil, bc.P99Ms))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("bench gate vs %s:\n  %s", baselinePath, strings.Join(fails, "\n  "))
+	}
+	fmt.Printf("bench gate vs %s: OK (tolerance %.0f%%)\n", baselinePath, tol*100)
+	return nil
+}
+
+func classReport(cs []ClassReport, name string) *ClassReport {
+	for i := range cs {
+		if cs[i].Name == name {
+			return &cs[i]
+		}
+	}
+	return nil
+}
+
+// smoke is the end-to-end check `make server-smoke` runs: one small
+// generated plant through the full submit → SSE → content-addressed
+// result pipeline, with hash and cache-hit verification.
+func smoke(cl *client, selfHosted bool) error {
+	spec := scenario.Spec{
+		Topology: "gen-plant-300-1", Protocol: "digs", Seed: 3,
+		Window: scenario.Duration(20 * time.Second),
+	}
+	resp, err := cl.submit(spec)
+	if err != nil {
+		return err
+	}
+	if resp.code != http.StatusAccepted {
+		return fmt.Errorf("submit: HTTP %d (%s)", resp.code, resp.Error)
+	}
+	fmt.Printf("submitted %s as job %s\n", resp.SpecHash, resp.JobID)
+
+	view, lines, err := cl.followStream(resp.JobID)
+	if err != nil {
+		return err
+	}
+	if view.Status != server.StatusDone {
+		return fmt.Errorf("job finished %s: %s", view.Status, view.Error)
+	}
+	if lines == 0 {
+		return fmt.Errorf("SSE stream carried no telemetry")
+	}
+	sum := sha256.Sum256(view.Result)
+	if got := hex.EncodeToString(sum[:]); got != view.ResultHash {
+		return fmt.Errorf("result hash mismatch: sha256(result) %s != reported %s", got, view.ResultHash)
+	}
+	fmt.Printf("streamed %d telemetry lines; result %s verified\n", lines, view.ResultHash)
+
+	// The content-addressed store must serve the same bytes.
+	sr, err := cl.hc.Get(cl.base + "/v1/results/" + resp.SpecHash)
+	if err != nil {
+		return err
+	}
+	stored := new(bytes.Buffer)
+	stored.ReadFrom(sr.Body)
+	sr.Body.Close()
+	if sr.StatusCode != http.StatusOK {
+		return fmt.Errorf("stored result: HTTP %d", sr.StatusCode)
+	}
+	if !bytes.Equal(bytes.TrimSpace(stored.Bytes()), bytes.TrimSpace(view.Result)) {
+		return fmt.Errorf("stored result differs from the job's result")
+	}
+
+	// An identical resubmission is a cache hit, served without a job.
+	again, err := cl.submit(spec)
+	if err != nil {
+		return err
+	}
+	if again.code != http.StatusOK || !again.Cached {
+		return fmt.Errorf("resubmission: HTTP %d cached=%v, want a 200 cache hit", again.code, again.Cached)
+	}
+	if !bytes.Equal(bytes.TrimSpace(again.Result), bytes.TrimSpace(view.Result)) {
+		return fmt.Errorf("cached result differs from the original")
+	}
+	fmt.Println("duplicate submission served from the content-addressed store")
+
+	// CLI parity: the server's result must be bit-identical to running
+	// the same spec in-process through the shared executor.
+	if selfHosted {
+		direct, _, err := scenario.RunSpec(context.Background(), spec, scenario.RunOpts{})
+		if err != nil {
+			return err
+		}
+		want, err := direct.Encode()
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(bytes.TrimSpace(view.Result), want) {
+			return fmt.Errorf("server result differs from direct run:\nserver: %s\ndirect: %s",
+				view.Result, want)
+		}
+		fmt.Println("server result bit-identical to the direct in-process run")
+	}
+	fmt.Println("server-smoke: OK")
+	return nil
+}

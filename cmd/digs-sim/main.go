@@ -9,16 +9,21 @@
 //	digs-sim -topology testbed-b -protocol orchestra -jammers 3
 //	digs-sim -topology random-150 -protocol digs -flows 20 -period 10s
 //	digs-sim -reps 8 -parallel 4    # 8 seeds fanned over 4 workers
+//	digs-sim -spec scenario.json    # run a JSON scenario spec (server parity)
 package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/digs-net/digs/internal/campaign"
@@ -29,7 +34,9 @@ import (
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/metrics"
 	"github.com/digs-net/digs/internal/orchestra"
+	"github.com/digs-net/digs/internal/scenario"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/snapshot"
 	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
 	"github.com/digs-net/digs/internal/whart"
@@ -89,9 +96,19 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "campaign worker pool size (0 = GOMAXPROCS)")
 	dumpNode := flag.Int("dump-schedule", 0,
 		"print the combined-schedule roles of this node for one hyperperiod window and exit")
+	specPath := flag.String("spec", "",
+		"run a JSON scenario spec (\"-\" = stdin) through the shared executor and print its canonical result; bit-identical to a digs-server run of the same spec")
+	warmDir := flag.String("warm", "", "with -spec: warm-start cache directory (shared with digs-server's warm pool)")
 	flag.Parse()
 
 	campaign.SetDefaultWorkers(*parallel)
+
+	if *specPath != "" {
+		return runSpecFile(*specPath, *warmDir, opts.trace)
+	}
+	if *warmDir != "" {
+		return fmt.Errorf("-warm requires -spec")
+	}
 
 	if *reps <= 1 {
 		var tr telemetry.Tracer
@@ -182,6 +199,75 @@ func run() error {
 		metrics.Mean(pdrs), metrics.Min(pdrs), metrics.Max(pdrs))
 	fmt.Printf("latency median:    mean %.0f ms\n", metrics.Mean(medians))
 	fmt.Printf("power per packet:  mean %.3f mW\n", metrics.Mean(powers))
+	return nil
+}
+
+// runSpecFile executes one JSON scenario spec through scenario.RunSpec —
+// the exact code path digs-server uses — and prints the canonical result
+// document on stdout (progress notes go to stderr). SIGINT/SIGTERM
+// cancel the run at the next chunk boundary.
+func runSpecFile(path, warmDir, tracePath string) error {
+	var raw []byte
+	var err error
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var spec scenario.Spec
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("decoding spec: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "spec %s\n", hash)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var ropts scenario.RunOpts
+	if warmDir != "" {
+		ropts.Warm = &snapshot.Cache{Dir: warmDir}
+	}
+	var traceFile *os.File
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		ropts.Tracer = telemetry.NewJSONL(traceFile)
+	}
+
+	res, rinfo, err := scenario.RunSpec(ctx, spec, ropts)
+	if err != nil {
+		return err
+	}
+	rhash, err := res.HashResult()
+	if err != nil {
+		return err
+	}
+	enc, err := res.Encode()
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(enc)
+	fmt.Println()
+	fmt.Fprintf(os.Stderr, "result %s (warm_hit=%v, wall %v)\n",
+		rhash, rinfo.WarmHit, rinfo.Wall.Round(time.Millisecond))
+	if traceFile != nil {
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", tracePath)
+	}
 	return nil
 }
 

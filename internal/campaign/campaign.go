@@ -12,6 +12,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -107,8 +108,20 @@ func (r *Runner) Workers() int {
 // recovered and surfaced as a *PanicError carrying the job index and the
 // stack, so one bad run cannot kill a whole campaign without attribution.
 func Map[T any](r *Runner, n int, job func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), r, n, job)
+}
+
+// MapCtx is Map with cancellation: once ctx is done, no further queued
+// job starts (jobs already executing run to completion — the simulator
+// has no preemption points, so "cancel" means drain, not kill) and MapCtx
+// returns ctx.Err(). A long-running service can thereby shut down a
+// campaign cleanly: in-flight work finishes, the rest of the queue never
+// runs. A job error still wins over the cancellation error when both
+// occur, preserving Map's lowest-failing-index contract for the jobs that
+// did run.
+func MapCtx[T any](ctx context.Context, r *Runner, n int, job func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	results := make([]T, n)
 	workers := r.Workers()
@@ -119,6 +132,9 @@ func Map[T any](r *Runner, n int, job func(i int) (T, error)) ([]T, error) {
 		// Inline sequential path: no goroutines, stop at the first error
 		// exactly like the pre-campaign loops did.
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := runJob(job, i)
 			if err != nil {
 				return nil, err
@@ -136,6 +152,9 @@ func Map[T any](r *Runner, n int, job func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -149,6 +168,9 @@ func Map[T any](r *Runner, n int, job func(i int) (T, error)) ([]T, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

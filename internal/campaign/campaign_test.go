@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -212,5 +213,66 @@ func TestMapReturnsLowestFailingJob(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want the job-2 error (lowest index)", err)
+	}
+}
+
+// TestMapCtxCancelSkipsQueuedJobs proves the drain semantics: after
+// cancellation no queued job starts, jobs already in flight complete, and
+// MapCtx surfaces ctx.Err().
+func TestMapCtxCancelSkipsQueuedJobs(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 64
+		_, err := MapCtx(ctx, New(workers), n, func(i int) (int, error) {
+			ran.Add(1)
+			if ran.Load() >= int64(workers) {
+				cancel() // every worker has a job in flight: cancel now
+			}
+			time.Sleep(time.Millisecond)
+			return i, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// In-flight jobs (at most one per worker, plus the races that
+		// claimed an index before observing the cancel) finish; the bulk
+		// of the queue never runs.
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: all %d jobs ran despite cancellation", workers, got)
+		}
+	}
+}
+
+// TestMapCtxJobErrorWinsOverCancel pins the error-selection contract: a
+// job failure that happened before the cancel is what the caller sees.
+func TestMapCtxJobErrorWinsOverCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	_, err := MapCtx(ctx, New(2), 8, func(i int) (int, error) {
+		if i == 1 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want job error", err)
+	}
+}
+
+// TestMapCtxBackgroundEquivalentToMap: an un-cancelled context changes
+// nothing about Map's results.
+func TestMapCtxBackgroundEquivalentToMap(t *testing.T) {
+	got, err := MapCtx(context.Background(), New(4), 10, func(i int) (int, error) { return i * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
 	}
 }

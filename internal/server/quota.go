@@ -1,0 +1,53 @@
+package server
+
+import "sync"
+
+// quotas enforces the per-tenant admission limit: at most limit jobs
+// queued or running per tenant at once. Completed jobs release their
+// slot from the worker goroutine.
+type quotas struct {
+	mu    sync.Mutex
+	limit int
+	used  map[string]int
+}
+
+func newQuotas(limit int) *quotas {
+	return &quotas{limit: limit, used: make(map[string]int)}
+}
+
+// acquire claims a slot for tenant; it reports false when the tenant is
+// at its limit.
+func (q *quotas) acquire(tenant string) bool {
+	if q.limit <= 0 {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.used[tenant] >= q.limit {
+		return false
+	}
+	q.used[tenant]++
+	return true
+}
+
+// release returns tenant's slot.
+func (q *quotas) release(tenant string) {
+	if q.limit <= 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.used[tenant] > 0 {
+		q.used[tenant]--
+	}
+	if q.used[tenant] == 0 {
+		delete(q.used, tenant)
+	}
+}
+
+// inUse returns tenant's current slot count.
+func (q *quotas) inUse(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.used[tenant]
+}

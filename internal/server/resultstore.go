@@ -1,0 +1,67 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/digs-net/digs/internal/store"
+)
+
+// ResultStore is the content-addressed on-disk result cache: canonical
+// result documents keyed by the spec's content hash, fanned out over a
+// two-hex-character prefix directory (dir/ab/abcdef….json). Writes are
+// atomic and followed by LRU eviction against the budget; reads touch
+// the entry so hot scenarios stay resident.
+type ResultStore struct {
+	Dir    string
+	Budget store.Budget // zero value = unbounded
+
+	mu sync.Mutex // serialises write+evict cycles
+}
+
+func (rs *ResultStore) path(hash string) string {
+	prefix := "xx"
+	if len(hash) >= 2 {
+		prefix = hash[:2]
+	}
+	return filepath.Join(rs.Dir, prefix, hash+".json")
+}
+
+// Get returns the cached canonical result for a spec hash, if present.
+func (rs *ResultStore) Get(hash string) ([]byte, bool) {
+	p := rs.path(hash)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	store.Touch(p)
+	return b, true
+}
+
+// Put stores a canonical result under its spec hash and evicts the
+// least-recently-used entries beyond the budget.
+func (rs *ResultStore) Put(hash string, result []byte) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if err := store.WriteFileAtomic(rs.path(hash), result); err != nil {
+		return err
+	}
+	_, err := store.EvictLRU(rs.Dir, ".json", rs.Budget)
+	return err
+}
+
+// Len counts stored results (test and stats helper).
+func (rs *ResultStore) Len() int {
+	n := 0
+	_ = filepath.WalkDir(rs.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

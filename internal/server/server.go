@@ -1,0 +1,536 @@
+// Package server is the simulation-as-a-service daemon behind
+// cmd/digs-server: an HTTP JSON API that accepts scenario.Spec
+// submissions, runs them through the shared scenario.RunSpec executor on
+// a bounded worker pool, streams per-job telemetry over SSE, and serves
+// completed results from a content-addressed on-disk store.
+//
+// Admission control happens at submit time, in order: a store hit is
+// answered immediately from cache (200), an identical in-flight
+// submission is deduplicated onto the existing job (202), a tenant over
+// its quota or a full queue is pushed back with 429 + Retry-After, and a
+// draining server refuses with 503. Everything admitted is a Job that a
+// worker picks up FIFO; near-identical scenarios (same deployment,
+// protocol, seed and config, different measurement window or faults)
+// warm-start their formation phase from the server's snapshot warm pool.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/digs-net/digs/internal/scenario"
+	"github.com/digs-net/digs/internal/snapshot"
+	"github.com/digs-net/digs/internal/store"
+	"github.com/digs-net/digs/internal/telemetry"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Workers is the simulation worker pool size (default 2; tests may
+	// use 0 to hold jobs in the queue).
+	Workers int
+	// QueueDepth bounds the admitted-but-not-running backlog
+	// (default 64). A full queue pushes back with 429 + Retry-After.
+	QueueDepth int
+	// TenantQuota caps queued+running jobs per tenant (0 = unlimited).
+	TenantQuota int
+	// MaxNodes rejects scenarios over this deployment size with 413
+	// (0 = 20000).
+	MaxNodes int
+	// DataDir is the root for the result store ("results/") and the
+	// warm-start pool ("warm/"). Empty disables both caches.
+	DataDir string
+	// ResultBudget bounds the content-addressed result store.
+	ResultBudget store.Budget
+	// WarmBudget bounds the warm-start snapshot pool.
+	WarmBudget store.Budget
+	// MaxStreamLines bounds each job's retained telemetry backlog.
+	MaxStreamLines int
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.Workers < 0 {
+		c.Workers = WorkersNone
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 20000
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Workers(0) in the Config zero value must mean "default", while tests
+// need literal zero; WorkersNone is the sentinel for a pool with no
+// workers.
+const WorkersNone = -1
+
+// Stats is the /v1/stats document.
+type Stats struct {
+	Submitted     int64 `json:"submitted"`
+	CacheHits     int64 `json:"cache_hits"`
+	DedupHits     int64 `json:"dedup_hits"`
+	Completed     int64 `json:"completed"`
+	Failed        int64 `json:"failed"`
+	Canceled      int64 `json:"canceled"`
+	WarmHits      int64 `json:"warm_hits"`
+	RejectedQuota int64 `json:"rejected_quota"`
+	RejectedQueue int64 `json:"rejected_queue"`
+	Queued        int   `json:"queued"`
+	Running       int   `json:"running"`
+	StoredResults int   `json:"stored_results"`
+	Draining      bool  `json:"draining"`
+}
+
+// Server is the daemon: admission control, the job queue and worker
+// pool, the result store and the warm pool, plus the HTTP surface.
+type Server struct {
+	cfg     Config
+	results *ResultStore    // nil when DataDir is empty
+	warm    *snapshot.Cache // nil when DataDir is empty
+	quota   *quotas
+
+	mu     sync.Mutex
+	jobs   map[string]*Job // by job ID, all states
+	byHash map[string]*Job // in-flight (queued/running) by spec hash
+
+	jobsCh    chan *Job
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	draining  atomic.Bool
+	nextID    atomic.Int64
+	running   atomic.Int64
+
+	submitted, cacheHits, dedupHits atomic.Int64
+	completed, failed, canceled     atomic.Int64
+	warmHits, rejQuota, rejQueue    atomic.Int64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		quota:  newQuotas(cfg.TenantQuota),
+		jobs:   make(map[string]*Job),
+		byHash: make(map[string]*Job),
+		jobsCh: make(chan *Job, cfg.QueueDepth),
+		stopCh: make(chan struct{}),
+	}
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	if cfg.DataDir != "" {
+		s.results = &ResultStore{Dir: filepath.Join(cfg.DataDir, "results"), Budget: cfg.ResultBudget}
+		s.warm = &snapshot.Cache{Dir: filepath.Join(cfg.DataDir, "warm"), Budget: cfg.WarmBudget}
+	}
+	workers := cfg.Workers
+	if workers == WorkersNone {
+		workers = 0
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case j := <-s.jobsCh:
+			// A stop racing with a ready queue must drain, not run.
+			select {
+			case <-s.stopCh:
+				s.finishJob(j, func() { j.markCanceled("server shutting down") })
+				continue
+			default:
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// finishJob applies a terminal transition and releases the job's
+// admission resources exactly once.
+func (s *Server) finishJob(j *Job, mark func()) {
+	mark()
+	j.Stream.Close()
+	s.quota.release(j.Tenant)
+	s.mu.Lock()
+	if s.byHash[j.SpecHash] == j {
+		delete(s.byHash, j.SpecHash)
+	}
+	s.mu.Unlock()
+	switch j.Status() {
+	case StatusDone:
+		s.completed.Add(1)
+	case StatusFailed:
+		s.failed.Add(1)
+	case StatusCanceled:
+		s.canceled.Add(1)
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	j.markRunning()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	var tracer telemetry.Tracer = telemetry.NewJSONL(j.Stream)
+	res, rinfo, err := scenario.RunSpec(s.runCtx, j.Spec, scenario.RunOpts{
+		Tracer: tracer,
+		Warm:   s.warm,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || s.runCtx.Err() != nil {
+			s.finishJob(j, func() { j.markCanceled("canceled by shutdown deadline") })
+		} else {
+			s.finishJob(j, func() { j.markFailed(err.Error()) })
+		}
+		return
+	}
+	if rinfo.WarmHit {
+		s.warmHits.Add(1)
+	}
+	enc, err := res.Encode()
+	if err != nil {
+		s.finishJob(j, func() { j.markFailed(fmt.Sprintf("encoding result: %v", err)) })
+		return
+	}
+	rhash, err := res.HashResult()
+	if err != nil {
+		s.finishJob(j, func() { j.markFailed(fmt.Sprintf("hashing result: %v", err)) })
+		return
+	}
+	if s.results != nil {
+		if err := s.results.Put(j.SpecHash, enc); err != nil {
+			// The run itself succeeded; a store failure only costs
+			// future cache hits.
+			j.Stream.Write([]byte(fmt.Sprintf(
+				`{"schema":"digs-server/v1","event":"store_error","detail":%q}`+"\n", err.Error())))
+		}
+	}
+	s.finishJob(j, func() { j.markDone(enc, rhash, rinfo.WarmHit) })
+}
+
+// Shutdown drains the server: no new submissions, in-flight jobs run to
+// completion, queued jobs are canceled. If ctx expires before the
+// workers finish, the run context is canceled so in-flight simulations
+// abort at their next chunk boundary.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return errors.New("server: already shut down")
+	}
+	close(s.stopCh)
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.runCancel()
+		<-done
+		err = ctx.Err()
+	}
+	s.runCancel()
+
+	// Cancel whatever the workers never picked up (including everything,
+	// when the pool is empty).
+	for {
+		select {
+		case j := <-s.jobsCh:
+			s.finishJob(j, func() { j.markCanceled("server shutting down") })
+		default:
+			return err
+		}
+	}
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scenarios", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) retryAfter(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// tenant identifies the caller for quota accounting.
+func tenant(r *http.Request) string {
+	if t := r.Header.Get("X-DiGS-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// submitAccepted is the 202 response body.
+type submitAccepted struct {
+	JobID    string `json:"job_id"`
+	SpecHash string `json:"spec_hash"`
+	Status   Status `json:"status"`
+	Dedup    bool   `json:"dedup,omitempty"`
+}
+
+// submitCached is the 200 cache-hit response body.
+type submitCached struct {
+	SpecHash string          `json:"spec_hash"`
+	Cached   bool            `json:"cached"`
+	Result   json.RawMessage `json:"result"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{"server is draining"})
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec scenario.Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("decoding spec: %v", err)})
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	if n := spec.GenNodes(); n > s.cfg.MaxNodes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			apiError{fmt.Sprintf("%d nodes exceeds this server's limit of %d", n, s.cfg.MaxNodes)})
+		return
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	s.submitted.Add(1)
+
+	// Content-addressed fast path: an identical scenario already ran.
+	if s.results != nil {
+		if b, ok := s.results.Get(hash); ok {
+			s.cacheHits.Add(1)
+			writeJSON(w, http.StatusOK, submitCached{SpecHash: hash, Cached: true, Result: b})
+			return
+		}
+	}
+
+	ten := tenant(r)
+
+	// Dedup check and job registration are one critical section:
+	// two identical concurrent submissions must race to exactly one job.
+	s.mu.Lock()
+	if existing, ok := s.byHash[hash]; ok {
+		s.mu.Unlock()
+		s.dedupHits.Add(1)
+		writeJSON(w, http.StatusAccepted, submitAccepted{
+			JobID: existing.ID, SpecHash: hash, Status: existing.Status(), Dedup: true,
+		})
+		return
+	}
+	if !s.quota.acquire(ten) {
+		s.mu.Unlock()
+		s.rejQuota.Add(1)
+		s.retryAfter(w)
+		writeJSON(w, http.StatusTooManyRequests,
+			apiError{fmt.Sprintf("tenant %q is at its quota of %d in-flight jobs", ten, s.cfg.TenantQuota)})
+		return
+	}
+	id := fmt.Sprintf("j-%06d", s.nextID.Add(1))
+	j := newJob(id, ten, hash, spec, s.cfg.MaxStreamLines)
+	s.jobs[id] = j
+	s.byHash[hash] = j
+	s.mu.Unlock()
+
+	select {
+	case s.jobsCh <- j:
+	default:
+		// Queue full: back out the registration and push back.
+		s.mu.Lock()
+		delete(s.jobs, id)
+		if s.byHash[hash] == j {
+			delete(s.byHash, hash)
+		}
+		s.mu.Unlock()
+		s.quota.release(ten)
+		s.rejQueue.Add(1)
+		s.retryAfter(w)
+		writeJSON(w, http.StatusTooManyRequests,
+			apiError{fmt.Sprintf("queue full (%d jobs)", s.cfg.QueueDepth)})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitAccepted{JobID: id, SpecHash: hash, Status: StatusQueued})
+}
+
+func (s *Server) job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View(false))
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	switch j.Status() {
+	case StatusDone:
+		b, rhash := j.Result()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-DiGS-Result-Hash", rhash)
+		w.Write(b)
+		w.Write([]byte("\n"))
+	case StatusFailed, StatusCanceled:
+		writeJSON(w, http.StatusGone, j.View(false))
+	default:
+		s.retryAfter(w)
+		writeJSON(w, http.StatusAccepted, j.View(false))
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if s.results == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"result store disabled"})
+		return
+	}
+	b, ok := s.results.Get(r.PathValue("hash"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no stored result for that spec hash"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+// handleStream serves the job's telemetry as Server-Sent Events: each
+// JSONL line is one "data:" event, replayed from the start of the
+// retained window and then followed live; a final "done" event carries
+// the job's terminal view.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{"streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	if n := j.Stream.Dropped(); n > 0 {
+		fmt.Fprintf(w, "event: dropped\ndata: %d\n\n", n)
+	}
+	fl.Flush()
+
+	from := 0
+	for {
+		lines, next, closed, wait := j.Stream.Next(from)
+		for _, ln := range lines {
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", ln); err != nil {
+				return
+			}
+		}
+		if len(lines) > 0 {
+			fl.Flush()
+		}
+		from = next
+		if closed {
+			view, _ := json.Marshal(j.View(true))
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", view)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := Stats{
+		Submitted:     s.submitted.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		DedupHits:     s.dedupHits.Load(),
+		Completed:     s.completed.Load(),
+		Failed:        s.failed.Load(),
+		Canceled:      s.canceled.Load(),
+		WarmHits:      s.warmHits.Load(),
+		RejectedQuota: s.rejQuota.Load(),
+		RejectedQueue: s.rejQueue.Load(),
+		Queued:        len(s.jobsCh),
+		Running:       int(s.running.Load()),
+		Draining:      s.draining.Load(),
+	}
+	if s.results != nil {
+		st.StoredResults = s.results.Len()
+	}
+	writeJSON(w, http.StatusOK, st)
+}

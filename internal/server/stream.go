@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Broadcast is a per-job telemetry fan-out: the job's JSONL tracer writes
+// lines into it from the worker goroutine, and any number of SSE
+// subscribers replay the stream from the beginning and then follow it
+// live. It implements io.Writer so it can sit directly under a
+// telemetry.JSONL sink.
+//
+// The buffer is bounded: past maxLines the oldest lines are dropped (the
+// Dropped count tells late subscribers how much history they missed).
+// Lines are copied on entry — the JSONL sink reuses its scratch buffer.
+type Broadcast struct {
+	mu      sync.Mutex
+	lines   [][]byte
+	partial []byte
+	first   int // logical index of lines[0]
+	max     int
+	closed  bool
+	signal  chan struct{} // closed and replaced on every append/Close
+}
+
+// NewBroadcast returns a broadcast buffer holding at most maxLines lines
+// (<= 0 means a generous default).
+func NewBroadcast(maxLines int) *Broadcast {
+	if maxLines <= 0 {
+		maxLines = 1 << 17
+	}
+	return &Broadcast{max: maxLines, signal: make(chan struct{})}
+}
+
+// Write implements io.Writer: input is split into lines; complete lines
+// are published, a trailing fragment is buffered until its newline
+// arrives.
+func (b *Broadcast) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		// A write after Close (e.g. a late Flush) has nowhere to go.
+		return len(p), nil
+	}
+	data := p
+	for {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			b.partial = append(b.partial, data...)
+			break
+		}
+		line := make([]byte, 0, len(b.partial)+i)
+		line = append(line, b.partial...)
+		line = append(line, data[:i]...)
+		b.partial = b.partial[:0]
+		b.lines = append(b.lines, line)
+		data = data[i+1:]
+	}
+	if over := len(b.lines) - b.max; over > 0 {
+		b.lines = append([][]byte(nil), b.lines[over:]...)
+		b.first += over
+	}
+	b.wake()
+	return len(p), nil
+}
+
+// Close marks the stream complete (an unterminated final fragment is
+// published as its own line) and wakes every subscriber.
+func (b *Broadcast) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	if len(b.partial) > 0 {
+		b.lines = append(b.lines, append([]byte(nil), b.partial...))
+		b.partial = nil
+	}
+	b.closed = true
+	b.wake()
+}
+
+// wake must be called with mu held.
+func (b *Broadcast) wake() {
+	close(b.signal)
+	b.signal = make(chan struct{})
+}
+
+// Next returns every published line with logical index >= from, the next
+// logical index to resume at, whether the stream is complete, and a
+// channel that closes on the next publication (for blocking waits). A
+// from older than the retained window resumes at the window start — the
+// gap is reported by Dropped.
+func (b *Broadcast) Next(from int) (lines [][]byte, next int, closed bool, wait <-chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if from < b.first {
+		from = b.first
+	}
+	if off := from - b.first; off < len(b.lines) {
+		lines = b.lines[off:]
+	}
+	return lines, from + len(lines), b.closed, b.signal
+}
+
+// Dropped returns how many lines fell out of the retention window.
+func (b *Broadcast) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.first
+}

@@ -5,6 +5,8 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+
+	"github.com/digs-net/digs/internal/store"
 )
 
 // Cache is a directory of snapshots keyed by scenario identity. Warm-start
@@ -12,8 +14,17 @@ import (
 // of a (topology, protocol, seed, config, phase) combination stores its
 // converged state, and every later run — other fault plans, other branches
 // — restores it instead of re-forming the network.
+//
+// With a Budget set the cache is a bounded LRU: Store evicts the
+// least-recently-used snapshots over budget, and Load refreshes a hit's
+// recency, which is what lets a long-running server keep its warm pool
+// from growing without bound. The zero Budget keeps the pre-existing
+// unbounded behaviour.
 type Cache struct {
 	Dir string
+	// Budget bounds the directory (entries and/or bytes); zero means
+	// unbounded. Eviction runs after each Store.
+	Budget store.Budget
 }
 
 // Key identifies a cached snapshot. Label names the scenario phase the
@@ -44,7 +55,8 @@ func (c *Cache) Path(k Key) string {
 
 // Load returns the cached snapshot for the key, or (nil, nil) on a miss. A
 // present-but-unreadable entry (corrupt, version-skewed) is also a miss:
-// the stale file is removed so the caller's fresh run can replace it.
+// the stale file is removed so the caller's fresh run can replace it. A
+// hit refreshes the entry's LRU recency.
 func (c *Cache) Load(k Key) (*Snapshot, error) {
 	path := c.Path(k)
 	b, err := os.ReadFile(path)
@@ -65,15 +77,21 @@ func (c *Cache) Load(k Key) (*Snapshot, error) {
 		// file can; never restore state from a different scenario.
 		return nil, fmt.Errorf("snapshot cache: %s holds %s, wanted %s", path, s.Meta.Label, k)
 	}
+	store.Touch(path)
 	return s, nil
 }
 
 // Store writes the snapshot under the key, atomically (tmp + rename), so
-// concurrent workers racing on the same key leave a complete file.
+// concurrent workers racing on the same key leave a complete file, then
+// evicts least-recently-used entries over the cache budget.
 func (c *Cache) Store(k Key, s *Snapshot) error {
 	if s.Meta.Topology != k.Topology || s.Meta.Protocol != k.Protocol ||
 		s.Meta.Seed != k.Seed || s.Meta.ConfigHash != k.ConfigHash || s.Meta.Label != k.Label {
 		return fmt.Errorf("snapshot cache: storing snapshot %q under mismatched key %s", s.Meta.Label, k)
 	}
-	return WriteFile(c.Path(k), s)
+	if err := WriteFile(c.Path(k), s); err != nil {
+		return err
+	}
+	_, err := store.EvictLRU(c.Dir, ".snap", c.Budget)
+	return err
 }

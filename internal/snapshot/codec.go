@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
-	"path/filepath"
 	"sort"
 	"time"
 
@@ -16,6 +15,7 @@ import (
 	"github.com/digs-net/digs/internal/orchestra"
 	"github.com/digs-net/digs/internal/rpl"
 	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/store"
 	"github.com/digs-net/digs/internal/topology"
 	"github.com/digs-net/digs/internal/trickle"
 )
@@ -188,20 +188,14 @@ func validate(s *Snapshot, seen map[string]bool) error {
 	return nil
 }
 
-// WriteFile atomically writes the snapshot next to its final path.
+// WriteFile atomically writes the snapshot next to its final path (see
+// store.WriteFileAtomic: concurrent writers on one path cannot interleave).
 func WriteFile(path string, s *Snapshot) error {
 	b, err := Encode(s)
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return store.WriteFileAtomic(path, b)
 }
 
 // ReadFile loads and decodes a snapshot file.

@@ -1,0 +1,151 @@
+// Package store holds the on-disk persistence utilities every cache in
+// the repository shares: atomic file writes (unique temp file + rename,
+// so concurrent writers racing on one path always leave a complete file)
+// and least-recently-used eviction over a directory with entry-count and
+// byte budgets. The snapshot warm-start cache and the server's
+// content-addressed result store both sit on these helpers instead of
+// carrying private copies.
+package store
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// tmpSuffix marks in-progress writes; eviction and listings skip them.
+const tmpSuffix = ".tmp"
+
+// WriteFileAtomic writes data to path atomically: the bytes land in a
+// uniquely named temp file in the destination directory (created if
+// missing) and are renamed over the final path. Two writers racing on the
+// same path cannot interleave; the loser's complete file simply replaces
+// the winner's complete file.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+tmpSuffix+"-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Touch refreshes the file's modification time to now, marking it
+// recently used for EvictLRU. A missing file is not an error (a
+// concurrent eviction may have removed it).
+func Touch(path string) {
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+}
+
+// Budget bounds a cache directory. Zero fields mean unbounded.
+type Budget struct {
+	// MaxEntries caps the number of matching files.
+	MaxEntries int
+	// MaxBytes caps the summed size of matching files.
+	MaxBytes int64
+}
+
+// bounded reports whether the budget constrains anything.
+func (b Budget) bounded() bool { return b.MaxEntries > 0 || b.MaxBytes > 0 }
+
+// entry is one evictable file.
+type entry struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// EvictLRU walks dir recursively and removes the least-recently-modified
+// files matching ext (e.g. ".snap", ".json"; empty matches every regular
+// file) until the remaining set fits the budget. In-progress atomic
+// writes (temp files) are never counted or removed. It returns how many
+// files were evicted. A missing directory is an empty cache, not an
+// error.
+func EvictLRU(dir, ext string, b Budget) (int, error) {
+	if !b.bounded() {
+		return 0, nil
+	}
+	var files []entry
+	var total int64
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			// A file evicted by a concurrent process mid-walk is fine.
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() || strings.Contains(d.Name(), tmpSuffix) {
+			return nil
+		}
+		if ext != "" && !strings.HasSuffix(d.Name(), ext) {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		files = append(files, entry{path: path, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	over := func() bool {
+		return (b.MaxEntries > 0 && len(files) > b.MaxEntries) ||
+			(b.MaxBytes > 0 && total > b.MaxBytes)
+	}
+	if !over() {
+		return 0, nil
+	}
+	// Oldest first; ties break on path so eviction order is stable.
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].path < files[j].path
+	})
+	removed := 0
+	for over() && len(files) > 0 {
+		victim := files[0]
+		files = files[1:]
+		total -= victim.size
+		if err := os.Remove(victim.path); err != nil && !os.IsNotExist(err) {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestWriteFileAtomicCreatesDirsAndLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a", "b", "x.json")
+	if err := WriteFileAtomic(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello" {
+		t.Fatalf("read back %q", b)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only the final file, found %d entries", len(entries))
+	}
+}
+
+func TestWriteFileAtomicOverwrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x")
+	for _, payload := range []string{"first", "second-longer", "3"} {
+		if err := WriteFileAtomic(path, []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := os.ReadFile(path)
+		if string(b) != payload {
+			t.Fatalf("got %q want %q", b, payload)
+		}
+	}
+}
+
+// write creates a file with a controlled mtime so eviction order is
+// deterministic under test.
+func write(t *testing.T, dir, name string, size int, age time.Duration) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := WriteFileAtomic(path, make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	mt := time.Now().Add(-age)
+	if err := os.Chtimes(path, mt, mt); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestEvictLRUByEntries(t *testing.T) {
+	dir := t.TempDir()
+	oldest := write(t, dir, "a.snap", 10, 3*time.Hour)
+	mid := write(t, dir, "b.snap", 10, 2*time.Hour)
+	newest := write(t, dir, "c.snap", 10, time.Hour)
+	other := write(t, dir, "d.json", 10, 50*time.Hour) // wrong extension: immune
+
+	n, err := EvictLRU(dir, ".snap", Budget{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	if _, err := os.Stat(oldest); !os.IsNotExist(err) {
+		t.Fatalf("oldest survived: %v", err)
+	}
+	for _, p := range []string{mid, newest, other} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("%s should survive: %v", p, err)
+		}
+	}
+}
+
+func TestEvictLRUByBytesRecursive(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	oldest := write(t, sub, "a.json", 600, 3*time.Hour)
+	newest := write(t, dir, "b.json", 600, time.Hour)
+
+	n, err := EvictLRU(dir, ".json", Budget{MaxBytes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	if _, err := os.Stat(oldest); !os.IsNotExist(err) {
+		t.Fatal("oldest (in subdirectory) should be evicted")
+	}
+	if _, err := os.Stat(newest); err != nil {
+		t.Fatal("newest should survive")
+	}
+}
+
+func TestEvictLRUUnboundedAndMissingDir(t *testing.T) {
+	if n, err := EvictLRU(t.TempDir(), "", Budget{}); err != nil || n != 0 {
+		t.Fatalf("unbounded budget: n=%d err=%v", n, err)
+	}
+	if n, err := EvictLRU(filepath.Join(t.TempDir(), "nope"), "", Budget{MaxEntries: 1}); err != nil || n != 0 {
+		t.Fatalf("missing dir: n=%d err=%v", n, err)
+	}
+}
+
+func TestTouchRefreshesRecency(t *testing.T) {
+	dir := t.TempDir()
+	a := write(t, dir, "a.snap", 10, 3*time.Hour)
+	write(t, dir, "b.snap", 10, 2*time.Hour)
+	Touch(a) // a becomes most recent: b is now the LRU victim
+	if _, err := EvictLRU(dir, ".snap", Budget{MaxEntries: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(a); err != nil {
+		t.Fatal("touched file should survive eviction")
+	}
+}
