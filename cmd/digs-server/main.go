@@ -49,6 +49,8 @@ func run() error {
 	resultEntries := flag.Int("result-entries", 4096, "result store LRU budget (entries, 0 = unbounded)")
 	warmEntries := flag.Int("warm-entries", 256, "warm pool LRU budget (snapshots, 0 = unbounded)")
 	warmBytes := flag.Int64("warm-bytes", 1<<30, "warm pool LRU budget (bytes, 0 = unbounded)")
+	finishedJobs := flag.Int("finished-jobs", 256,
+		"how many finished jobs stay addressable for status/stream replay before being forgotten")
 	drain := flag.Duration("drain", 2*time.Minute,
 		"how long a shutdown waits for in-flight simulations before aborting them")
 	flag.Parse()
@@ -59,8 +61,9 @@ func run() error {
 		TenantQuota:  *quota,
 		MaxNodes:     *maxNodes,
 		DataDir:      *dataDir,
-		ResultBudget: store.Budget{MaxEntries: *resultEntries},
-		WarmBudget:   store.Budget{MaxEntries: *warmEntries, MaxBytes: *warmBytes},
+		ResultBudget:   store.Budget{MaxEntries: *resultEntries},
+		WarmBudget:     store.Budget{MaxEntries: *warmEntries, MaxBytes: *warmBytes},
+		FinishedJobCap: *finishedJobs,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -29,7 +29,12 @@ func (rs *ResultStore) path(hash string) string {
 }
 
 // Get returns the cached canonical result for a spec hash, if present.
+// Malformed hashes (anything but 64 lowercase hex characters) never
+// touch the filesystem — hash is a client-controlled path component.
 func (rs *ResultStore) Get(hash string) ([]byte, bool) {
+	if !isSpecHash(hash) {
+		return nil, false
+	}
 	p := rs.path(hash)
 	b, err := os.ReadFile(p)
 	if err != nil {

@@ -54,6 +54,12 @@ type Config struct {
 	WarmBudget store.Budget
 	// MaxStreamLines bounds each job's retained telemetry backlog.
 	MaxStreamLines int
+	// FinishedJobCap bounds how many terminal jobs are kept addressable
+	// for status/stream/result replay (default 256). Oldest-finished
+	// jobs beyond the cap are forgotten, so a long-running daemon's
+	// memory is bounded by cap x per-job backlog rather than by every
+	// job ever run.
+	FinishedJobCap int
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
 }
@@ -70,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxNodes <= 0 {
 		c.MaxNodes = 20000
+	}
+	if c.FinishedJobCap <= 0 {
+		c.FinishedJobCap = 256
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
@@ -107,9 +116,10 @@ type Server struct {
 	warm    *snapshot.Cache // nil when DataDir is empty
 	quota   *quotas
 
-	mu     sync.Mutex
-	jobs   map[string]*Job // by job ID, all states
-	byHash map[string]*Job // in-flight (queued/running) by spec hash
+	mu       sync.Mutex
+	jobs     map[string]*Job // by job ID, all states
+	byHash   map[string]*Job // in-flight (queued/running) by spec hash
+	finished []string        // terminal job IDs, oldest first, for pruning
 
 	jobsCh    chan *Job
 	stopCh    chan struct{}
@@ -172,7 +182,10 @@ func (s *Server) worker() {
 }
 
 // finishJob applies a terminal transition and releases the job's
-// admission resources exactly once.
+// admission resources exactly once. Terminal jobs stay addressable for
+// replay until FinishedJobCap newer jobs have finished, then they are
+// forgotten so s.jobs (and the result/backlog bytes each Job pins)
+// cannot grow without bound.
 func (s *Server) finishJob(j *Job, mark func()) {
 	mark()
 	j.Stream.Close()
@@ -180,6 +193,11 @@ func (s *Server) finishJob(j *Job, mark func()) {
 	s.mu.Lock()
 	if s.byHash[j.SpecHash] == j {
 		delete(s.byHash, j.SpecHash)
+	}
+	s.finished = append(s.finished, j.ID)
+	for len(s.finished) > s.cfg.FinishedJobCap {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
 	}
 	s.mu.Unlock()
 	switch j.Status() {
@@ -238,9 +256,17 @@ func (s *Server) runJob(j *Job) {
 // workers finish, the run context is canceled so in-flight simulations
 // abort at their next chunk boundary.
 func (s *Server) Shutdown(ctx context.Context) error {
+	// Flipping draining under s.mu closes the submit/shutdown race:
+	// handleSubmit re-checks the flag inside the critical section that
+	// registers and enqueues a job, so once this Lock/Unlock pair has
+	// run, every admitted job is already in jobsCh and the drain loop
+	// below provably sees it.
+	s.mu.Lock()
 	if !s.draining.CompareAndSwap(false, true) {
+		s.mu.Unlock()
 		return errors.New("server: already shut down")
 	}
+	s.mu.Unlock()
 	close(s.stopCh)
 
 	done := make(chan struct{})
@@ -368,9 +394,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	ten := tenant(r)
 
-	// Dedup check and job registration are one critical section:
-	// two identical concurrent submissions must race to exactly one job.
+	// Draining re-check, dedup check, job registration and enqueue are
+	// one critical section: two identical concurrent submissions must
+	// race to exactly one job, and a submission racing Shutdown must
+	// either land in jobsCh before Shutdown flips draining (so its
+	// drain loop cancels the job) or observe the flag and refuse —
+	// never enqueue after the final drain has run.
 	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{"server is draining"})
+		return
+	}
 	if existing, ok := s.byHash[hash]; ok {
 		s.mu.Unlock()
 		s.dedupHits.Add(1)
@@ -391,17 +426,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j := newJob(id, ten, hash, spec, s.cfg.MaxStreamLines)
 	s.jobs[id] = j
 	s.byHash[hash] = j
-	s.mu.Unlock()
-
 	select {
 	case s.jobsCh <- j:
+		s.mu.Unlock()
 	default:
 		// Queue full: back out the registration and push back.
-		s.mu.Lock()
 		delete(s.jobs, id)
-		if s.byHash[hash] == j {
-			delete(s.byHash, hash)
-		}
+		delete(s.byHash, hash)
 		s.mu.Unlock()
 		s.quota.release(ten)
 		s.rejQueue.Add(1)
@@ -449,12 +480,34 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// isSpecHash reports whether s is a well-formed spec hash: exactly 64
+// lowercase hex characters. ServeMux percent-decodes path values after
+// matching, so without this check a {hash} like "..%2F..%2Fetc%2Fx"
+// would reach ResultStore.path as "../../etc/x" and escape the store.
+func isSpecHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if s.results == nil {
 		writeJSON(w, http.StatusNotFound, apiError{"result store disabled"})
 		return
 	}
-	b, ok := s.results.Get(r.PathValue("hash"))
+	hash := r.PathValue("hash")
+	if !isSpecHash(hash) {
+		writeJSON(w, http.StatusNotFound, apiError{"no stored result for that spec hash"})
+		return
+	}
+	b, ok := s.results.Get(hash)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{"no stored result for that spec hash"})
 		return
@@ -467,7 +520,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // handleStream serves the job's telemetry as Server-Sent Events: each
 // JSONL line is one "data:" event, replayed from the start of the
 // retained window and then followed live; a final "done" event carries
-// the job's terminal view.
+// the job's terminal view. Whenever the subscriber's cursor has fallen
+// out of the retention window — at attach or mid-stream on a slow
+// client — a "dropped" event reports how many lines the gap swallowed.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
@@ -483,20 +538,22 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
-	if n := j.Stream.Dropped(); n > 0 {
-		fmt.Fprintf(w, "event: dropped\ndata: %d\n\n", n)
-	}
 	fl.Flush()
 
 	from := 0
 	for {
-		lines, next, closed, wait := j.Stream.Next(from)
+		lines, next, skipped, closed, wait := j.Stream.Next(from)
+		if skipped > 0 {
+			if _, err := fmt.Fprintf(w, "event: dropped\ndata: %d\n\n", skipped); err != nil {
+				return
+			}
+		}
 		for _, ln := range lines {
 			if _, err := fmt.Fprintf(w, "data: %s\n\n", ln); err != nil {
 				return
 			}
 		}
-		if len(lines) > 0 {
+		if skipped > 0 || len(lines) > 0 {
 			fl.Flush()
 		}
 		from = next

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -457,27 +459,119 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+// TestResultHashValidation: GET /v1/results/{hash} only ever touches the
+// store for well-formed spec hashes. ServeMux percent-decodes the path
+// value after matching, so ..%2F sequences arrive as real "../" path
+// components — they must be rejected before reaching the filesystem.
+func TestResultHashValidation(t *testing.T) {
+	dataDir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: WorkersNone, DataDir: dataDir})
+
+	// A .json file outside the result store that a traversal would reach:
+	// with hash "a/../../../secret", ResultStore.path joins
+	// results/a/ + a/../../../secret.json, which cleans to
+	// dataDir/secret.json.
+	secret := filepath.Join(dataDir, "secret.json")
+	if err := os.WriteFile(secret, []byte(`{"leak":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(rawHash string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/results/" + rawHash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := get("a%2F..%2F..%2F..%2Fsecret"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("traversal hash: %d, want 404", resp.StatusCode)
+	}
+	for _, h := range []string{
+		"abc",                             // too short
+		strings.Repeat("A", 64),           // uppercase
+		strings.Repeat("z", 64),           // not hex
+		"..%2F" + strings.Repeat("a", 61), // traversal padded to 64 decoded chars
+	} {
+		if resp := get(h); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("hash %q: %d, want 404", h, resp.StatusCode)
+		}
+	}
+	// The decoy must still be untouched and unserved.
+	if b, err := os.ReadFile(secret); err != nil || string(b) != `{"leak":true}` {
+		t.Fatalf("decoy file changed: %q, %v", b, err)
+	}
+
+	// ResultStore.Get itself refuses malformed hashes too.
+	rs := &ResultStore{Dir: filepath.Join(dataDir, "results")}
+	if _, ok := rs.Get("../secret"); ok {
+		t.Fatal("ResultStore.Get served a traversal path")
+	}
+}
+
+// TestFinishedJobPruning: terminal jobs beyond FinishedJobCap are
+// forgotten oldest-first, so s.jobs stays bounded on a long-running
+// daemon while the newest finished jobs remain addressable.
+func TestFinishedJobPruning(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, FinishedJobCap: 2})
+	var ids []string
+	for i := int64(0); i < 3; i++ {
+		code, doc := submit(t, ts, smallSpec(400+i), "")
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d (%v)", i, code, doc)
+		}
+		id := str(t, doc, "job_id")
+		waitDone(t, s, id)
+		ids = append(ids, id)
+	}
+	status := func(id string) int {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := status(ids[0]); code != http.StatusNotFound {
+		t.Errorf("oldest finished job still addressable: %d, want 404", code)
+	}
+	for _, id := range ids[1:] {
+		if code := status(id); code != http.StatusOK {
+			t.Errorf("recent finished job %s: %d, want 200", id, code)
+		}
+	}
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("len(s.jobs) = %d, want 2", n)
+	}
+}
+
 // TestBroadcastWriterSemantics covers the SSE fan-out buffer directly:
 // fragment assembly, bounded retention, replay and close.
 func TestBroadcastWriterSemantics(t *testing.T) {
 	b := NewBroadcast(3)
 	fmt.Fprint(b, "alpha\nbe")
 	fmt.Fprint(b, "ta\n")
-	lines, next, closed, _ := b.Next(0)
-	if len(lines) != 2 || string(lines[0]) != "alpha" || string(lines[1]) != "beta" || closed {
-		t.Fatalf("lines %q closed=%v", lines, closed)
+	lines, next, skipped, closed, _ := b.Next(0)
+	if len(lines) != 2 || string(lines[0]) != "alpha" || string(lines[1]) != "beta" || skipped != 0 || closed {
+		t.Fatalf("lines %q skipped=%d closed=%v", lines, skipped, closed)
 	}
 	fmt.Fprint(b, "gamma\ndelta\nepsilon\n") // overflows max=3, drops alpha+beta
 	if d := b.Dropped(); d != 2 {
 		t.Fatalf("dropped = %d, want 2", d)
 	}
-	lines, next, _, _ = b.Next(next)
-	if len(lines) != 3 || string(lines[0]) != "gamma" {
-		t.Fatalf("after overflow: %q", lines)
+	// The subscriber's cursor (next=2) is exactly at the window start, so
+	// no mid-stream gap is reported for it.
+	lines, next, skipped, _, _ = b.Next(next)
+	if len(lines) != 3 || string(lines[0]) != "gamma" || skipped != 0 {
+		t.Fatalf("after overflow: %q skipped=%d", lines, skipped)
 	}
 	fmt.Fprint(b, "tail-no-newline")
 	b.Close()
-	lines, _, closed, _ = b.Next(next)
+	lines, _, _, closed, _ = b.Next(next)
 	if !closed || len(lines) != 1 || string(lines[0]) != "tail-no-newline" {
 		t.Fatalf("close: %q closed=%v", lines, closed)
 	}
@@ -491,7 +585,7 @@ func TestBroadcastWriterSemantics(t *testing.T) {
 // wakes when the writer publishes.
 func TestBroadcastLiveFollow(t *testing.T) {
 	b := NewBroadcast(0)
-	_, next, _, wait := b.Next(0)
+	_, next, _, _, wait := b.Next(0)
 	go func() {
 		time.Sleep(10 * time.Millisecond)
 		fmt.Fprint(b, "live\n")
@@ -502,8 +596,27 @@ func TestBroadcastLiveFollow(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("subscriber never woke")
 	}
-	lines, _, _, _ := b.Next(next)
+	lines, _, _, _, _ := b.Next(next)
 	if len(lines) != 1 || string(lines[0]) != "live" {
 		t.Fatalf("live follow got %q", lines)
+	}
+}
+
+// TestBroadcastLaggingSubscriberGap: a follower whose cursor has fallen
+// behind the retention window learns the exact gap size from Next, both
+// at attach (from=0) and mid-stream — not only on initial subscribe.
+func TestBroadcastLaggingSubscriberGap(t *testing.T) {
+	b := NewBroadcast(2)
+	fmt.Fprint(b, "l1\nl2\nl3\nl4\n") // window now holds l3,l4; first=2
+	lines, next, skipped, _, _ := b.Next(0)
+	if skipped != 2 || len(lines) != 2 || string(lines[0]) != "l3" {
+		t.Fatalf("attach: lines %q skipped=%d", lines, skipped)
+	}
+	// The follower stalls while four more lines push the window past its
+	// cursor: l5,l6 fall out before it resumes.
+	fmt.Fprint(b, "l5\nl6\nl7\nl8\n") // window l7,l8; first=6
+	lines, _, skipped, _, _ = b.Next(next)
+	if skipped != 2 || len(lines) != 2 || string(lines[0]) != "l7" {
+		t.Fatalf("mid-stream: lines %q skipped=%d", lines, skipped)
 	}
 }

@@ -88,20 +88,23 @@ func (b *Broadcast) wake() {
 }
 
 // Next returns every published line with logical index >= from, the next
-// logical index to resume at, whether the stream is complete, and a
-// channel that closes on the next publication (for blocking waits). A
-// from older than the retained window resumes at the window start — the
-// gap is reported by Dropped.
-func (b *Broadcast) Next(from int) (lines [][]byte, next int, closed bool, wait <-chan struct{}) {
+// logical index to resume at, how many lines between from and the first
+// returned line fell out of the retention window (a lagging subscriber's
+// gap), whether the stream is complete, and a channel that closes on the
+// next publication (for blocking waits). A from older than the retained
+// window resumes at the window start, with the gap size in skipped so
+// followers can surface the loss instead of silently snapping forward.
+func (b *Broadcast) Next(from int) (lines [][]byte, next, skipped int, closed bool, wait <-chan struct{}) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if from < b.first {
+		skipped = b.first - from
 		from = b.first
 	}
 	if off := from - b.first; off < len(b.lines) {
 		lines = b.lines[off:]
 	}
-	return lines, from + len(lines), b.closed, b.signal
+	return lines, from + len(lines), skipped, b.closed, b.signal
 }
 
 // Dropped returns how many lines fell out of the retention window.
