@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden snap-smoke scale-smoke server-smoke bench-scale bench-gate bench-server baseline bench-warmstart clean
+.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden snap-smoke scale-smoke server-smoke recover-smoke bench-scale bench-gate bench-server baseline bench-warmstart clean
 
 ## ci: everything the driver checks — vet, build, race-enabled tests, a
 ## short fuzz pass over the wire codecs, a one-shot large-scale benchmark
 ## smoke run, the telemetry pipeline smoke test, the snapshot round-trip
-## smoke test, a short 10k-node run on the sparse sharded engine, and the
-## simulation-service end-to-end smoke.
-ci: vet build race fuzz bench-smoke trace-smoke snap-smoke scale-smoke server-smoke
+## smoke test, a short 10k-node run on the sparse sharded engine, the
+## simulation-service end-to-end smoke, and the crash-recovery smoke.
+ci: vet build race fuzz bench-smoke trace-smoke snap-smoke scale-smoke server-smoke recover-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzScanJSONL -fuzztime=$(FUZZTIME) ./internal/telemetry
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/snapshot
 	$(GO) test -run='^$$' -fuzz=FuzzGenerate -fuzztime=$(FUZZTIME) ./internal/topology
+	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/server
 
 ## bench-smoke: run the heaviest benchmark once to catch bit-rot without
 ## paying for a full measurement.
@@ -93,6 +94,19 @@ bench-scale:
 ## in-process run of the same spec.
 server-smoke:
 	$(GO) run ./cmd/digs-load -smoke
+
+## recover-smoke: the crash-safety contract end to end — race-enabled
+## journal/retry/degraded-mode tests, then the real-process harness:
+## build digs-server, SIGKILL it mid-burst, restart on the same data
+## directory, and fail unless every acknowledged job reaches done with
+## verified result bytes (zero accepted jobs lost).
+RECOVER_DIR := $(if $(TMPDIR),$(TMPDIR),/tmp)/digs-recover-smoke
+recover-smoke:
+	$(GO) test -race -run 'Journal|Replay|Retry|Panic|Degraded|Recover|Quarantine' ./internal/server
+	rm -rf $(RECOVER_DIR) && mkdir -p $(RECOVER_DIR)
+	$(GO) build -o $(RECOVER_DIR)/digs-server ./cmd/digs-server
+	$(GO) run ./cmd/digs-load -crash -server-bin $(RECOVER_DIR)/digs-server
+	@echo recover-smoke: OK
 
 ## bench-server: regenerate BENCH_server.json — the simulation service
 ## under a mixed cold / warm-start / duplicate workload: sustained req/s,

@@ -23,6 +23,16 @@
 // result hash and the content-addressed store round-trip, resubmit and
 // demand a cache hit, and check the server result is bit-identical to an
 // in-process run of the same spec.
+//
+// -crash runs the crash-safety harness: spawn a real digs-server
+// process, SIGKILL it in the middle of a submission burst, restart it
+// on the same data directory, and assert that every job the dead server
+// acknowledged reaches a terminal state with intact, correctly hashed
+// result bytes — zero accepted jobs lost.
+//
+// Backpressure (429 + Retry-After) is honored everywhere with a bounded
+// retry budget, so the load numbers measure throughput rather than
+// counting the server's own flow control as failures.
 package main
 
 import (
@@ -34,13 +44,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/digs-net/digs/internal/scenario"
@@ -56,14 +72,17 @@ func main() {
 }
 
 type options struct {
-	url     string
-	n       int
-	conc    int
-	workers int
-	out     string
-	gate    string
-	tol     float64
-	smoke   bool
+	url       string
+	n         int
+	conc      int
+	workers   int
+	out       string
+	gate      string
+	tol       float64
+	smoke     bool
+	crash     bool
+	serverBin string
+	crashJobs int
 }
 
 func run() error {
@@ -77,7 +96,16 @@ func run() error {
 	flag.Float64Var(&opts.tol, "tol", 0.5,
 		"gate tolerance: fail when req/s drops or p99 grows by more than this fraction")
 	flag.BoolVar(&opts.smoke, "smoke", false, "run the end-to-end smoke instead of the bench")
+	flag.BoolVar(&opts.crash, "crash", false,
+		"run the crash-safety harness: SIGKILL a real digs-server mid-burst, restart, assert zero lost jobs")
+	flag.StringVar(&opts.serverBin, "server-bin", "",
+		"digs-server binary for -crash (empty = go build one into a temp dir)")
+	flag.IntVar(&opts.crashJobs, "crash-jobs", 12, "burst size for -crash")
 	flag.Parse()
+
+	if opts.crash {
+		return crashHarness(opts)
+	}
 
 	base := opts.url
 	if base == "" {
@@ -116,10 +144,13 @@ func run() error {
 
 // selfHost starts an in-process digs-server on a loopback port.
 func selfHost(workers int) (stop func(), url string, err error) {
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers: workers,
 		DataDir: mustTempDir(),
 	})
+	if err != nil {
+		return nil, "", err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, "", err
@@ -147,6 +178,10 @@ func mustTempDir() string {
 type client struct {
 	base string
 	hc   http.Client
+	// retried429 counts submissions that were pushed back with 429 and
+	// retried after the server's Retry-After hint — backpressure the
+	// server designed in, not failures.
+	retried429 atomic.Int64
 }
 
 type submitResp struct {
@@ -159,21 +194,53 @@ type submitResp struct {
 	Error    string          `json:"error"`
 }
 
+// max429Retries bounds how long a submission chases Retry-After hints
+// before the backpressure is reported as a real error.
+const max429Retries = 10
+
+// submit posts the spec, honoring 429 + Retry-After with a bounded
+// retry budget: a loaded queue or tenant quota is flow control, and
+// counting it as failure would make the bench measure the limiter
+// instead of the server.
 func (c *client) submit(spec scenario.Spec) (*submitResp, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Post(c.base+"/v1/scenarios", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		resp, err := c.hc.Post(c.base+"/v1/scenarios", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		out := &submitResp{code: resp.StatusCode}
+		decErr := json.NewDecoder(resp.Body).Decode(out)
+		hint := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if decErr != nil {
+			return nil, fmt.Errorf("decoding %d response: %w", resp.StatusCode, decErr)
+		}
+		if out.code != http.StatusTooManyRequests || attempt >= max429Retries {
+			return out, nil
+		}
+		c.retried429.Add(1)
+		time.Sleep(retryAfterDelay(hint))
 	}
-	defer resp.Body.Close()
-	out := &submitResp{code: resp.StatusCode}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return nil, fmt.Errorf("decoding %d response: %w", resp.StatusCode, err)
+}
+
+// retryAfterDelay converts a Retry-After header into a wait, clamped to
+// [100ms, 5s] so a malformed or hostile hint cannot stall the client.
+func retryAfterDelay(hint string) time.Duration {
+	d := time.Second
+	if secs, err := strconv.Atoi(strings.TrimSpace(hint)); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
 	}
-	return out, nil
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
 }
 
 // followStream consumes the job's SSE stream until the terminal "done"
@@ -288,6 +355,7 @@ type Report struct {
 	WarmHits    int64         `json:"warm_hits"`
 	WarmHitRate float64       `json:"warm_hit_rate"`
 	CacheHits   int64         `json:"cache_hits"`
+	Retried429  int64         `json:"retried_429"`
 	Classes     []ClassReport `json:"classes"`
 }
 
@@ -394,6 +462,7 @@ func bench(cl *client, opts options) (*Report, error) {
 		ReqPerS:     float64(3*opts.n) / wall.Seconds(),
 		WarmHits:    st.WarmHits,
 		CacheHits:   st.CacheHits,
+		Retried429:  cl.retried429.Load(),
 		Classes:     classes,
 	}
 	if st.Completed > 0 {
@@ -430,7 +499,8 @@ func printReport(r *Report) {
 		fmt.Printf("  %-5s %3d reqs  mean %7.1f ms  p50 %7.1f ms  p99 %7.1f ms\n",
 			c.Name, c.Requests, c.MeanMs, c.P50Ms, c.P99Ms)
 	}
-	fmt.Printf("  warm hits %d (rate %.2f), cache hits %d\n", r.WarmHits, r.WarmHitRate, r.CacheHits)
+	fmt.Printf("  warm hits %d (rate %.2f), cache hits %d, 429 retries %d\n",
+		r.WarmHits, r.WarmHitRate, r.CacheHits, r.Retried429)
 }
 
 // gate fails when the fresh report regresses past tolerance vs the
@@ -555,5 +625,240 @@ func smoke(cl *client, selfHosted bool) error {
 		fmt.Println("server result bit-identical to the direct in-process run")
 	}
 	fmt.Println("server-smoke: OK")
+	return nil
+}
+
+// serverProc is a real digs-server child process under harness control.
+type serverProc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func (p *serverProc) kill() {
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+// startServer launches the digs-server binary on a kernel-assigned port
+// and waits for its "listening on" log line to learn the address.
+func startServer(bin, dataDir string, workers int) (*serverProc, error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-data", dataDir,
+		"-workers", strconv.Itoa(workers),
+		"-quota", "0",
+		"-drain", "30s",
+	)
+	cmd.Stdout = os.Stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting %s: %w", bin, err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(os.Stderr, "  [server]", line)
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				if f := strings.Fields(line[i+len("listening on "):]); len(f) > 0 {
+					select {
+					case addrCh <- f[0]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &serverProc{cmd: cmd, base: "http://" + addr}, nil
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("server never reported a listen address")
+	}
+}
+
+func (c *client) getBytes(path string) ([]byte, int, error) {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return b, resp.StatusCode, err
+}
+
+// awaitTerminal polls the job's status endpoint until it reaches a
+// terminal state. A 404 means the server forgot an accepted job — the
+// exact failure the crash harness exists to catch.
+func (c *client) awaitTerminal(jobID string, deadline time.Time) (*server.View, error) {
+	for {
+		body, code, err := c.getBytes("/v1/jobs/" + jobID)
+		if err != nil {
+			return nil, err
+		}
+		if code == http.StatusNotFound {
+			return nil, fmt.Errorf("job lost: status endpoint answers 404 after restart")
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("status: HTTP %d", code)
+		}
+		var v server.View
+		if err := json.Unmarshal(body, &v); err != nil {
+			return nil, err
+		}
+		switch v.Status {
+		case server.StatusDone, server.StatusFailed, server.StatusCanceled:
+			return &v, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("still %s at harness deadline", v.Status)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// crashHarness is the -crash mode: prove that SIGKILL — no drain, no
+// journal close, mid-burst — loses nothing the server acknowledged.
+//
+//  1. Start a real digs-server (1 worker, so a backlog builds).
+//  2. Submit a concurrent burst; the moment half the burst is
+//     acknowledged with 202, SIGKILL the process.
+//  3. Restart the server on the same data directory.
+//  4. Every acknowledged job must reach done, its result bytes must
+//     round-trip the content-addressed store and re-hash to the job's
+//     reported content address, and the stats must show at least one
+//     journal-recovered job (the kill really did interrupt work).
+//  5. SIGTERM must still shut the restarted server down cleanly.
+func crashHarness(opts options) error {
+	dataDir, err := os.MkdirTemp("", "digs-crash-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	bin := opts.serverBin
+	if bin == "" {
+		binDir, err := os.MkdirTemp("", "digs-crash-bin-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(binDir)
+		bin = filepath.Join(binDir, "digs-server")
+		fmt.Fprintln(os.Stderr, "building digs-server for the crash harness")
+		build := exec.Command("go", "build", "-o", bin, "./cmd/digs-server")
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building digs-server: %w", err)
+		}
+	}
+
+	sp, err := startServer(bin, dataDir, 1)
+	if err != nil {
+		return err
+	}
+	cl := &client{base: sp.base}
+
+	type acked struct{ jobID, specHash string }
+	var (
+		mu  sync.Mutex
+		acc []acked
+	)
+	killAt := opts.crashJobs / 2
+	if killAt < 1 {
+		killAt = 1
+	}
+	killed := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < opts.crashJobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := cl.submit(benchSpec(int64(9000+i), 10*time.Second))
+			if err != nil || resp.code != http.StatusAccepted {
+				// The kill raced this submission: without a 202 in hand
+				// the server never promised anything, so there is
+				// nothing to assert.
+				return
+			}
+			mu.Lock()
+			acc = append(acc, acked{resp.JobID, resp.SpecHash})
+			n := len(acc)
+			mu.Unlock()
+			if n == killAt {
+				close(killed)
+			}
+		}(i)
+	}
+	select {
+	case <-killed:
+	case <-time.After(30 * time.Second):
+		sp.kill()
+		return fmt.Errorf("burst never reached %d accepted jobs", killAt)
+	}
+	sp.kill() // SIGKILL: no drain, no journal close, mid-burst
+	wg.Wait()
+	mu.Lock()
+	accepted := append([]acked(nil), acc...)
+	mu.Unlock()
+	fmt.Printf("SIGKILLed the server holding %d acknowledged jobs\n", len(accepted))
+
+	sp2, err := startServer(bin, dataDir, opts.workers)
+	if err != nil {
+		return fmt.Errorf("restart on the crashed data dir: %w", err)
+	}
+	clean := false
+	defer func() {
+		if !clean {
+			sp2.kill()
+		}
+	}()
+	cl2 := &client{base: sp2.base}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, a := range accepted {
+		view, err := cl2.awaitTerminal(a.jobID, deadline)
+		if err != nil {
+			return fmt.Errorf("job %s (spec %s): %w", a.jobID, a.specHash, err)
+		}
+		if view.Status != server.StatusDone {
+			return fmt.Errorf("job %s ended %s after restart: %s", a.jobID, view.Status, view.Error)
+		}
+		body, code, err := cl2.getBytes("/v1/results/" + a.specHash)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("job %s: stored result %s: HTTP %d", a.jobID, a.specHash, code)
+		}
+		sum := sha256.Sum256(bytes.TrimSpace(body))
+		if got := hex.EncodeToString(sum[:]); got != view.ResultHash {
+			return fmt.Errorf("job %s: stored result hashes to %s, job reports %s",
+				a.jobID, got, view.ResultHash)
+		}
+	}
+	st, err := cl2.stats()
+	if err != nil {
+		return err
+	}
+	if st.Recovered == 0 {
+		return fmt.Errorf("restarted server recovered no pending jobs — the kill missed the in-flight window")
+	}
+	fmt.Printf("all %d acknowledged jobs done with verified results (%d recovered from the journal, tail dropped %d)\n",
+		len(accepted), st.Recovered, st.JournalDroppedTail)
+
+	if err := sp2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := sp2.cmd.Wait(); err != nil {
+		return fmt.Errorf("restarted server exited uncleanly: %w", err)
+	}
+	clean = true
+	fmt.Println("crash harness: OK — zero accepted jobs lost")
 	return nil
 }

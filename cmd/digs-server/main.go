@@ -53,18 +53,38 @@ func run() error {
 		"how many finished jobs stay addressable for status/stream replay before being forgotten")
 	drain := flag.Duration("drain", 2*time.Minute,
 		"how long a shutdown waits for in-flight simulations before aborting them")
+	maxAttempts := flag.Int("max-attempts", 3,
+		"times one job may run (first try included) before it is dead-lettered as failed")
+	retryBase := flag.Duration("retry-base", 200*time.Millisecond,
+		"backoff before a failed attempt's retry (doubles per failure, jittered)")
+	retryCap := flag.Duration("retry-cap", 5*time.Second, "backoff ceiling")
+	noJournal := flag.Bool("no-journal", false,
+		"disable the durable job journal: accepted jobs no longer survive a crash")
+	noJournalSync := flag.Bool("no-journal-sync", false,
+		"skip the per-record journal fsync (faster submits, crash durability best-effort)")
+	degradedAccept := flag.Bool("degraded-accept", false,
+		"keep accepting submissions after journal/store writes start failing (default: shed with 503)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		TenantQuota:  *quota,
-		MaxNodes:     *maxNodes,
-		DataDir:      *dataDir,
-		ResultBudget:   store.Budget{MaxEntries: *resultEntries},
-		WarmBudget:     store.Budget{MaxEntries: *warmEntries, MaxBytes: *warmBytes},
-		FinishedJobCap: *finishedJobs,
+	srv, err := server.New(server.Config{
+		Workers:              *workers,
+		QueueDepth:           *queue,
+		TenantQuota:          *quota,
+		MaxNodes:             *maxNodes,
+		DataDir:              *dataDir,
+		ResultBudget:         store.Budget{MaxEntries: *resultEntries},
+		WarmBudget:           store.Budget{MaxEntries: *warmEntries, MaxBytes: *warmBytes},
+		FinishedJobCap:       *finishedJobs,
+		MaxAttempts:          *maxAttempts,
+		RetryBase:            *retryBase,
+		RetryCap:             *retryCap,
+		DisableJournal:       *noJournal,
+		JournalNoSync:        *noJournalSync,
+		AllowDegradedSubmits: *degradedAccept,
 	})
+	if err != nil {
+		return fmt.Errorf("recovering server state: %w", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -17,9 +17,13 @@ const (
 	StatusQueued Status = "queued"
 	// StatusRunning: a worker is simulating it.
 	StatusRunning Status = "running"
+	// StatusRetrying: the last attempt failed or panicked; the job is
+	// backing off before re-entering the queue.
+	StatusRetrying Status = "retrying"
 	// StatusDone: completed; the result is available.
 	StatusDone Status = "done"
-	// StatusFailed: the run errored.
+	// StatusFailed: terminal (dead letter) — every attempt in the
+	// budget errored or panicked.
 	StatusFailed Status = "failed"
 	// StatusCanceled: evicted from the queue or aborted by shutdown.
 	StatusCanceled Status = "canceled"
@@ -35,6 +39,7 @@ type Job struct {
 
 	mu         sync.Mutex
 	status     Status
+	attempts   int // run attempts consumed (interrupted attempts count)
 	submitted  time.Time
 	started    time.Time
 	finished   time.Time
@@ -65,10 +70,50 @@ func (j *Job) Status() Status {
 	return j.status
 }
 
+// beginAttempt consumes one run attempt and returns its 1-based number.
+func (j *Job) beginAttempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempts++
+	return j.attempts
+}
+
+// Attempts returns how many run attempts the job has consumed.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// setAttempts restores the consumed-attempt count on journal replay.
+func (j *Job) setAttempts(n int) {
+	j.mu.Lock()
+	j.attempts = n
+	j.mu.Unlock()
+}
+
 func (j *Job) markRunning() {
 	j.mu.Lock()
 	j.status = StatusRunning
-	j.started = time.Now()
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+// markRetrying parks the job between failed attempts; the last error is
+// kept visible on the status view while the job backs off.
+func (j *Job) markRetrying(msg string) {
+	j.mu.Lock()
+	j.status = StatusRetrying
+	j.errMsg = msg
+	j.mu.Unlock()
+}
+
+// markQueued returns the job to the queue after its backoff.
+func (j *Job) markQueued() {
+	j.mu.Lock()
+	j.status = StatusQueued
 	j.mu.Unlock()
 }
 
@@ -78,6 +123,7 @@ func (j *Job) markDone(result []byte, resultHash string, warmHit bool) {
 	j.result = result
 	j.resultHash = resultHash
 	j.warmHit = warmHit
+	j.errMsg = "" // a recovered retry's stale error must not outlive success
 	j.finished = time.Now()
 	j.mu.Unlock()
 	close(j.done)
@@ -114,6 +160,7 @@ type View struct {
 	SpecHash   string          `json:"spec_hash"`
 	Tenant     string          `json:"tenant"`
 	Status     Status          `json:"status"`
+	Attempts   int             `json:"attempts,omitempty"`
 	WarmStart  bool            `json:"warm_start"`
 	Error      string          `json:"error,omitempty"`
 	ResultHash string          `json:"result_hash,omitempty"`
@@ -132,6 +179,7 @@ func (j *Job) View(includeResult bool) View {
 		SpecHash:   j.SpecHash,
 		Tenant:     j.Tenant,
 		Status:     j.status,
+		Attempts:   j.attempts,
 		WarmStart:  j.warmHit,
 		Error:      j.errMsg,
 		ResultHash: j.resultHash,

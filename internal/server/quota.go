@@ -30,6 +30,18 @@ func (q *quotas) acquire(tenant string) bool {
 	return true
 }
 
+// force claims a slot for tenant unconditionally — journal recovery
+// re-acquires the slots the previous incarnation held, even if the
+// limit was lowered in between, so release stays balanced.
+func (q *quotas) force(tenant string) {
+	if q.limit <= 0 {
+		return
+	}
+	q.mu.Lock()
+	q.used[tenant]++
+	q.mu.Unlock()
+}
+
 // release returns tenant's slot.
 func (q *quotas) release(tenant string) {
 	if q.limit <= 0 {

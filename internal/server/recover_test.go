@@ -1,0 +1,514 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/digs-net/digs/internal/scenario"
+)
+
+// abandonedServer builds a server the test will never Shutdown — the
+// in-process stand-in for a process that was SIGKILLed. Its HTTP
+// listener is closed, but its journal file handle and job table are
+// simply dropped on the floor, exactly like a dead process's.
+func abandonedServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), journalFile)
+	jl, err := openJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := smallSpec(1)
+	want := []journalRecord{
+		{Op: opSubmit, Job: "j-000001", Tenant: "acme", SpecHash: strings.Repeat("ab", 32), Spec: &spec},
+		{Op: opStart, Job: "j-000001", Attempt: 1},
+		{Op: opRetry, Job: "j-000001", Attempt: 1, Detail: "boom"},
+		{Op: opStart, Job: "j-000001", Attempt: 2},
+		{Op: opDone, Job: "j-000001", ResultHash: strings.Repeat("cd", 32)},
+	}
+	for _, rec := range want {
+		if err := jl.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jl.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, dropped := replayJournal(f)
+	if dropped != 0 {
+		t.Fatalf("clean journal dropped %d lines", dropped)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, rec := range got {
+		if rec.Schema != journalSchema || rec.Seq != int64(i+1) {
+			t.Fatalf("record %d: schema %q seq %d", i, rec.Schema, rec.Seq)
+		}
+		if rec.Op != want[i].Op || rec.Job != want[i].Job || rec.Attempt != want[i].Attempt {
+			t.Fatalf("record %d: got %+v want %+v", i, rec, want[i])
+		}
+	}
+	if got[0].Spec == nil || got[0].Spec.Seed != spec.Seed {
+		t.Fatalf("submit record lost its spec: %+v", got[0].Spec)
+	}
+}
+
+func TestJournalReplayTruncatedTail(t *testing.T) {
+	spec := smallSpec(2)
+	var buf bytes.Buffer
+	for i, rec := range []journalRecord{
+		{Op: opSubmit, Job: "j-000001", SpecHash: strings.Repeat("ab", 32), Spec: &spec},
+		{Op: opStart, Job: "j-000001", Attempt: 1},
+	} {
+		rec.Schema = journalSchema
+		rec.Seq = int64(i + 1)
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(append(b, '\n'))
+	}
+	intact := buf.Len()
+
+	cases := []struct {
+		name string
+		tail string
+		drop int
+	}{
+		{"half-written json", `{"schema":"digs-journal/v1","seq":3,"op":"do`, 1},
+		{"binary garbage", "\x00\xff\xfe garbage\n", 1},
+		{"wrong schema", `{"schema":"other/v9","seq":3,"op":"done","job":"j-000001"}` + "\n", 1},
+		{"garbage then more lines", "not json\n{\"also\":\"dropped\"}\nmore\n", 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			damaged := append(append([]byte(nil), buf.Bytes()[:intact]...), tc.tail...)
+			recs, dropped := replayJournal(bytes.NewReader(damaged))
+			if len(recs) != 2 {
+				t.Fatalf("trusted prefix: got %d records, want 2", len(recs))
+			}
+			if dropped != tc.drop {
+				t.Fatalf("dropped %d lines, want %d", dropped, tc.drop)
+			}
+			if recs[0].Op != opSubmit || recs[1].Op != opStart {
+				t.Fatalf("prefix corrupted: %+v", recs)
+			}
+		})
+	}
+}
+
+func FuzzJournalReplay(f *testing.F) {
+	spec := smallSpec(3)
+	b, _ := json.Marshal(journalRecord{
+		Schema: journalSchema, Seq: 1, Op: opSubmit, Job: "j-000001",
+		SpecHash: strings.Repeat("ab", 32), Spec: &spec,
+	})
+	f.Add(append(b, '\n'))
+	f.Add([]byte(""))
+	f.Add([]byte("{}\n"))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Add(append(append([]byte(nil), append(b, '\n')...), []byte("garbage tail")...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, dropped := replayJournal(bytes.NewReader(data))
+		if dropped < 0 {
+			t.Fatalf("negative dropped count %d", dropped)
+		}
+		for i, rec := range recs {
+			if rec.Schema != journalSchema || rec.Op == "" || rec.Job == "" {
+				t.Fatalf("record %d escaped validation: %+v", i, rec)
+			}
+		}
+		// Folding arbitrary surviving records must never panic and must
+		// keep per-job state terminal-once.
+		for _, rj := range foldJournal(recs) {
+			if rj.id == "" {
+				t.Fatalf("folded job without an ID")
+			}
+		}
+		// A valid record prepended to the fuzz input is always trusted.
+		withPrefix := append(append([]byte(nil), append(b, '\n')...), data...)
+		prefixed, _ := replayJournal(bytes.NewReader(withPrefix))
+		if len(prefixed) == 0 || prefixed[0].Op != opSubmit || prefixed[0].Job != "j-000001" {
+			t.Fatalf("valid first record not recovered (got %d records)", len(prefixed))
+		}
+	})
+}
+
+// TestRecoverPendingRerun is the heart of the crash-safety contract:
+// jobs accepted but never run (the worker pool is empty, standing in
+// for a crash) come back on restart, run to completion, and produce
+// bytes bit-identical to an uninterrupted run of the same spec.
+func TestRecoverPendingRerun(t *testing.T) {
+	dataDir := t.TempDir()
+	_, ts1 := abandonedServer(t, Config{Workers: WorkersNone, DataDir: dataDir})
+	specs := []scenario.Spec{smallSpec(101), smallSpec(102)}
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		code, doc := submit(t, ts1, spec, "acme")
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, code)
+		}
+		ids[i] = str(t, doc, "job_id")
+	}
+	ts1.Close() // the "crash": no Shutdown, no journal close, jobs queued
+
+	s2, _ := newTestServer(t, Config{Workers: 2, DataDir: dataDir})
+	for i, id := range ids {
+		j := waitDone(t, s2, id)
+		if got := j.Status(); got != StatusDone {
+			t.Fatalf("recovered job %s: status %s (%s)", id, got, j.View(false).Error)
+		}
+		gotBytes, gotHash := j.Result()
+
+		direct, _, err := scenario.RunSpec(context.Background(), specs[i], scenario.RunOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := direct.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotBytes, want) {
+			t.Fatalf("recovered job %s result differs from uninterrupted run", id)
+		}
+		if gotHash != hashBytes(want) {
+			t.Fatalf("recovered job %s hash %s, want %s", id, gotHash, hashBytes(want))
+		}
+		if s2.quota.inUse("acme") != 0 {
+			t.Fatalf("recovered tenant quota not released: %d in use", s2.quota.inUse("acme"))
+		}
+	}
+	if got := s2.recovered.Load(); got != int64(len(ids)) {
+		t.Fatalf("recovered stat %d, want %d", got, len(ids))
+	}
+	// New submissions must not collide with recovered IDs.
+	_, ts2port := newTestServerHTTP(t, s2)
+	code, doc := submit(t, ts2port, smallSpec(103), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("post-recovery submit: HTTP %d", code)
+	}
+	if id := str(t, doc, "job_id"); id == ids[0] || id == ids[1] {
+		t.Fatalf("job ID %s reused after recovery", id)
+	}
+}
+
+// newTestServerHTTP wraps an existing server in an httptest listener.
+func newTestServerHTTP(t *testing.T, s *Server) (*Server, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestRecoverDoneJobs: terminal jobs come back addressable with their
+// verified result bytes, not re-enqueued.
+func TestRecoverDoneJobs(t *testing.T) {
+	dataDir := t.TempDir()
+	s1, ts1 := abandonedServer(t, Config{Workers: 2, DataDir: dataDir})
+	spec := smallSpec(111)
+	code, doc := submit(t, ts1, spec, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	id := str(t, doc, "job_id")
+	j1 := waitDone(t, s1, id)
+	wantBytes, wantHash := j1.Result()
+	ts1.Close()
+
+	s2, ts2 := newTestServer(t, Config{Workers: 2, DataDir: dataDir})
+	j2 := s2.job(id)
+	if j2 == nil {
+		t.Fatalf("done job %s forgotten across restart", id)
+	}
+	if j2.Status() != StatusDone {
+		t.Fatalf("recovered done job has status %s", j2.Status())
+	}
+	gotBytes, gotHash := j2.Result()
+	if !bytes.Equal(gotBytes, wantBytes) || gotHash != wantHash {
+		t.Fatalf("recovered done job result changed across restart")
+	}
+	if got := s2.recovered.Load(); got != 0 {
+		t.Fatalf("done job counted as recovered-pending: %d", got)
+	}
+	// And the content-addressed fast path still fires for its spec.
+	code, doc = submit(t, ts2, spec, "")
+	if code != http.StatusOK {
+		t.Fatalf("resubmit after restart: HTTP %d (%v)", code, doc)
+	}
+}
+
+// TestRecoverTruncatedTail: a half-written final record (torn by the
+// crash) is dropped and counted; everything before it is recovered.
+func TestRecoverTruncatedTail(t *testing.T) {
+	dataDir := t.TempDir()
+	_, ts1 := abandonedServer(t, Config{Workers: WorkersNone, DataDir: dataDir})
+	code, doc := submit(t, ts1, smallSpec(121), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	id := str(t, doc, "job_id")
+	ts1.Close()
+
+	jp := filepath.Join(dataDir, journalFile)
+	f, err := os.OpenFile(jp, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":"digs-journal/v1","seq":99,"op":"do`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, _ := newTestServer(t, Config{Workers: 2, DataDir: dataDir})
+	if got := s2.tailDrop.Load(); got != 1 {
+		t.Fatalf("dropped-tail stat %d, want 1", got)
+	}
+	j := waitDone(t, s2, id)
+	if j.Status() != StatusDone {
+		t.Fatalf("job before the torn tail: status %s", j.Status())
+	}
+}
+
+// failSeed is the poisoned-spec marker the runFn test seams key on.
+const failSeed = 666
+
+func seededRunFn(failures *atomic.Int64, failFor int64, mode string) func(context.Context, scenario.Spec, scenario.RunOpts) (*scenario.Result, scenario.RunInfo, error) {
+	return func(ctx context.Context, spec scenario.Spec, opts scenario.RunOpts) (*scenario.Result, scenario.RunInfo, error) {
+		if spec.Seed == failFor {
+			failures.Add(1)
+			if mode == "panic" {
+				panic(fmt.Sprintf("poisoned spec seed=%d", spec.Seed))
+			}
+			return nil, scenario.RunInfo{}, fmt.Errorf("injected failure #%d", failures.Load())
+		}
+		return scenario.RunSpec(ctx, spec, opts)
+	}
+}
+
+// TestRetryBackoffStateMachine: two injected failures, then the real
+// executor — the job must come out done on its third attempt, with the
+// retry counter showing both backoffs.
+func TestRetryBackoffStateMachine(t *testing.T) {
+	var calls atomic.Int64
+	s, ts := newTestServer(t, Config{
+		Workers: 1, MaxAttempts: 3,
+		RetryBase: 5 * time.Millisecond, RetryCap: 20 * time.Millisecond,
+		runFn: func(ctx context.Context, spec scenario.Spec, opts scenario.RunOpts) (*scenario.Result, scenario.RunInfo, error) {
+			if calls.Add(1) <= 2 {
+				return nil, scenario.RunInfo{}, fmt.Errorf("transient failure %d", calls.Load())
+			}
+			return scenario.RunSpec(ctx, spec, opts)
+		},
+	})
+	code, doc := submit(t, ts, smallSpec(131), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	j := waitDone(t, s, str(t, doc, "job_id"))
+	if j.Status() != StatusDone {
+		t.Fatalf("status %s (%s), want done", j.Status(), j.View(false).Error)
+	}
+	if got := j.Attempts(); got != 3 {
+		t.Fatalf("attempts %d, want 3", got)
+	}
+	if got := s.retries.Load(); got != 2 {
+		t.Fatalf("retries stat %d, want 2", got)
+	}
+	if v := j.View(false); v.Error != "" {
+		t.Fatalf("done job still reports error %q", v.Error)
+	}
+}
+
+// TestRetryDeadLetter: a spec that fails every attempt is dead-lettered
+// as failed after its budget — and the pool survives to run other work.
+func TestRetryDeadLetter(t *testing.T) {
+	var failures atomic.Int64
+	s, ts := newTestServer(t, Config{
+		Workers: 1, MaxAttempts: 2,
+		RetryBase: 5 * time.Millisecond, RetryCap: 20 * time.Millisecond,
+		runFn: seededRunFn(&failures, failSeed, "error"),
+	})
+	code, doc := submit(t, ts, smallSpec(failSeed), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	poisoned := waitDone(t, s, str(t, doc, "job_id"))
+	if poisoned.Status() != StatusFailed {
+		t.Fatalf("poisoned job status %s, want failed", poisoned.Status())
+	}
+	if got := failures.Load(); got != 2 {
+		t.Fatalf("poisoned spec ran %d times, want exactly its budget of 2", got)
+	}
+	if v := poisoned.View(false); !strings.Contains(v.Error, "injected failure") || v.Attempts != 2 {
+		t.Fatalf("dead-letter view: %+v", v)
+	}
+	if got := s.failed.Load(); got != 1 {
+		t.Fatalf("failed stat %d, want 1", got)
+	}
+
+	// The server is alive and healthy for everyone else.
+	code, doc = submit(t, ts, smallSpec(132), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after dead-letter: HTTP %d", code)
+	}
+	if j := waitDone(t, s, str(t, doc, "job_id")); j.Status() != StatusDone {
+		t.Fatalf("healthy job after dead-letter: %s", j.Status())
+	}
+}
+
+// TestPanicIsolation: a panicking spec is indistinguishable from a
+// failing one — dead-lettered with the panic message, stack preserved
+// on its stream, daemon and neighbors unharmed.
+func TestPanicIsolation(t *testing.T) {
+	var failures atomic.Int64
+	s, ts := newTestServer(t, Config{
+		Workers: 2, MaxAttempts: 2,
+		RetryBase: 5 * time.Millisecond, RetryCap: 20 * time.Millisecond,
+		runFn: seededRunFn(&failures, failSeed, "panic"),
+	})
+	code, doc := submit(t, ts, smallSpec(failSeed), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	id := str(t, doc, "job_id")
+	j := waitDone(t, s, id)
+	if j.Status() != StatusFailed {
+		t.Fatalf("panicking job status %s, want failed", j.Status())
+	}
+	if v := j.View(false); !strings.Contains(v.Error, "worker panic") {
+		t.Fatalf("dead-letter error %q does not name the panic", v.Error)
+	}
+	lines, _ := streamSSE(t, ts, id)
+	var sawStack bool
+	for _, ln := range lines {
+		if strings.Contains(ln, "worker_panic") && strings.Contains(ln, "stack") {
+			sawStack = true
+		}
+	}
+	if !sawStack {
+		t.Fatalf("panic stack missing from the job's telemetry stream (%d lines)", len(lines))
+	}
+
+	code, doc = submit(t, ts, smallSpec(133), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after panic: HTTP %d", code)
+	}
+	if jj := waitDone(t, s, str(t, doc, "job_id")); jj.Status() != StatusDone {
+		t.Fatalf("healthy job after panic: %s", jj.Status())
+	}
+}
+
+// TestDegradedMode: when the result store can no longer be written the
+// server finishes in-flight work but flips degraded — healthz 503, new
+// submissions shed with 503 + Retry-After, stats say why.
+func TestDegradedMode(t *testing.T) {
+	dataDir := t.TempDir()
+	// A regular file where the results directory must go makes every
+	// store write fail with ENOTDIR — the portable stand-in for ENOSPC.
+	if err := os.WriteFile(filepath.Join(dataDir, "results"), []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, DataDir: dataDir})
+
+	code, doc := submit(t, ts, smallSpec(141), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	j := waitDone(t, s, str(t, doc, "job_id"))
+	if j.Status() != StatusDone {
+		t.Fatalf("in-flight job during degradation: %s (%s)", j.Status(), j.View(false).Error)
+	}
+
+	degraded, cause := s.DegradedCause()
+	if !degraded || !strings.Contains(cause, "result store put") {
+		t.Fatalf("degraded=%v cause=%q after store write failure", degraded, cause)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz: HTTP %d, want 503", resp.StatusCode)
+	}
+
+	code, doc = submit(t, ts, smallSpec(142), "")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded submit: HTTP %d (%v), want 503", code, doc)
+	}
+	if !strings.Contains(str(t, doc, "error"), "degraded") {
+		t.Fatalf("degraded submit error %q", str(t, doc, "error"))
+	}
+
+	var st Stats
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if !st.Degraded || st.DegradedCause == "" {
+		t.Fatalf("stats hide the degradation: %+v", st)
+	}
+}
+
+// TestDegradedStickyFirstCause: the first cause wins and the state
+// survives later, different failures.
+func TestDegradedStickyFirstCause(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: WorkersNone})
+	s.degrade("first cause")
+	s.degrade("second cause")
+	degraded, cause := s.DegradedCause()
+	if !degraded || cause != "first cause" {
+		t.Fatalf("degraded=%v cause=%q, want sticky first cause", degraded, cause)
+	}
+}
+
+func TestRetryDelayBounds(t *testing.T) {
+	const base, cp = 100 * time.Millisecond, 2 * time.Second
+	for attempt := 1; attempt <= 8; attempt++ {
+		full := base
+		for i := 1; i < attempt && full < cp; i++ {
+			full *= 2
+		}
+		if full > cp {
+			full = cp
+		}
+		for i := 0; i < 200; i++ {
+			d := retryDelay(base, cp, attempt)
+			if d < full/2 || d > full {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package server
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"sync"
@@ -11,13 +15,38 @@ import (
 // ResultStore is the content-addressed on-disk result cache: canonical
 // result documents keyed by the spec's content hash, fanned out over a
 // two-hex-character prefix directory (dir/ab/abcdef….json). Writes are
-// atomic and followed by LRU eviction against the budget; reads touch
-// the entry so hot scenarios stay resident.
+// atomic, fsync'd, and followed by LRU eviction against the budget;
+// reads verify the stored bytes against their recorded content address
+// and touch the entry so hot scenarios stay resident.
+//
+// Each file is an envelope: a one-line header naming the schema and the
+// SHA-256 of the result bytes, then the result document itself. Get
+// re-hashes the body on every read — a file whose bytes no longer match
+// its header (bit rot, a torn write on a pre-envelope store, manual
+// tampering) is quarantined by renaming it to <name>.corrupt and
+// reported as a miss, so the scenario is re-run instead of a corrupted
+// result being served as truth. Quarantined files keep their bytes for
+// post-mortems and are invisible to Len and eviction.
 type ResultStore struct {
 	Dir    string
 	Budget store.Budget // zero value = unbounded
 
 	mu sync.Mutex // serialises write+evict cycles
+}
+
+// resultSchema versions the stored envelope header.
+const resultSchema = "digs-result/v1"
+
+// resultHeader is the first line of every stored result file.
+type resultHeader struct {
+	Schema     string `json:"schema"`
+	ResultHash string `json:"result_hash"`
+}
+
+// hashBytes is the content address of a byte string: hex SHA-256.
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 func (rs *ResultStore) path(hash string) string {
@@ -28,9 +57,11 @@ func (rs *ResultStore) path(hash string) string {
 	return filepath.Join(rs.Dir, prefix, hash+".json")
 }
 
-// Get returns the cached canonical result for a spec hash, if present.
-// Malformed hashes (anything but 64 lowercase hex characters) never
-// touch the filesystem — hash is a client-controlled path component.
+// Get returns the cached canonical result for a spec hash, if present
+// and intact. Malformed hashes (anything but 64 lowercase hex
+// characters) never touch the filesystem — hash is a client-controlled
+// path component. A stored file whose body no longer hashes to its
+// recorded content address is quarantined and reported as a miss.
 func (rs *ResultStore) Get(hash string) ([]byte, bool) {
 	if !isSpecHash(hash) {
 		return nil, false
@@ -40,23 +71,60 @@ func (rs *ResultStore) Get(hash string) ([]byte, bool) {
 	if err != nil {
 		return nil, false
 	}
+	body, ok := unwrapResult(b)
+	if !ok {
+		// Quarantine, don't delete: the bytes are evidence. The .corrupt
+		// suffix takes the file out of Get/Len/eviction entirely.
+		_ = os.Rename(p, p+".corrupt")
+		return nil, false
+	}
 	store.Touch(p)
-	return b, true
+	return body, true
 }
 
-// Put stores a canonical result under its spec hash and evicts the
-// least-recently-used entries beyond the budget.
+// unwrapResult splits the envelope and checks the content address.
+// A file with no header line (written before the envelope format) has
+// no recorded hash to verify against and is served as-is; every file
+// written by this version carries one.
+func unwrapResult(b []byte) ([]byte, bool) {
+	i := bytes.IndexByte(b, '\n')
+	if i < 0 {
+		return b, true
+	}
+	var hdr resultHeader
+	if json.Unmarshal(b[:i], &hdr) != nil || hdr.Schema != resultSchema {
+		return b, true
+	}
+	body := b[i+1:]
+	if hashBytes(body) != hdr.ResultHash {
+		return nil, false
+	}
+	return body, true
+}
+
+// Put stores a canonical result under its spec hash — wrapped in the
+// verification envelope, written atomically and durably — and evicts
+// the least-recently-used entries beyond the budget.
 func (rs *ResultStore) Put(hash string, result []byte) error {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	if err := store.WriteFileAtomic(rs.path(hash), result); err != nil {
+	hdr, err := json.Marshal(resultHeader{Schema: resultSchema, ResultHash: hashBytes(result)})
+	if err != nil {
 		return err
 	}
-	_, err := store.EvictLRU(rs.Dir, ".json", rs.Budget)
+	env := make([]byte, 0, len(hdr)+1+len(result))
+	env = append(env, hdr...)
+	env = append(env, '\n')
+	env = append(env, result...)
+	if err := store.WriteFileAtomic(rs.path(hash), env); err != nil {
+		return err
+	}
+	_, err = store.EvictLRU(rs.Dir, ".json", rs.Budget)
 	return err
 }
 
-// Len counts stored results (test and stats helper).
+// Len counts stored results (test and stats helper). Quarantined
+// .corrupt files are not results.
 func (rs *ResultStore) Len() int {
 	n := 0
 	_ = filepath.WalkDir(rs.Dir, func(path string, d os.DirEntry, err error) error {

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestResultStoreQuarantine(t *testing.T) {
+	rs := &ResultStore{Dir: t.TempDir()}
+	hash := hashBytes([]byte("the-spec"))
+	result := []byte(`{"schema":"digs-scenario-result/v1","value":42}`)
+	if err := rs.Put(hash, result); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := rs.Get(hash); !ok || !bytes.Equal(got, result) {
+		t.Fatalf("round-trip: ok=%v got=%q", ok, got)
+	}
+
+	// Flip one body byte on disk, keeping the envelope header intact.
+	p := rs.path(hash)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-2] ^= 0x01
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := rs.Get(hash); ok {
+		t.Fatalf("corrupted result served as a hit")
+	}
+	if _, err := os.Stat(p + ".corrupt"); err != nil {
+		t.Fatalf("corrupted file not quarantined: %v", err)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("corrupted file still at its content address: %v", err)
+	}
+	if n := rs.Len(); n != 0 {
+		t.Fatalf("quarantined file still counted: Len()=%d", n)
+	}
+	// A re-run can repopulate the address.
+	if err := rs.Put(hash, result); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := rs.Get(hash); !ok || !bytes.Equal(got, result) {
+		t.Fatalf("repopulated round-trip: ok=%v got=%q", ok, got)
+	}
+}
+
+// TestResultStoreLegacyFile: a pre-envelope file (no header line) has
+// no recorded content address to check — it is served as-is.
+func TestResultStoreLegacyFile(t *testing.T) {
+	rs := &ResultStore{Dir: t.TempDir()}
+	hash := hashBytes([]byte("legacy-spec"))
+	legacy := []byte(`{"schema":"digs-scenario-result/v1","old":true}`)
+	p := rs.path(hash)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := rs.Get(hash); !ok || !bytes.Equal(got, legacy) {
+		t.Fatalf("legacy file: ok=%v got=%q", ok, got)
+	}
+}

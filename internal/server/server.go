@@ -12,6 +12,12 @@
 // worker picks up FIFO; near-identical scenarios (same deployment,
 // protocol, seed and config, different measurement window or faults)
 // warm-start their formation phase from the server's snapshot warm pool.
+//
+// The server is crash-safe: accepted jobs are recorded in a durable
+// journal (journal.go) before the 202 leaves the building, workers are
+// panic-isolated, failed attempts retry with exponential backoff before
+// dead-lettering, and persistent write failures flip the server into a
+// degraded state that sheds new work instead of silently losing it.
 package server
 
 import (
@@ -19,8 +25,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"path/filepath"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -62,6 +70,33 @@ type Config struct {
 	FinishedJobCap int
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// MaxAttempts bounds how many times one job may run — the first try
+	// included, and attempts interrupted by a crash count too, so a
+	// spec that reliably kills the process cannot crash-loop the daemon
+	// forever (default 3). A job that exhausts the budget is
+	// dead-lettered as failed, visible on the API, never re-enqueued.
+	MaxAttempts int
+	// RetryBase is the backoff before the first retry; it doubles per
+	// failed attempt up to RetryCap, and the actual delay is jittered
+	// to [d/2, d] so a burst of poisoned jobs does not retry in
+	// lockstep (defaults 200ms / 5s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// DisableJournal turns off the durable job journal even when
+	// DataDir is set (accepted jobs then die with the process).
+	DisableJournal bool
+	// JournalNoSync skips the per-record fsync: faster submits, but a
+	// crash may lose the most recent records (benchmarks only).
+	JournalNoSync bool
+	// AllowDegradedSubmits keeps accepting new submissions after the
+	// server has degraded (journal or result-store writes failing).
+	// Default false: a degraded server sheds new work with 503 while
+	// in-flight jobs finish.
+	AllowDegradedSubmits bool
+
+	// runFn is the test seam for the spec executor
+	// (default scenario.RunSpec).
+	runFn func(context.Context, scenario.Spec, scenario.RunOpts) (*scenario.Result, scenario.RunInfo, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +118,18 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 200 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 5 * time.Second
+	}
+	if c.runFn == nil {
+		c.runFn = scenario.RunSpec
+	}
 	return c
 }
 
@@ -102,54 +149,92 @@ type Stats struct {
 	WarmHits      int64 `json:"warm_hits"`
 	RejectedQuota int64 `json:"rejected_quota"`
 	RejectedQueue int64 `json:"rejected_queue"`
-	Queued        int   `json:"queued"`
-	Running       int   `json:"running"`
-	StoredResults int   `json:"stored_results"`
-	Draining      bool  `json:"draining"`
+	// Retries counts failed attempts that were re-queued with backoff
+	// rather than dead-lettered.
+	Retries int64 `json:"retries"`
+	// Recovered counts jobs re-enqueued from the journal at startup —
+	// work the previous incarnation accepted but never finished.
+	Recovered int64 `json:"recovered"`
+	// JournalDroppedTail counts damaged trailing journal lines the
+	// startup replay discarded (a crash mid-append leaves at most one).
+	JournalDroppedTail int64 `json:"journal_dropped_tail,omitempty"`
+	Queued             int   `json:"queued"`
+	Running            int   `json:"running"`
+	// Retrying counts jobs currently parked in backoff between
+	// attempts (neither queued nor running).
+	Retrying      int    `json:"retrying"`
+	StoredResults int    `json:"stored_results"`
+	Draining      bool   `json:"draining"`
+	Degraded      bool   `json:"degraded"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
 }
 
 // Server is the daemon: admission control, the job queue and worker
-// pool, the result store and the warm pool, plus the HTTP surface.
+// pool, the result store and the warm pool, the durability journal,
+// plus the HTTP surface.
 type Server struct {
 	cfg     Config
 	results *ResultStore    // nil when DataDir is empty
 	warm    *snapshot.Cache // nil when DataDir is empty
+	journal *journal        // nil when DataDir is empty or DisableJournal
 	quota   *quotas
 
-	mu       sync.Mutex
-	jobs     map[string]*Job // by job ID, all states
-	byHash   map[string]*Job // in-flight (queued/running) by spec hash
-	finished []string        // terminal job IDs, oldest first, for pruning
+	mu          sync.Mutex
+	jobs        map[string]*Job // by job ID, all states
+	byHash      map[string]*Job // in-flight (queued/running/retrying) by spec hash
+	finished    []string        // terminal job IDs, oldest first, for pruning
+	retryTimers map[string]*time.Timer
 
 	jobsCh    chan *Job
 	stopCh    chan struct{}
 	wg        sync.WaitGroup
+	retryWg   sync.WaitGroup
 	runCtx    context.Context
 	runCancel context.CancelFunc
 	draining  atomic.Bool
 	nextID    atomic.Int64
 	running   atomic.Int64
 
+	degraded      atomic.Bool
+	degradedMu    sync.Mutex
+	degradedCause string
+
 	submitted, cacheHits, dedupHits atomic.Int64
 	completed, failed, canceled     atomic.Int64
 	warmHits, rejQuota, rejQueue    atomic.Int64
+	retries, recovered, tailDrop    atomic.Int64
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, replays its journal (re-registering finished
+// jobs and re-enqueueing interrupted ones), and starts its worker pool.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		quota:  newQuotas(cfg.TenantQuota),
-		jobs:   make(map[string]*Job),
-		byHash: make(map[string]*Job),
-		jobsCh: make(chan *Job, cfg.QueueDepth),
-		stopCh: make(chan struct{}),
+		cfg:         cfg,
+		quota:       newQuotas(cfg.TenantQuota),
+		jobs:        make(map[string]*Job),
+		byHash:      make(map[string]*Job),
+		retryTimers: make(map[string]*time.Timer),
+		stopCh:      make(chan struct{}),
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	if cfg.DataDir != "" {
 		s.results = &ResultStore{Dir: filepath.Join(cfg.DataDir, "results"), Budget: cfg.ResultBudget}
 		s.warm = &snapshot.Cache{Dir: filepath.Join(cfg.DataDir, "warm"), Budget: cfg.WarmBudget}
+	}
+	var pending []*Job
+	if cfg.DataDir != "" && !cfg.DisableJournal {
+		var err error
+		pending, err = s.recover(filepath.Join(cfg.DataDir, journalFile))
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The channel outgrows QueueDepth by the recovered backlog so the
+	// replayed jobs always fit; admission enforces QueueDepth itself.
+	s.jobsCh = make(chan *Job, cfg.QueueDepth+len(pending))
+	for _, j := range pending {
+		s.jobsCh <- j
 	}
 	workers := cfg.Workers
 	if workers == WorkersNone {
@@ -159,7 +244,85 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// recover replays the journal at path into the job table: terminal jobs
+// come back addressable (done jobs with their verified result bytes
+// from the store), and jobs the previous incarnation accepted but never
+// finished come back queued with their consumed-attempt count intact.
+func (s *Server) recover(path string) ([]*Job, error) {
+	jl, rec, err := recoverJournal(path, s.results, s.cfg.FinishedJobCap, !s.cfg.JournalNoSync)
+	if err != nil {
+		return nil, err
+	}
+	s.journal = jl
+	s.nextID.Store(rec.maxID)
+	s.tailDrop.Store(int64(rec.dropped))
+	for _, rj := range rec.finished {
+		j := newJob(rj.id, rj.tenant, rj.specHash, rj.spec, s.cfg.MaxStreamLines)
+		j.setAttempts(rj.attempts)
+		switch rj.op {
+		case opDone:
+			b, _ := s.results.Get(rj.specHash) // verified during recovery
+			j.markDone(b, rj.resultHash, false)
+		case opFail:
+			j.markFailed(rj.detail)
+		case opCancel:
+			j.markCanceled(rj.detail)
+		}
+		j.Stream.Close()
+		s.jobs[j.ID] = j
+		s.finished = append(s.finished, j.ID)
+	}
+	var pending []*Job
+	for _, rj := range rec.pending {
+		if s.byHash[rj.specHash] != nil {
+			continue // only a tampered journal holds two in-flight twins
+		}
+		j := newJob(rj.id, rj.tenant, rj.specHash, rj.spec, s.cfg.MaxStreamLines)
+		j.setAttempts(rj.attempts)
+		s.jobs[j.ID] = j
+		s.byHash[rj.specHash] = j
+		s.quota.force(rj.tenant)
+		pending = append(pending, j)
+	}
+	s.recovered.Store(int64(len(pending)))
+	return pending, nil
+}
+
+// degrade flips the server into degraded health: the journal or a store
+// can no longer be written (ENOSPC, dead disk), so results and accepted
+// jobs can no longer be made durable. In-flight work keeps running, but
+// healthz reports 503 and (unless AllowDegradedSubmits) new submissions
+// are shed. The first cause wins; the state is sticky until restart —
+// by then an operator has freed the disk, and the journal replay puts
+// the world back together.
+func (s *Server) degrade(cause string) {
+	s.degradedMu.Lock()
+	if !s.degraded.Load() {
+		s.degradedCause = cause
+	}
+	s.degradedMu.Unlock()
+	s.degraded.Store(true)
+}
+
+// DegradedCause returns the degraded state and its first cause.
+func (s *Server) DegradedCause() (bool, string) {
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	return s.degraded.Load(), s.degradedCause
+}
+
+// journalAppend records a lifecycle transition, degrading the server on
+// write failure rather than blocking the job's progress.
+func (s *Server) journalAppend(rec journalRecord) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.append(rec); err != nil {
+		s.degrade(fmt.Sprintf("journal append: %v", err))
+	}
 }
 
 func (s *Server) worker() {
@@ -181,11 +344,11 @@ func (s *Server) worker() {
 	}
 }
 
-// finishJob applies a terminal transition and releases the job's
-// admission resources exactly once. Terminal jobs stay addressable for
-// replay until FinishedJobCap newer jobs have finished, then they are
-// forgotten so s.jobs (and the result/backlog bytes each Job pins)
-// cannot grow without bound.
+// finishJob applies a terminal transition, journals it, and releases
+// the job's admission resources exactly once. Terminal jobs stay
+// addressable for replay until FinishedJobCap newer jobs have finished,
+// then they are forgotten so s.jobs (and the result/backlog bytes each
+// Job pins) cannot grow without bound.
 func (s *Server) finishJob(j *Job, mark func()) {
 	mark()
 	j.Stream.Close()
@@ -203,28 +366,51 @@ func (s *Server) finishJob(j *Job, mark func()) {
 	switch j.Status() {
 	case StatusDone:
 		s.completed.Add(1)
+		_, rhash := j.Result()
+		s.journalAppend(journalRecord{Op: opDone, Job: j.ID, ResultHash: rhash})
 	case StatusFailed:
 		s.failed.Add(1)
+		v := j.View(false)
+		s.journalAppend(journalRecord{Op: opFail, Job: j.ID, Attempt: v.Attempts, Detail: v.Error})
 	case StatusCanceled:
 		s.canceled.Add(1)
+		s.journalAppend(journalRecord{Op: opCancel, Job: j.ID, Detail: j.View(false).Error})
 	}
 }
 
-func (s *Server) runJob(j *Job) {
+// execute runs one attempt of the job's spec under a recover() barrier:
+// a panic anywhere in the simulator surfaces as an ordinary error (with
+// the stack preserved on the job's telemetry stream for post-mortems)
+// instead of taking down the daemon and every other job with it.
+func (s *Server) execute(j *Job) (res *scenario.Result, rinfo scenario.RunInfo, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack, _ := json.Marshal(string(debug.Stack()))
+			j.Stream.Write([]byte(fmt.Sprintf(
+				`{"schema":"digs-server/v1","event":"worker_panic","detail":%q,"stack":%s}`+"\n", fmt.Sprint(r), stack)))
+			res, rinfo, err = nil, scenario.RunInfo{}, fmt.Errorf("worker panic: %v", r)
+		}
+	}()
 	j.markRunning()
-	s.running.Add(1)
-	defer s.running.Add(-1)
 	var tracer telemetry.Tracer = telemetry.NewJSONL(j.Stream)
-	res, rinfo, err := scenario.RunSpec(s.runCtx, j.Spec, scenario.RunOpts{
+	return s.cfg.runFn(s.runCtx, j.Spec, scenario.RunOpts{
 		Tracer: tracer,
 		Warm:   s.warm,
 	})
+}
+
+func (s *Server) runJob(j *Job) {
+	attempt := j.beginAttempt()
+	s.journalAppend(journalRecord{Op: opStart, Job: j.ID, Attempt: attempt})
+	s.running.Add(1)
+	res, rinfo, err := s.execute(j)
+	s.running.Add(-1)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || s.runCtx.Err() != nil {
 			s.finishJob(j, func() { j.markCanceled("canceled by shutdown deadline") })
-		} else {
-			s.finishJob(j, func() { j.markFailed(err.Error()) })
+			return
 		}
+		s.retryOrFail(j, attempt, err.Error())
 		return
 	}
 	if rinfo.WarmHit {
@@ -232,23 +418,99 @@ func (s *Server) runJob(j *Job) {
 	}
 	enc, err := res.Encode()
 	if err != nil {
-		s.finishJob(j, func() { j.markFailed(fmt.Sprintf("encoding result: %v", err)) })
+		s.retryOrFail(j, attempt, fmt.Sprintf("encoding result: %v", err))
 		return
 	}
 	rhash, err := res.HashResult()
 	if err != nil {
-		s.finishJob(j, func() { j.markFailed(fmt.Sprintf("hashing result: %v", err)) })
+		s.retryOrFail(j, attempt, fmt.Sprintf("hashing result: %v", err))
 		return
 	}
 	if s.results != nil {
 		if err := s.results.Put(j.SpecHash, enc); err != nil {
-			// The run itself succeeded; a store failure only costs
-			// future cache hits.
+			// The run itself succeeded and its bytes are in memory, so
+			// the job still finishes — but the store is no longer
+			// accepting writes, which is a durability failure, not a
+			// cache miss: degrade so the health surface says so.
+			s.degrade(fmt.Sprintf("result store put: %v", err))
 			j.Stream.Write([]byte(fmt.Sprintf(
 				`{"schema":"digs-server/v1","event":"store_error","detail":%q}`+"\n", err.Error())))
 		}
 	}
 	s.finishJob(j, func() { j.markDone(enc, rhash, rinfo.WarmHit) })
+}
+
+// retryOrFail routes a failed attempt: back into the queue after a
+// jittered exponential backoff while budget remains, else into the
+// terminal failed (dead-letter) state. Either way the pool survives — a
+// poisoned spec costs its own attempts, never the daemon.
+func (s *Server) retryOrFail(j *Job, attempt int, msg string) {
+	if attempt >= s.cfg.MaxAttempts {
+		s.finishJob(j, func() { j.markFailed(msg) })
+		return
+	}
+	s.retries.Add(1)
+	j.markRetrying(msg)
+	s.journalAppend(journalRecord{Op: opRetry, Job: j.ID, Attempt: attempt, Detail: msg})
+	s.scheduleRetry(j, retryDelay(s.cfg.RetryBase, s.cfg.RetryCap, attempt))
+}
+
+// retryDelay is the backoff before the retry that follows failed
+// attempt n (1-based): base doubled per prior failure, capped, then
+// jittered to [d/2, d].
+func retryDelay(base, cap time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// scheduleRetry parks the job on a timer that re-enqueues it. The timer
+// is tracked so Shutdown can cancel parked jobs promptly instead of
+// waiting out their backoff.
+func (s *Server) scheduleRetry(j *Job, d time.Duration) {
+	s.retryWg.Add(1)
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		s.retryWg.Done()
+		s.finishJob(j, func() { j.markCanceled("server shutting down") })
+		return
+	}
+	s.retryTimers[j.ID] = time.AfterFunc(d, func() {
+		defer s.retryWg.Done()
+		s.requeue(j)
+	})
+	s.mu.Unlock()
+}
+
+// requeue moves a parked job back into the queue when its backoff
+// elapses — unless the server is draining (cancel) or admissions have
+// filled the queue in the meantime (park again briefly).
+func (s *Server) requeue(j *Job) {
+	s.mu.Lock()
+	delete(s.retryTimers, j.ID)
+	if s.draining.Load() {
+		s.mu.Unlock()
+		s.finishJob(j, func() { j.markCanceled("server shutting down") })
+		return
+	}
+	select {
+	case s.jobsCh <- j:
+		j.markQueued()
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.scheduleRetry(j, s.cfg.RetryBase)
+	}
 }
 
 // Shutdown drains the server: no new submissions, in-flight jobs run to
@@ -281,6 +543,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.runCancel()
 
+	// With the workers gone, no new retry can be scheduled (a late
+	// scheduleRetry/requeue observes the draining flag and cancels
+	// inline). Cancel the jobs still parked in backoff: a timer we stop
+	// never fires, so its job is canceled here; one that already fired
+	// either saw the flag or landed in jobsCh for the drain loop below.
+	// retryWg settles the in-between.
+	s.mu.Lock()
+	timers := s.retryTimers
+	s.retryTimers = make(map[string]*time.Timer)
+	var parked []*Job
+	for id, t := range timers {
+		if t.Stop() {
+			parked = append(parked, s.jobs[id])
+			s.retryWg.Done()
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range parked {
+		if j != nil {
+			s.finishJob(j, func() { j.markCanceled("server shutting down") })
+		}
+	}
+	s.retryWg.Wait()
+
 	// Cancel whatever the workers never picked up (including everything,
 	// when the pool is empty).
 	for {
@@ -288,6 +574,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case j := <-s.jobsCh:
 			s.finishJob(j, func() { j.markCanceled("server shutting down") })
 		default:
+			if s.journal != nil {
+				s.journal.close()
+			}
 			return err
 		}
 	}
@@ -305,6 +594,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.draining.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if degraded, cause := s.DegradedCause(); degraded {
+			http.Error(w, "degraded: "+cause, http.StatusServiceUnavailable)
 			return
 		}
 		w.Write([]byte("ok\n"))
@@ -358,6 +651,16 @@ type submitCached struct {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, apiError{"server is draining"})
+		return
+	}
+	if degraded, cause := s.DegradedCause(); degraded && !s.cfg.AllowDegradedSubmits {
+		// Accepting work whose acceptance cannot be made durable would
+		// silently break the crash-safety contract, so a degraded
+		// server sheds new submissions up front (reads and in-flight
+		// jobs are unaffected; healthz tells the balancer to stop
+		// routing here).
+		s.retryAfter(w)
+		writeJSON(w, http.StatusServiceUnavailable, apiError{"server is degraded: " + cause})
 		return
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -422,17 +725,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			apiError{fmt.Sprintf("tenant %q is at its quota of %d in-flight jobs", ten, s.cfg.TenantQuota)})
 		return
 	}
-	id := fmt.Sprintf("j-%06d", s.nextID.Add(1))
-	j := newJob(id, ten, hash, spec, s.cfg.MaxStreamLines)
-	s.jobs[id] = j
-	s.byHash[hash] = j
-	select {
-	case s.jobsCh <- j:
-		s.mu.Unlock()
-	default:
-		// Queue full: back out the registration and push back.
-		delete(s.jobs, id)
-		delete(s.byHash, hash)
+	// Admission enforces QueueDepth itself (the channel can be larger
+	// after a recovery); every sender holds s.mu, so the length check
+	// and the send below are one atomic step and the send cannot block.
+	if len(s.jobsCh) >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		s.quota.release(ten)
 		s.rejQueue.Add(1)
@@ -441,6 +737,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			apiError{fmt.Sprintf("queue full (%d jobs)", s.cfg.QueueDepth)})
 		return
 	}
+	id := fmt.Sprintf("j-%06d", s.nextID.Add(1))
+	j := newJob(id, ten, hash, spec, s.cfg.MaxStreamLines)
+	// Durability before acknowledgement: the submit record (with the
+	// full spec) is fsync'd before the 202 leaves, so every job a
+	// client believes accepted survives SIGKILL and is recovered on
+	// restart. A journal that cannot take the record refuses the job
+	// and degrades the server.
+	if s.journal != nil {
+		if err := s.journal.append(journalRecord{
+			Op: opSubmit, Job: id, Tenant: ten, SpecHash: hash, Spec: &spec,
+		}); err != nil {
+			s.mu.Unlock()
+			s.quota.release(ten)
+			s.degrade(fmt.Sprintf("journal append: %v", err))
+			s.retryAfter(w)
+			writeJSON(w, http.StatusServiceUnavailable,
+				apiError{fmt.Sprintf("cannot durably accept jobs: %v", err)})
+			return
+		}
+	}
+	s.jobs[id] = j
+	s.byHash[hash] = j
+	s.jobsCh <- j
+	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, submitAccepted{JobID: id, SpecHash: hash, Status: StatusQueued})
 }
 
@@ -572,19 +892,29 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	degraded, cause := s.DegradedCause()
+	s.mu.Lock()
+	retrying := len(s.retryTimers)
+	s.mu.Unlock()
 	st := Stats{
-		Submitted:     s.submitted.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		DedupHits:     s.dedupHits.Load(),
-		Completed:     s.completed.Load(),
-		Failed:        s.failed.Load(),
-		Canceled:      s.canceled.Load(),
-		WarmHits:      s.warmHits.Load(),
-		RejectedQuota: s.rejQuota.Load(),
-		RejectedQueue: s.rejQueue.Load(),
-		Queued:        len(s.jobsCh),
-		Running:       int(s.running.Load()),
-		Draining:      s.draining.Load(),
+		Submitted:          s.submitted.Load(),
+		CacheHits:          s.cacheHits.Load(),
+		DedupHits:          s.dedupHits.Load(),
+		Completed:          s.completed.Load(),
+		Failed:             s.failed.Load(),
+		Canceled:           s.canceled.Load(),
+		WarmHits:           s.warmHits.Load(),
+		RejectedQuota:      s.rejQuota.Load(),
+		RejectedQueue:      s.rejQueue.Load(),
+		Retries:            s.retries.Load(),
+		Recovered:          s.recovered.Load(),
+		JournalDroppedTail: s.tailDrop.Load(),
+		Queued:             len(s.jobsCh),
+		Running:            int(s.running.Load()),
+		Retrying:           retrying,
+		Draining:           s.draining.Load(),
+		Degraded:           degraded,
+		DegradedCause:      cause,
 	}
 	if s.results != nil {
 		st.StoredResults = s.results.Len()

@@ -19,11 +19,15 @@ import (
 // tmpSuffix marks in-progress writes; eviction and listings skip them.
 const tmpSuffix = ".tmp"
 
-// WriteFileAtomic writes data to path atomically: the bytes land in a
-// uniquely named temp file in the destination directory (created if
-// missing) and are renamed over the final path. Two writers racing on the
-// same path cannot interleave; the loser's complete file simply replaces
-// the winner's complete file.
+// WriteFileAtomic writes data to path atomically and durably: the bytes
+// land in a uniquely named temp file in the destination directory
+// (created if missing), are fsync'd, and are renamed over the final
+// path, after which the parent directory is fsync'd so the rename
+// itself survives power loss. Two writers racing on the same path
+// cannot interleave; the loser's complete file simply replaces the
+// winner's complete file. Without the two syncs a "written" file could
+// reappear after a crash as empty or with a stale name — fatal for
+// content-addressed stores, whose names promise what the bytes hash to.
 func WriteFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -35,6 +39,11 @@ func WriteFileAtomic(path string, data []byte) error {
 	}
 	tmp := f.Name()
 	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -51,7 +60,23 @@ func WriteFileAtomic(path string, data []byte) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making a just-created or just-renamed
+// entry durable. On filesystems where directories cannot be fsync'd the
+// error is reported to the caller, who decides whether durability is a
+// hard requirement.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Touch refreshes the file's modification time to now, marking it
