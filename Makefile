@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden snap-smoke scale-smoke server-smoke recover-smoke bench-scale bench-gate bench-server baseline bench-warmstart clean
+.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden snap-smoke scale-smoke server-smoke recover-smoke gateway-smoke bench-scale bench-gate bench-server baseline bench-warmstart clean
 
 ## ci: everything the driver checks — vet, build, race-enabled tests, a
 ## short fuzz pass over the wire codecs, a one-shot large-scale benchmark
 ## smoke run, the telemetry pipeline smoke test, the snapshot round-trip
 ## smoke test, a short 10k-node run on the sparse sharded engine, the
-## simulation-service end-to-end smoke, and the crash-recovery smoke.
-ci: vet build race fuzz bench-smoke trace-smoke snap-smoke scale-smoke server-smoke recover-smoke
+## simulation-service end-to-end smoke, the crash-recovery smoke, and the
+## gateway fault-tolerance smoke.
+ci: vet build race fuzz bench-smoke trace-smoke snap-smoke scale-smoke server-smoke recover-smoke gateway-smoke
 
 vet:
 	$(GO) vet ./...
@@ -107,6 +108,25 @@ recover-smoke:
 	$(GO) build -o $(RECOVER_DIR)/digs-server ./cmd/digs-server
 	$(GO) run ./cmd/digs-load -crash -server-bin $(RECOVER_DIR)/digs-server
 	@echo recover-smoke: OK
+
+## gateway-smoke: the fault-tolerant front tier end to end —
+## race-enabled gateway and fault-proxy tests (routing, breakers,
+## replication, read-repair, SSE failover reattach), the in-process
+## partition harness (blackhole one backend mid-burst, demand eviction
+## within the probe budget and zero surfaced errors), and the real
+## 1-gateway/3-backend harness that SIGKILLs the busiest backend
+## mid-burst and fails unless every acknowledged job reaches done with
+## verified result bytes.
+GATEWAY_DIR := $(if $(TMPDIR),$(TMPDIR),/tmp)/digs-gateway-smoke
+gateway-smoke:
+	$(GO) test -race ./internal/gateway/...
+	$(GO) run ./cmd/digs-load -gateway -partition
+	rm -rf $(GATEWAY_DIR) && mkdir -p $(GATEWAY_DIR)
+	$(GO) build -o $(GATEWAY_DIR)/digs-server ./cmd/digs-server
+	$(GO) build -o $(GATEWAY_DIR)/digs-gateway ./cmd/digs-gateway
+	$(GO) run ./cmd/digs-load -gateway -crash \
+		-server-bin $(GATEWAY_DIR)/digs-server -gateway-bin $(GATEWAY_DIR)/digs-gateway
+	@echo gateway-smoke: OK
 
 ## bench-server: regenerate BENCH_server.json — the simulation service
 ## under a mixed cold / warm-start / duplicate workload: sustained req/s,

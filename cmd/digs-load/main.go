@@ -72,17 +72,23 @@ func main() {
 }
 
 type options struct {
-	url       string
-	n         int
-	conc      int
-	workers   int
-	out       string
-	gate      string
-	tol       float64
-	smoke     bool
-	crash     bool
-	serverBin string
-	crashJobs int
+	url        string
+	n          int
+	conc       int
+	workers    int
+	out        string
+	gate       string
+	tol        float64
+	smoke      bool
+	crash      bool
+	serverBin  string
+	crashJobs  int
+	reqTimeout time.Duration
+	gateway    bool
+	backends   int
+	replicas   int
+	partition  bool
+	gatewayBin string
 }
 
 func run() error {
@@ -101,22 +107,48 @@ func run() error {
 	flag.StringVar(&opts.serverBin, "server-bin", "",
 		"digs-server binary for -crash (empty = go build one into a temp dir)")
 	flag.IntVar(&opts.crashJobs, "crash-jobs", 12, "burst size for -crash")
+	flag.DurationVar(&opts.reqTimeout, "req-timeout", 30*time.Second,
+		"per-request timeout for submit/status/stats calls (SSE streams are exempt)")
+	flag.BoolVar(&opts.gateway, "gateway", false,
+		"drive a digs-gateway tier over -backends digs-servers instead of one server")
+	flag.IntVar(&opts.backends, "backends", 3, "backend count behind the gateway (-gateway modes)")
+	flag.IntVar(&opts.replicas, "replicas", 2, "gateway replica placement factor (-gateway modes)")
+	flag.BoolVar(&opts.partition, "partition", false,
+		"with -gateway: partition one backend mid-burst via the fault proxy and assert clean failover")
+	flag.StringVar(&opts.gatewayBin, "gateway-bin", "",
+		"digs-gateway binary for -gateway -crash (empty = go build one into a temp dir)")
 	flag.Parse()
 
 	if opts.crash {
+		if opts.gateway {
+			return gatewayCrashHarness(opts)
+		}
 		return crashHarness(opts)
+	}
+	if opts.partition {
+		if !opts.gateway {
+			return fmt.Errorf("-partition requires -gateway")
+		}
+		return partitionHarness(opts)
 	}
 
 	base := opts.url
 	if base == "" {
-		stop, url, err := selfHost(opts.workers)
+		var stop func()
+		var url string
+		var err error
+		if opts.gateway {
+			stop, url, err = selfHostGateway(opts)
+		} else {
+			stop, url, err = selfHost(opts.workers)
+		}
 		if err != nil {
 			return err
 		}
 		defer stop()
 		base = url
 	}
-	cl := &client{base: base}
+	cl := newClient(base, opts.reqTimeout)
 
 	if opts.smoke {
 		return smoke(cl, opts.url == "")
@@ -175,13 +207,35 @@ func mustTempDir() string {
 }
 
 // client is a thin JSON/SSE client for the digs-server API.
+//
+// Two HTTP clients, on purpose: api carries a per-request timeout so a
+// hung or partitioned backend can never stall a submit/status/stats
+// call forever, while stream has no timeout — an SSE stream is supposed
+// to stay open for the life of the job — and is bounded instead by a
+// cancellable context (streamBudget end to end).
 type client struct {
-	base string
-	hc   http.Client
+	base   string
+	api    http.Client
+	stream http.Client
+	// streamBudget bounds one SSE follow end to end (default 5m).
+	streamBudget time.Duration
 	// retried429 counts submissions that were pushed back with 429 and
 	// retried after the server's Retry-After hint — backpressure the
 	// server designed in, not failures.
 	retried429 atomic.Int64
+}
+
+// newClient builds a client whose non-streaming calls time out after
+// reqTimeout (0 = 30s).
+func newClient(base string, reqTimeout time.Duration) *client {
+	if reqTimeout <= 0 {
+		reqTimeout = 30 * time.Second
+	}
+	return &client{
+		base:         base,
+		api:          http.Client{Timeout: reqTimeout},
+		streamBudget: 5 * time.Minute,
+	}
 }
 
 type submitResp struct {
@@ -208,7 +262,7 @@ func (c *client) submit(spec scenario.Spec) (*submitResp, error) {
 		return nil, err
 	}
 	for attempt := 0; ; attempt++ {
-		resp, err := c.hc.Post(c.base+"/v1/scenarios", "application/json", bytes.NewReader(body))
+		resp, err := c.api.Post(c.base+"/v1/scenarios", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
@@ -245,8 +299,21 @@ func retryAfterDelay(hint string) time.Duration {
 
 // followStream consumes the job's SSE stream until the terminal "done"
 // event and returns the final job view plus the telemetry line count.
+// The stream client carries no timeout (a live stream is not slow), but
+// the whole follow runs under a cancellable deadline so a backend that
+// hangs mid-stream cannot stall the bench forever.
 func (c *client) followStream(jobID string) (*server.View, int, error) {
-	resp, err := c.hc.Get(c.base + "/v1/jobs/" + jobID + "/stream")
+	budget := c.streamBudget
+	if budget <= 0 {
+		budget = 5 * time.Minute
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+jobID+"/stream", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.stream.Do(req)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -307,7 +374,7 @@ func (c *client) submitAndWait(spec scenario.Spec) (lat time.Duration, cached bo
 }
 
 func (c *client) stats() (*server.Stats, error) {
-	resp, err := c.hc.Get(c.base + "/v1/stats")
+	resp, err := c.api.Get(c.base + "/v1/stats")
 	if err != nil {
 		return nil, err
 	}
@@ -471,6 +538,17 @@ func bench(cl *client, opts options) (*Report, error) {
 
 	// The warm pool must actually be doing its job, or the report is
 	// advertising a feature that silently broke.
+	if opts.gateway {
+		// Behind the gateway, warm and cold specs hash differently and can
+		// land on disjoint replica sets, so warm starts are opportunistic
+		// there. The dup class still routes to its cold twin's replicas by
+		// construction — the cache-hit contract survives the tier.
+		if rep.CacheHits < int64(opts.n) {
+			return nil, fmt.Errorf("only %d/%d dup-class requests hit the result cache through the gateway",
+				rep.CacheHits, opts.n)
+		}
+		return rep, nil
+	}
 	if rep.WarmHits < int64(opts.n) {
 		return nil, fmt.Errorf("only %d/%d warm-class requests warm-started", rep.WarmHits, opts.n)
 	}
@@ -580,7 +658,7 @@ func smoke(cl *client, selfHosted bool) error {
 	fmt.Printf("streamed %d telemetry lines; result %s verified\n", lines, view.ResultHash)
 
 	// The content-addressed store must serve the same bytes.
-	sr, err := cl.hc.Get(cl.base + "/v1/results/" + resp.SpecHash)
+	sr, err := cl.api.Get(cl.base + "/v1/results/" + resp.SpecHash)
 	if err != nil {
 		return err
 	}
@@ -640,15 +718,24 @@ func (p *serverProc) kill() {
 }
 
 // startServer launches the digs-server binary on a kernel-assigned port
-// and waits for its "listening on" log line to learn the address.
-func startServer(bin, dataDir string, workers int) (*serverProc, error) {
-	cmd := exec.Command(bin,
+// and waits for its "listening on" log line to learn the address. Extra
+// args (e.g. -name) are appended to the baseline flag set.
+func startServer(bin, dataDir string, workers int, extra ...string) (*serverProc, error) {
+	args := append([]string{
 		"-addr", "127.0.0.1:0",
 		"-data", dataDir,
 		"-workers", strconv.Itoa(workers),
 		"-quota", "0",
 		"-drain", "30s",
-	)
+	}, extra...)
+	return spawnListener(bin, "server", args)
+}
+
+// spawnListener launches a child process that reports its
+// kernel-assigned address with a "listening on <addr>" stderr log line
+// and waits for that line.
+func spawnListener(bin, label string, args []string) (*serverProc, error) {
+	cmd := exec.Command(bin, args...)
 	cmd.Stdout = os.Stdout
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -662,7 +749,7 @@ func startServer(bin, dataDir string, workers int) (*serverProc, error) {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
-			fmt.Fprintln(os.Stderr, "  [server]", line)
+			fmt.Fprintln(os.Stderr, "  ["+label+"]", line)
 			if i := strings.Index(line, "listening on "); i >= 0 {
 				if f := strings.Fields(line[i+len("listening on "):]); len(f) > 0 {
 					select {
@@ -679,12 +766,33 @@ func startServer(bin, dataDir string, workers int) (*serverProc, error) {
 	case <-time.After(15 * time.Second):
 		cmd.Process.Kill()
 		cmd.Wait()
-		return nil, fmt.Errorf("server never reported a listen address")
+		return nil, fmt.Errorf("%s never reported a listen address", label)
 	}
 }
 
+// buildBinary compiles pkg into a temp dir, unless bin already names a
+// prebuilt binary (then it is returned as-is with a no-op cleanup).
+func buildBinary(bin, pkg, name string) (string, func(), error) {
+	if bin != "" {
+		return bin, func() {}, nil
+	}
+	dir, err := os.MkdirTemp("", "digs-bin-")
+	if err != nil {
+		return "", nil, err
+	}
+	out := filepath.Join(dir, name)
+	fmt.Fprintf(os.Stderr, "building %s for the harness\n", name)
+	cmd := exec.Command("go", "build", "-o", out, pkg)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, fmt.Errorf("building %s: %w", name, err)
+	}
+	return out, func() { os.RemoveAll(dir) }, nil
+}
+
 func (c *client) getBytes(path string) ([]byte, int, error) {
-	resp, err := c.hc.Get(c.base + path)
+	resp, err := c.api.Get(c.base + path)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -742,27 +850,17 @@ func crashHarness(opts options) error {
 	}
 	defer os.RemoveAll(dataDir)
 
-	bin := opts.serverBin
-	if bin == "" {
-		binDir, err := os.MkdirTemp("", "digs-crash-bin-")
-		if err != nil {
-			return err
-		}
-		defer os.RemoveAll(binDir)
-		bin = filepath.Join(binDir, "digs-server")
-		fmt.Fprintln(os.Stderr, "building digs-server for the crash harness")
-		build := exec.Command("go", "build", "-o", bin, "./cmd/digs-server")
-		build.Stdout, build.Stderr = os.Stdout, os.Stderr
-		if err := build.Run(); err != nil {
-			return fmt.Errorf("building digs-server: %w", err)
-		}
+	bin, cleanup, err := buildBinary(opts.serverBin, "./cmd/digs-server", "digs-server")
+	if err != nil {
+		return err
 	}
+	defer cleanup()
 
 	sp, err := startServer(bin, dataDir, 1)
 	if err != nil {
 		return err
 	}
-	cl := &client{base: sp.base}
+	cl := newClient(sp.base, opts.reqTimeout)
 
 	type acked struct{ jobID, specHash string }
 	var (
@@ -818,7 +916,7 @@ func crashHarness(opts options) error {
 			sp2.kill()
 		}
 	}()
-	cl2 := &client{base: sp2.base}
+	cl2 := newClient(sp2.base, opts.reqTimeout)
 
 	deadline := time.Now().Add(2 * time.Minute)
 	for _, a := range accepted {

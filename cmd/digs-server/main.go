@@ -64,6 +64,8 @@ func run() error {
 		"skip the per-record journal fsync (faster submits, crash durability best-effort)")
 	degradedAccept := flag.Bool("degraded-accept", false,
 		"keep accepting submissions after journal/store writes start failing (default: shed with 503)")
+	name := flag.String("name", "",
+		"backend instance name echoed as X-DiGS-Backend (multi-node tiers; empty = no header)")
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
@@ -81,6 +83,7 @@ func run() error {
 		DisableJournal:       *noJournal,
 		JournalNoSync:        *noJournalSync,
 		AllowDegradedSubmits: *degradedAccept,
+		Name:                 *name,
 	})
 	if err != nil {
 		return fmt.Errorf("recovering server state: %w", err)

@@ -1,0 +1,116 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is the breaker's test seam: cooldowns elapse only when the
+// test says so.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(cfg breakerConfig) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	cfg.now = clk.now
+	return newBreaker(cfg), clk
+}
+
+func TestBreakerConsecutiveTripAndRecovery(t *testing.T) {
+	b, clk := newTestBreaker(breakerConfig{consecFailures: 3, openFor: time.Second})
+
+	b.failure()
+	b.failure()
+	if st, _ := b.snapshot(); st != stateClosed {
+		t.Fatalf("breaker %v after 2 failures, want closed", st)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+	b.failure()
+	if st, opens := b.snapshot(); st != stateOpen || opens != 1 {
+		t.Fatalf("breaker %v opens=%d after 3 consecutive failures, want open opens=1", st, opens)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before the cooldown")
+	}
+
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but the half-open trial was refused")
+	}
+	if st, _ := b.snapshot(); st != stateHalfOpen {
+		t.Fatal("breaker not half-open after the cooldown trial was granted")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	b.success()
+	if st, _ := b.snapshot(); st != stateClosed {
+		t.Fatalf("breaker %v after trial success, want closed", st)
+	}
+	if !b.allow() {
+		t.Fatal("re-closed breaker refused a request")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(breakerConfig{consecFailures: 2, openFor: time.Second})
+	b.failure()
+	b.failure()
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but the trial was refused")
+	}
+	b.failure()
+	if st, opens := b.snapshot(); st != stateOpen || opens != 2 {
+		t.Fatalf("breaker %v opens=%d after a failed trial, want open opens=2", st, opens)
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request before its fresh cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("second cooldown elapsed but the trial was refused")
+	}
+	b.success()
+	if st, _ := b.snapshot(); st != stateClosed {
+		t.Fatalf("breaker %v after second trial success, want closed", st)
+	}
+}
+
+// TestBreakerRateTrip: a backend failing every other request never
+// builds a consecutive run, but the windowed failure rate catches it.
+func TestBreakerRateTrip(t *testing.T) {
+	b, _ := newTestBreaker(breakerConfig{consecFailures: 100, window: 8, rate: 0.5, openFor: time.Second})
+	for i := 0; i < 8; i++ {
+		b.success()
+		b.failure()
+		if st, _ := b.snapshot(); st == stateOpen {
+			return
+		}
+	}
+	st, _ := b.snapshot()
+	t.Fatalf("alternating failures never rate-tripped the breaker (state %v)", st)
+}
+
+// TestBreakerTrialSuccessResetsWindow: the window is wiped on recovery,
+// so pre-outage failures cannot count against the recovered backend.
+func TestBreakerTrialSuccessResetsWindow(t *testing.T) {
+	b, clk := newTestBreaker(breakerConfig{consecFailures: 2, window: 8, rate: 0.5, openFor: time.Second})
+	b.failure()
+	b.failure() // trip
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("trial refused")
+	}
+	b.success() // close with a clean slate
+	// One failure among fresh successes must not trip on stale history.
+	b.success()
+	b.failure()
+	if st, _ := b.snapshot(); st != stateClosed {
+		t.Fatalf("breaker %v: stale pre-recovery outcomes counted against the window", st)
+	}
+}

@@ -1,0 +1,318 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/digs-net/digs/internal/gateway/faultproxy"
+	"github.com/digs-net/digs/internal/scenario"
+	"github.com/digs-net/digs/internal/server"
+)
+
+// faultedTier is a gateway over real backends, each behind its own
+// fault proxy.
+type faultedTier struct {
+	g     *Gateway
+	ts    *httptest.Server
+	fleet *faultproxy.Fleet
+}
+
+// proxyFor maps a gateway backend key (a proxy URL) to its proxy.
+func (ft *faultedTier) proxyFor(t *testing.T, key string) *faultproxy.Proxy {
+	t.Helper()
+	for _, p := range ft.fleet.Proxies {
+		if p.URL() == key {
+			return p
+		}
+	}
+	t.Fatalf("no fault proxy for backend %s", key)
+	return nil
+}
+
+// newFaultedTier stands up n backends behind fault proxies and a
+// gateway tuned for fast fault detection.
+func newFaultedTier(t *testing.T, n int) *faultedTier {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ts := newBackendTS(t, fmt.Sprintf("b%d", i))
+		addrs[i] = strings.TrimPrefix(ts.URL, "http://")
+	}
+	fleet, err := faultproxy.NewFleet(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	g, ts := newTestGateway(t, Config{
+		Backends:        fleet.URLs(),
+		Replicas:        2,
+		ProbeInterval:   100 * time.Millisecond,
+		ProbeTimeout:    500 * time.Millisecond,
+		BreakerFailures: 2,
+		BreakerOpenFor:  500 * time.Millisecond,
+		RequestTimeout:  2 * time.Second,
+	})
+	return &faultedTier{g: g, ts: ts, fleet: fleet}
+}
+
+// TestFailoverMatrix partitions each replica rank mid-burst and demands
+// the same outcome every time: zero submission errors, every
+// acknowledged job done, every result intact.
+func TestFailoverMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		victimRank int
+	}{
+		{"partition-primary", 0},
+		{"partition-secondary", 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ft := newFaultedTier(t, 3)
+			const jobs = 6
+			seedBase := int64(20000 + 1000*tc.victimRank)
+
+			type acked struct{ jobID, hash string }
+			var (
+				mu   sync.Mutex
+				acc  []acked
+				errs []string
+			)
+			halfway := make(chan struct{})
+			var once sync.Once
+			var wg sync.WaitGroup
+			for i := 0; i < jobs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					spec := testSpec(seedBase + int64(i))
+					body, _ := json.Marshal(spec)
+					resp, err := http.Post(ft.ts.URL+"/v1/scenarios", "application/json", bytes.NewReader(body))
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						errs = append(errs, err.Error())
+						return
+					}
+					var doc struct {
+						JobID    string `json:"job_id"`
+						SpecHash string `json:"spec_hash"`
+						Error    string `json:"error"`
+					}
+					derr := json.NewDecoder(resp.Body).Decode(&doc)
+					resp.Body.Close()
+					if derr != nil || resp.StatusCode != http.StatusAccepted {
+						errs = append(errs, fmt.Sprintf("seed %d: HTTP %d %s (%v)", seedBase+int64(i), resp.StatusCode, doc.Error, derr))
+						return
+					}
+					acc = append(acc, acked{doc.JobID, doc.SpecHash})
+					if len(acc) == jobs/2 {
+						once.Do(func() { close(halfway) })
+					}
+				}(i)
+			}
+			select {
+			case <-halfway:
+			case <-time.After(30 * time.Second):
+				t.Fatal("burst never reached half acknowledged")
+			}
+
+			// Partition the chosen replica rank of the first acked job.
+			mu.Lock()
+			firstHash := acc[0].hash
+			mu.Unlock()
+			replicas, _ := ft.g.replicaSet(firstHash)
+			victim := replicas[tc.victimRank]
+			ft.proxyFor(t, victim.key).Partition()
+
+			// The probe must evict the victim within interval + timeout
+			// (wide slack here: the suite runs many sims concurrently, and
+			// the tight-budget assertion lives in digs-load -partition).
+			evictDeadline := time.Now().Add(10 * time.Second)
+			for victim.ready.Load() {
+				if st, _ := victim.br.snapshot(); st == stateOpen {
+					break
+				}
+				if time.Now().After(evictDeadline) {
+					st, opens := victim.br.snapshot()
+					t.Fatalf("partitioned backend %s never evicted (ready=%v breaker=%v opens=%d probeErr=%q)",
+						victim.key, victim.ready.Load(), st, opens, victim.probeErr.Load())
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+
+			wg.Wait()
+			if len(errs) > 0 {
+				t.Fatalf("%d submissions surfaced errors through the gateway:\n  %s",
+					len(errs), strings.Join(errs, "\n  "))
+			}
+
+			for _, a := range acc {
+				view := waitJobDone(t, ft.ts.URL, a.jobID)
+				if view.Status != server.StatusDone {
+					t.Fatalf("job %s ended %s: %s", a.jobID, view.Status, view.Error)
+				}
+				resp, err := http.Get(ft.ts.URL + "/v1/results/" + a.hash)
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("job %s: result read HTTP %d", a.jobID, resp.StatusCode)
+				}
+				sum := sha256.Sum256(bytes.TrimSpace(body))
+				if got := hex.EncodeToString(sum[:]); got != view.ResultHash {
+					t.Fatalf("job %s: result hashes to %s, view reports %s", a.jobID, got, view.ResultHash)
+				}
+			}
+		})
+	}
+}
+
+// sseCapture is one followed SSE stream: the telemetry lines received,
+// dropped-gap totals, and the terminal view.
+type sseCapture struct {
+	lines       []string
+	dropped     int
+	failovers   int
+	done        *server.View
+	streamError string
+}
+
+// followSSE consumes a gateway job stream to its terminal event.
+func followSSE(t *testing.T, gwURL, jobID string, onLine func(n int)) *sseCapture {
+	t.Helper()
+	resp, err := http.Get(gwURL + "/v1/jobs/" + jobID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: HTTP %d", resp.StatusCode)
+	}
+	cap := &sseCapture{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	event := "message"
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "done":
+				var v server.View
+				if err := json.Unmarshal([]byte(data), &v); err != nil {
+					t.Fatalf("done event: %v", err)
+				}
+				cap.done = &v
+				return cap
+			case "dropped":
+				n, err := strconv.Atoi(strings.TrimSpace(data))
+				if err != nil {
+					t.Fatalf("dropped event %q: %v", data, err)
+				}
+				cap.dropped += n
+			case "failover":
+				cap.failovers++
+			case "error":
+				cap.streamError = data
+				return cap
+			default:
+				cap.lines = append(cap.lines, data)
+				if onLine != nil {
+					onLine(len(cap.lines))
+				}
+			}
+		case line == "":
+			event = "message"
+		}
+	}
+	t.Fatalf("stream ended without a terminal event (%v)", sc.Err())
+	return nil
+}
+
+// TestStreamFailoverReattach partitions the replica serving a live SSE
+// stream and demands the stream keep going on a survivor: the client
+// still reaches the done event, and the logical line accounting
+// (delivered + reported-dropped) matches an uninterrupted reference
+// stream — no duplicated and no silently lost telemetry.
+func TestStreamFailoverReattach(t *testing.T) {
+	ft := newFaultedTier(t, 3)
+
+	// A longer window gives the stream time to be mid-flight when the
+	// partition lands.
+	spec := scenario.Spec{
+		Topology: "half-testbed-a", Protocol: "digs", Seed: 31,
+		Period: scenario.Duration(2 * time.Second),
+		Window: scenario.Duration(120 * time.Second),
+	}
+	code, doc, _ := postSpec(t, ft.ts.URL, spec, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	jobID := jsonStr(t, doc, "job_id")
+	hash := jsonStr(t, doc, "spec_hash")
+	replicas, _ := ft.g.replicaSet(hash)
+	primaryProxy := ft.proxyFor(t, replicas[0].key)
+
+	// Partition the stream's serving replica after a few lines arrive.
+	var partitionOnce sync.Once
+	live := followSSE(t, ft.ts.URL, jobID, func(n int) {
+		if n == 5 {
+			partitionOnce.Do(primaryProxy.Partition)
+		}
+	})
+	if live.streamError != "" {
+		t.Fatalf("stream errored: %s", live.streamError)
+	}
+	if live.done == nil || live.done.Status != server.StatusDone {
+		t.Fatalf("stream never reached a done event (%+v)", live.done)
+	}
+	if live.done.JobID != jobID {
+		t.Fatalf("done event carries job %q, want %q", live.done.JobID, jobID)
+	}
+
+	// Reference: heal and replay the whole stream uninterrupted.
+	primaryProxy.Heal()
+	ref := followSSE(t, ft.ts.URL, jobID, nil)
+	if ref.done == nil || ref.done.Status != server.StatusDone {
+		t.Fatal("reference stream never reached done")
+	}
+	if live.done.ResultHash != ref.done.ResultHash {
+		t.Fatalf("result hash diverged across failover: %s vs %s", live.done.ResultHash, ref.done.ResultHash)
+	}
+
+	// Logical accounting: delivered + dropped must name every line once.
+	liveTotal := len(live.lines) + live.dropped
+	refTotal := len(ref.lines) + ref.dropped
+	if liveTotal != refTotal {
+		t.Fatalf("failover stream accounts for %d lines (%d delivered + %d dropped), reference for %d (%d + %d)",
+			liveTotal, len(live.lines), live.dropped, refTotal, len(ref.lines), ref.dropped)
+	}
+	// Replicas are bit-identical, so the delivered suffixes must agree
+	// line for line.
+	n := len(live.lines)
+	if len(ref.lines) < n {
+		n = len(ref.lines)
+	}
+	for i := 1; i <= n; i++ {
+		if live.lines[len(live.lines)-i] != ref.lines[len(ref.lines)-i] {
+			t.Fatalf("line %d from the end diverges across failover", i)
+		}
+	}
+}

@@ -1,0 +1,423 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/digs-net/digs/internal/scenario"
+	"github.com/digs-net/digs/internal/server"
+)
+
+// testSpec is a fast scenario (~tens of ms wall clock).
+func testSpec(seed int64) scenario.Spec {
+	return scenario.Spec{
+		Topology: "half-testbed-a", Protocol: "digs", Seed: seed,
+		Period: scenario.Duration(2 * time.Second),
+		Window: scenario.Duration(10 * time.Second),
+	}
+}
+
+// newBackendTS stands up one real digs-server on an httptest listener.
+func newBackendTS(t *testing.T, name string) *httptest.Server {
+	t.Helper()
+	s, err := server.New(server.Config{Workers: 2, DataDir: t.TempDir(), Name: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return ts
+}
+
+func newTestGateway(t *testing.T, cfg Config) (*Gateway, *httptest.Server) {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		g.Close()
+	})
+	return g, ts
+}
+
+// postSpec submits a spec and returns the status code, decoded body,
+// and response headers.
+func postSpec(t *testing.T, url string, spec scenario.Spec, hdr map[string]string) (int, map[string]json.RawMessage, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/scenarios", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding %d response: %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, doc, resp.Header
+}
+
+func jsonStr(t *testing.T, doc map[string]json.RawMessage, key string) string {
+	t.Helper()
+	var s string
+	if err := json.Unmarshal(doc[key], &s); err != nil {
+		t.Fatalf("field %q: %v (doc: %v)", key, err, doc)
+	}
+	return s
+}
+
+// waitJobDone polls the gateway's status endpoint to a terminal state.
+func waitJobDone(t *testing.T, gwURL, jobID string) *server.View {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(gwURL + "/v1/jobs/" + jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v server.View
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil {
+			t.Fatalf("status read: HTTP %d, decode err %v", resp.StatusCode, err)
+		}
+		switch v.Status {
+		case server.StatusDone, server.StatusFailed, server.StatusCanceled:
+			return &v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s at deadline", jobID, v.Status)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func specHash(t *testing.T, spec scenario.Spec) string {
+	t.Helper()
+	h, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestSubmitRoutesAndReplicates(t *testing.T) {
+	urls := []string{newBackendTS(t, "b0").URL, newBackendTS(t, "b1").URL, newBackendTS(t, "b2").URL}
+	g, ts := newTestGateway(t, Config{Backends: urls, Replicas: 2})
+
+	spec := testSpec(42)
+	code, doc, hdr := postSpec(t, ts.URL, spec, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d (%v)", code, doc)
+	}
+	jobID := jsonStr(t, doc, "job_id")
+	if !strings.HasPrefix(jobID, "g-") {
+		t.Fatalf("gateway job ID %q not gateway-scoped", jobID)
+	}
+	if got := hdr.Get(server.HeaderJob); got != jobID {
+		t.Fatalf("%s header %q, want %q", server.HeaderJob, got, jobID)
+	}
+
+	view := waitJobDone(t, ts.URL, jobID)
+	if view.Status != server.StatusDone {
+		t.Fatalf("job ended %s: %s", view.Status, view.Error)
+	}
+	if view.JobID != jobID {
+		t.Fatalf("view carries job ID %q, want the gateway's %q", view.JobID, jobID)
+	}
+	rresp, err := http.Get(ts.URL + "/v1/jobs/" + jobID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbody := new(bytes.Buffer)
+	rbody.ReadFrom(rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("result read: HTTP %d", rresp.StatusCode)
+	}
+	sum := sha256.Sum256(bytes.TrimSpace(rbody.Bytes()))
+	if got := hex.EncodeToString(sum[:]); got != view.ResultHash {
+		t.Fatalf("result hashes to %s, view reports %s", got, view.ResultHash)
+	}
+	if got := rresp.Header.Get("X-DiGS-Result-Hash"); got != view.ResultHash {
+		t.Fatalf("result read header X-DiGS-Result-Hash %q, want %q", got, view.ResultHash)
+	}
+
+	// R-way placement: both replicas must hold the stored result.
+	hash := specHash(t, spec)
+	replicas, _ := g.replicaSet(hash)
+	for _, b := range replicas {
+		ok := false
+		for end := time.Now().Add(10 * time.Second); time.Now().Before(end); time.Sleep(50 * time.Millisecond) {
+			resp, err := http.Get(b.base + "/v1/results/" + hash)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			t.Fatalf("replica %s never received the result — replication broke", b.key)
+		}
+	}
+
+	// A byte-identical resubmission is a 200 cache hit through the tier.
+	code, doc, _ = postSpec(t, ts.URL, spec, nil)
+	if code != http.StatusOK {
+		t.Fatalf("duplicate submit: HTTP %d, want a 200 cache hit", code)
+	}
+	var cached bool
+	if json.Unmarshal(doc["cached"], &cached) != nil || !cached {
+		t.Fatalf("duplicate submit not served from the cache: %v", doc)
+	}
+}
+
+// TestSubmitFailsOverDeadPrimary: the spec's primary replica is a dead
+// address; the submission must land on a survivor with no client error.
+func TestSubmitFailsOverDeadPrimary(t *testing.T) {
+	// Reserve an address, then close it: connection refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	urls := []string{newBackendTS(t, "b0").URL, newBackendTS(t, "b1").URL, dead}
+	g, ts := newTestGateway(t, Config{Backends: urls, Replicas: 2, ProbeInterval: 100 * time.Millisecond})
+
+	// Find a spec whose rendezvous primary is the dead backend.
+	var spec scenario.Spec
+	found := false
+	for seed := int64(100); seed < 200; seed++ {
+		spec = testSpec(seed)
+		replicas, _ := g.replicaSet(specHash(t, spec))
+		if replicas[0].key == dead {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no seed in range ranks the dead backend primary")
+	}
+
+	code, doc, _ := postSpec(t, ts.URL, spec, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit with a dead primary: HTTP %d (%v), want 202 via failover", code, doc)
+	}
+	view := waitJobDone(t, ts.URL, jsonStr(t, doc, "job_id"))
+	if view.Status != server.StatusDone {
+		t.Fatalf("job ended %s: %s", view.Status, view.Error)
+	}
+}
+
+// TestHeaderPropagation: the request ID survives submit → status → SSE,
+// and the answering backend identifies itself.
+func TestHeaderPropagation(t *testing.T) {
+	bts := newBackendTS(t, "b0")
+	_, ts := newTestGateway(t, Config{Backends: []string{bts.URL}, Replicas: 1})
+
+	const rid = "req-propagation-check"
+	code, doc, hdr := postSpec(t, ts.URL, testSpec(7), map[string]string{server.HeaderRequest: rid})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	if got := hdr.Get(server.HeaderRequest); got != rid {
+		t.Fatalf("submit echoed %s %q, want %q", server.HeaderRequest, got, rid)
+	}
+	jobID := jsonStr(t, doc, "job_id")
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+jobID, nil)
+	req.Header.Set(server.HeaderRequest, rid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(server.HeaderRequest); got != rid {
+		t.Fatalf("status echoed %s %q, want %q", server.HeaderRequest, got, rid)
+	}
+	if got := resp.Header.Get(server.HeaderJob); got != jobID {
+		t.Fatalf("status %s header %q, want %q", server.HeaderJob, got, jobID)
+	}
+
+	sreq, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+jobID+"/stream", nil)
+	sreq.Header.Set(server.HeaderRequest, rid)
+	sresp, err := http.DefaultClient.Do(sreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if got := sresp.Header.Get(server.HeaderRequest); got != rid {
+		t.Fatalf("stream echoed %s %q, want %q", server.HeaderRequest, got, rid)
+	}
+
+	// A submission without a request ID gets one minted.
+	_, _, hdr = postSpec(t, ts.URL, testSpec(8), nil)
+	if hdr.Get(server.HeaderRequest) == "" {
+		t.Fatalf("gateway minted no %s for an unlabeled request", server.HeaderRequest)
+	}
+
+	// The backend names itself on its own surface.
+	bresp, err := http.Get(bts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if got := bresp.Header.Get(server.HeaderBackend); got != "b0" {
+		t.Fatalf("backend %s header %q, want %q", server.HeaderBackend, got, "b0")
+	}
+}
+
+// TestReadRepair: a result that survives on one replica is
+// re-replicated to the rest of its placement by the read path.
+func TestReadRepair(t *testing.T) {
+	urls := []string{newBackendTS(t, "b0").URL, newBackendTS(t, "b1").URL}
+	g, ts := newTestGateway(t, Config{Backends: urls, Replicas: 2})
+
+	spec := testSpec(77)
+	hash := specHash(t, spec)
+	direct, _, err := scenario.RunSpec(context.Background(), spec, scenario.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := direct.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the result onto exactly one replica via the repair endpoint.
+	replicas, _ := g.replicaSet(hash)
+	holder, missing := replicas[0], replicas[1]
+	req, _ := http.NewRequest(http.MethodPut, holder.base+"/v1/results/"+hash, bytes.NewReader(canonical))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("seeding PUT: HTTP %d", resp.StatusCode)
+	}
+
+	// A gateway read serves the single surviving copy...
+	gresp, err := http.Get(ts.URL + "/v1/results/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := new(bytes.Buffer)
+	got.ReadFrom(gresp.Body)
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway result read: HTTP %d", gresp.StatusCode)
+	}
+	if !bytes.Equal(bytes.TrimSpace(got.Bytes()), bytes.TrimSpace(canonical)) {
+		t.Fatal("gateway served different result bytes than the surviving copy")
+	}
+
+	// ...and heals the under-replicated placement in the background.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mresp, err := http.Get(missing.base + "/v1/results/" + hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := new(bytes.Buffer)
+		body.ReadFrom(mresp.Body)
+		mresp.Body.Close()
+		if mresp.StatusCode == http.StatusOK {
+			if !bytes.Equal(bytes.TrimSpace(body.Bytes()), bytes.TrimSpace(canonical)) {
+				t.Fatal("read-repair replicated different bytes")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %s never read-repaired", missing.key)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestResultPutRejectsNonCanonical: the repair endpoint only accepts
+// bytes that decode and re-encode to themselves — a corrupted replica
+// cannot be seeded.
+func TestResultPutRejectsNonCanonical(t *testing.T) {
+	bts := newBackendTS(t, "b0")
+	spec := testSpec(78)
+	hash := specHash(t, spec)
+	req, _ := http.NewRequest(http.MethodPut, bts.URL+"/v1/results/"+hash,
+		strings.NewReader(`{"not":"a canonical result"}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-canonical PUT: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestGatewayReadyz: liveness always answers; readiness follows the
+// backends.
+func TestGatewayReadyz(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+	_, ts := newTestGateway(t, Config{Backends: []string{dead}, Replicas: 1, ProbeInterval: 50 * time.Millisecond})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway over a dead fleet still ready (HTTP %d)", resp.StatusCode)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("liveness: HTTP %d, want 200 regardless of the fleet", hresp.StatusCode)
+	}
+}

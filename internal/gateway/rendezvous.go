@@ -1,0 +1,36 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// rendezvousScore is the highest-random-weight score binding one spec
+// hash to one backend: FNV-1a over the spec hash and the backend's key.
+// Every gateway instance computes the same ranking from the same
+// backend list, with no coordination and no shared state — the content
+// address is the routing key.
+func rendezvousScore(specHash, backendKey string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(specHash))
+	h.Write([]byte{0})
+	h.Write([]byte(backendKey))
+	return h.Sum64()
+}
+
+// rank orders backends by descending rendezvous score for a spec hash.
+// The first R entries are the spec's replica set. Rendezvous hashing
+// keeps placement stable under membership change: removing one backend
+// remaps only the keys it owned, everything else keeps its replicas.
+func rank(specHash string, backends []*backend) []*backend {
+	ranked := append([]*backend(nil), backends...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si := rendezvousScore(specHash, ranked[i].key)
+		sj := rendezvousScore(specHash, ranked[j].key)
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].key < ranked[j].key
+	})
+	return ranked
+}

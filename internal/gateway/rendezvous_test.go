@@ -1,0 +1,82 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mkBackends(keys ...string) []*backend {
+	bs := make([]*backend, len(keys))
+	for i, k := range keys {
+		bs[i] = &backend{key: k, base: k}
+	}
+	return bs
+}
+
+func TestRankDeterministic(t *testing.T) {
+	bs := mkBackends("http://a", "http://b", "http://c", "http://d")
+	r1 := rank("somespechash", bs)
+	r2 := rank("somespechash", bs)
+	for i := range r1 {
+		if r1[i].key != r2[i].key {
+			t.Fatalf("rank not deterministic at %d: %s vs %s", i, r1[i].key, r2[i].key)
+		}
+	}
+	// Input order must not matter: the score is a pure function of
+	// (specHash, backendKey).
+	rev := mkBackends("http://d", "http://c", "http://b", "http://a")
+	r3 := rank("somespechash", rev)
+	for i := range r1 {
+		if r1[i].key != r3[i].key {
+			t.Fatalf("rank depends on input order at %d: %s vs %s", i, r1[i].key, r3[i].key)
+		}
+	}
+}
+
+// TestRankStableUnderRemoval is the rendezvous property the gateway
+// leans on: removing one backend remaps only the keys it owned — every
+// replica set that did not include the removed backend is unchanged.
+func TestRankStableUnderRemoval(t *testing.T) {
+	full := mkBackends("http://a", "http://b", "http://c", "http://d", "http://e")
+	const removed = "http://c"
+	var reduced []*backend
+	for _, b := range full {
+		if b.key != removed {
+			reduced = append(reduced, b)
+		}
+	}
+	const R = 2
+	remapped := 0
+	for i := 0; i < 300; i++ {
+		h := fmt.Sprintf("spec-%03d", i)
+		before := rank(h, full)[:R]
+		if before[0].key == removed || before[1].key == removed {
+			remapped++
+			continue
+		}
+		after := rank(h, reduced)[:R]
+		if before[0].key != after[0].key || before[1].key != after[1].key {
+			t.Fatalf("spec %s: replica set changed from [%s %s] to [%s %s] though %s was not a member",
+				h, before[0].key, before[1].key, after[0].key, after[1].key, removed)
+		}
+	}
+	if remapped == 0 {
+		t.Fatal("no spec ever placed on the removed backend — the stability check tested nothing")
+	}
+}
+
+// TestRankSpreadsPrimaries: every backend must carry a meaningful share
+// of primary placements, or the "distributed" tier is one hot box.
+func TestRankSpreadsPrimaries(t *testing.T) {
+	bs := mkBackends("http://a", "http://b", "http://c")
+	counts := map[string]int{}
+	const n = 300
+	for i := 0; i < n; i++ {
+		counts[rank(fmt.Sprintf("hash-%04d", i), bs)[0].key]++
+	}
+	for _, b := range bs {
+		if counts[b.key] < n/6 {
+			t.Fatalf("backend %s is primary for only %d/%d specs", b.key, counts[b.key], n)
+		}
+	}
+}

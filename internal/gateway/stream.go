@@ -1,0 +1,199 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/digs-net/digs/internal/server"
+)
+
+// handleStream serves GET /v1/jobs/{id}/stream: the job's SSE telemetry
+// proxied from whichever replica is alive, with transparent reattach.
+// Because replica runs are bit-identical, telemetry line K on one
+// replica is line K on every replica — so the gateway tracks a logical
+// cursor (how many lines the client has) and, after a mid-stream
+// backend loss, resumes from a survivor by replaying its stream and
+// skipping everything below the cursor. Retention gaps are surfaced
+// with the same "dropped" events a single backend emits: the client's
+// gap accounting works unchanged across a failover.
+func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := g.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{"streaming unsupported"})
+		return
+	}
+	w.Header().Set(server.HeaderJob, j.ID)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	cursor := 0 // logical index of the next telemetry line the client needs
+	tried := map[string]bool{}
+	for {
+		b := g.nextStreamReplica(j, tried)
+		if b == nil {
+			fmt.Fprintf(w, "event: error\ndata: no replica can serve the stream\n\n")
+			fl.Flush()
+			return
+		}
+		tried[b.key] = true
+		done, clientGone := g.followBackendStream(r.Context(), w, fl, j, b, &cursor)
+		if done || clientGone {
+			return
+		}
+		// The backend died mid-stream: tell the client, then reattach to
+		// the next replica at the current cursor.
+		fmt.Fprintf(w, "event: failover\ndata: %s\n\n", b.key)
+		fl.Flush()
+	}
+}
+
+// nextStreamReplica picks the best untried backend for the stream:
+// acked replicas first, then anything else in rank order.
+func (g *Gateway) nextStreamReplica(j *gwJob, tried map[string]bool) *backend {
+	for _, b := range g.readCandidates(j) {
+		if !tried[b.key] {
+			return b
+		}
+	}
+	return nil
+}
+
+// followBackendStream attaches to one backend's SSE stream for the job
+// and forwards events past the cursor. It returns done=true when the
+// terminal event was delivered, clientGone=true when the client hung
+// up; both false means the backend failed mid-stream and the caller
+// should fail over.
+func (g *Gateway) followBackendStream(ctx context.Context, w http.ResponseWriter, fl http.Flusher,
+	j *gwJob, b *backend, cursor *int) (done, clientGone bool) {
+	localID := j.ack(b)
+	if localID == "" {
+		rctx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
+		id, cached, err := g.resubmit(rctx, j, b)
+		cancel()
+		if err != nil {
+			return false, ctx.Err() != nil
+		}
+		if cached != nil {
+			// The replica holds the finished result but no live job: the
+			// telemetry backlog is gone, so finish with a terminal view
+			// built from the stored result.
+			return finishFromCached(w, fl, j, cached), false
+		}
+		localID = id
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/jobs/"+localID+"/stream", nil)
+	if err != nil {
+		return false, false
+	}
+	resp, err := g.stream.Do(req)
+	if err != nil {
+		b.br.failure()
+		return false, ctx.Err() != nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// The backend forgot the job (finished-job cap): drop the stale
+		// ack so a later pass resubmits instead of re-hitting the 404.
+		j.dropAck(b)
+		return false, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, false
+	}
+
+	pos := 0 // this backend stream's logical position
+	event := "message"
+	rd := bufio.NewReaderSize(resp.Body, 64<<10)
+	for {
+		line, rerr := rd.ReadString('\n')
+		if rerr != nil {
+			// A backend dying mid-line leaves a partial trailing fragment
+			// with no newline. Forwarding it would hand the client a
+			// truncated line AND advance the cursor past the real one on
+			// the surviving replica — so an unterminated line is never a
+			// line, it is the failure signal.
+			break
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "done":
+				var v server.View
+				if json.Unmarshal([]byte(data), &v) == nil {
+					v.JobID = j.ID
+					if enc, err := json.Marshal(v); err == nil {
+						data = string(enc)
+					}
+				}
+				fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+				fl.Flush()
+				return true, false
+			case "dropped":
+				n, err := strconv.Atoi(strings.TrimSpace(data))
+				if err != nil || n < 0 {
+					n = 0
+				}
+				// The backend lost lines [pos, pos+n) to retention. The
+				// client only misses the part at or past its cursor —
+				// lines below it were already delivered by this replica
+				// or a previous one.
+				end := pos + n
+				if end > *cursor {
+					if miss := end - max(*cursor, pos); miss > 0 {
+						fmt.Fprintf(w, "event: dropped\ndata: %d\n\n", miss)
+						fl.Flush()
+					}
+					*cursor = end
+				}
+				pos = end
+			default: // telemetry line
+				if pos >= *cursor {
+					if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+						return false, true
+					}
+					fl.Flush()
+					*cursor = pos + 1
+				}
+				pos++
+			}
+		case line == "":
+			event = "message"
+		}
+	}
+	// Stream ended (or was cut mid-line) without a done event: mid-body
+	// loss of the backend.
+	b.br.failure()
+	return false, ctx.Err() != nil
+}
+
+// finishFromCached closes out a stream whose replica only has the
+// stored result: the terminal view built from the result bytes is
+// delivered as the done event.
+func finishFromCached(w http.ResponseWriter, fl http.Flusher, j *gwJob, result []byte) bool {
+	view := synthDoneView(j, result)
+	enc, err := json.Marshal(view)
+	if err != nil {
+		return false
+	}
+	fmt.Fprintf(w, "event: done\ndata: %s\n\n", enc)
+	fl.Flush()
+	return true
+}

@@ -426,7 +426,8 @@ func TestPanicIsolation(t *testing.T) {
 }
 
 // TestDegradedMode: when the result store can no longer be written the
-// server finishes in-flight work but flips degraded — healthz 503, new
+// server finishes in-flight work but flips degraded — readyz 503 (while
+// healthz stays 200: the process is alive, just not routable), new
 // submissions shed with 503 + Retry-After, stats say why.
 func TestDegradedMode(t *testing.T) {
 	dataDir := t.TempDir()
@@ -451,13 +452,21 @@ func TestDegradedMode(t *testing.T) {
 		t.Fatalf("degraded=%v cause=%q after store write failure", degraded, cause)
 	}
 
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("degraded healthz: HTTP %d, want 503", resp.StatusCode)
+		t.Fatalf("degraded readyz: HTTP %d, want 503", resp.StatusCode)
+	}
+	live, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Body.Close()
+	if live.StatusCode != http.StatusOK {
+		t.Fatalf("degraded healthz: HTTP %d, want 200 (liveness is not readiness)", live.StatusCode)
 	}
 
 	code, doc = submit(t, ts, smallSpec(142), "")

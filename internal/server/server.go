@@ -21,10 +21,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"path/filepath"
@@ -93,6 +95,10 @@ type Config struct {
 	// Default false: a degraded server sheds new work with 503 while
 	// in-flight jobs finish.
 	AllowDegradedSubmits bool
+	// Name identifies this backend instance in a multi-node tier; it is
+	// echoed as the X-DiGS-Backend header on every API response so a
+	// gateway (or a human with curl) can tell which replica answered.
+	Name string
 
 	// runFn is the test seam for the spec executor
 	// (default scenario.RunSpec).
@@ -590,8 +596,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("PUT /v1/results/{hash}", s.handleResultPut)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// healthz is pure liveness: the process is up and serving HTTP.
+	// A draining or degraded server is still alive — restarting it
+	// would interrupt in-flight work, which is exactly wrong.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	// readyz is readiness: should a balancer route new work here?
+	// 503 while draining (going away) or degraded (can't make accepted
+	// work durable); the gateway probes this for routing decisions.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.draining.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
@@ -602,7 +618,34 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Write([]byte("ok\n"))
 	})
-	return mux
+	return s.tag(mux)
+}
+
+// Tracing headers shared by the gateway and the backends: which replica
+// answered, which request this was, which job it concerned.
+const (
+	// HeaderBackend names the backend instance that produced a response.
+	HeaderBackend = "X-DiGS-Backend"
+	// HeaderRequest is the caller-assigned request ID, echoed back so one
+	// request can be matched across gateway and backend logs.
+	HeaderRequest = "X-DiGS-Request"
+	// HeaderJob carries the job ID a response concerns, on submit as well
+	// as on every job read, so a trace can follow submit → status → SSE.
+	HeaderJob = "X-DiGS-Job"
+)
+
+// tag wraps the API with the tracing headers: the backend's name and an
+// echo of the caller's request ID ride on every response.
+func (s *Server) tag(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Name != "" {
+			w.Header().Set(HeaderBackend, s.cfg.Name)
+		}
+		if rid := r.Header.Get(HeaderRequest); rid != "" {
+			w.Header().Set(HeaderRequest, rid)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -712,6 +755,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if existing, ok := s.byHash[hash]; ok {
 		s.mu.Unlock()
 		s.dedupHits.Add(1)
+		w.Header().Set(HeaderJob, existing.ID)
 		writeJSON(w, http.StatusAccepted, submitAccepted{
 			JobID: existing.ID, SpecHash: hash, Status: existing.Status(), Dedup: true,
 		})
@@ -761,6 +805,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.byHash[hash] = j
 	s.jobsCh <- j
 	s.mu.Unlock()
+	w.Header().Set(HeaderJob, id)
 	writeJSON(w, http.StatusAccepted, submitAccepted{JobID: id, SpecHash: hash, Status: StatusQueued})
 }
 
@@ -776,6 +821,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
 		return
 	}
+	w.Header().Set(HeaderJob, j.ID)
 	writeJSON(w, http.StatusOK, j.View(false))
 }
 
@@ -785,6 +831,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
 		return
 	}
+	w.Header().Set(HeaderJob, j.ID)
 	switch j.Status() {
 	case StatusDone:
 		b, rhash := j.Result()
@@ -837,6 +884,50 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("\n"))
 }
 
+// handleResultPut installs a canonical result under a spec hash — the
+// gateway's read-repair path, re-replicating a result it found on only
+// one replica. The body must re-encode canonically (so a truncated or
+// hand-mangled upload is refused), and the store wraps it in the usual
+// verification envelope; a degraded store refuses with 503 like any
+// other durability failure.
+func (s *Server) handleResultPut(w http.ResponseWriter, r *http.Request) {
+	if s.results == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"result store disabled"})
+		return
+	}
+	hash := r.PathValue("hash")
+	if !isSpecHash(hash) {
+		writeJSON(w, http.StatusBadRequest, apiError{"malformed spec hash"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("reading result: %v", err)})
+		return
+	}
+	body = bytes.TrimSpace(body)
+	var res scenario.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{fmt.Sprintf("decoding result: %v", err)})
+		return
+	}
+	canonical, err := res.Encode()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	if !bytes.Equal(canonical, body) {
+		writeJSON(w, http.StatusBadRequest, apiError{"result is not in canonical encoding"})
+		return
+	}
+	if err := s.results.Put(hash, canonical); err != nil {
+		s.degrade(fmt.Sprintf("result store put: %v", err))
+		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 // handleStream serves the job's telemetry as Server-Sent Events: each
 // JSONL line is one "data:" event, replayed from the start of the
 // retained window and then followed live; a final "done" event carries
@@ -854,6 +945,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotImplemented, apiError{"streaming unsupported"})
 		return
 	}
+	w.Header().Set(HeaderJob, j.ID)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")
