@@ -182,13 +182,16 @@ func TestFailoverMatrix(t *testing.T) {
 }
 
 // sseCapture is one followed SSE stream: the telemetry lines received,
-// dropped-gap totals, and the terminal view.
+// dropped-gap totals, and the terminal view. indeterminate records a
+// "dropped -1" event — the gateway signalling an unknowable tail gap
+// when it had to terminate from a stored result with no live job left.
 type sseCapture struct {
-	lines       []string
-	dropped     int
-	failovers   int
-	done        *server.View
-	streamError string
+	lines         []string
+	dropped       int
+	indeterminate bool
+	failovers     int
+	done          *server.View
+	streamError   string
 }
 
 // followSSE consumes a gateway job stream to its terminal event.
@@ -226,7 +229,11 @@ func followSSE(t *testing.T, gwURL, jobID string, onLine func(n int)) *sseCaptur
 				if err != nil {
 					t.Fatalf("dropped event %q: %v", data, err)
 				}
-				cap.dropped += n
+				if n < 0 {
+					cap.indeterminate = true
+				} else {
+					cap.dropped += n
+				}
 			case "failover":
 				cap.failovers++
 			case "error":
@@ -298,6 +305,13 @@ func TestStreamFailoverReattach(t *testing.T) {
 	}
 
 	// Logical accounting: delivered + dropped must name every line once.
+	// An indeterminate gap would mean the stream fell back to a stored
+	// result — with eager replication a live replica must always exist
+	// here, so exactness is required.
+	if live.indeterminate || ref.indeterminate {
+		t.Fatalf("stream reported an indeterminate gap (live=%v ref=%v), want exact accounting",
+			live.indeterminate, ref.indeterminate)
+	}
 	liveTotal := len(live.lines) + live.dropped
 	refTotal := len(ref.lines) + ref.dropped
 	if liveTotal != refTotal {

@@ -527,14 +527,18 @@ func (e *httpError) write(w http.ResponseWriter) {
 // under one shared attempt budget. Candidates are tried in placement
 // order; 429/503 answers are absorbed by jittered backoff rounds that
 // respect Retry-After, transport errors and 5xx fail the candidate over
-// to the next, and 4xx verdicts are final. Only when the budget runs
-// out with nothing but backpressure to show does the client see a 503.
+// to the next, and 4xx verdicts are final. Every round consumes budget
+// — each attempt costs one unit, and a round with no routable candidate
+// at all costs one too — so even a fleet-wide outage degrades to the
+// 503 + Retry-After shed path within SubmitRetries rounds instead of
+// retrying forever.
 func (g *Gateway) submitSomewhere(ctx context.Context, hash string, specJSON []byte, replicas, spill []*backend, hdr http.Header) (*submitOutcome, *httpError) {
 	budget := g.cfg.SubmitRetries
 	wait := g.cfg.RetryBase
 	candidates := append(append([]*backend(nil), replicas...), spill...)
 	for round := 0; budget > 0; round++ {
 		sawBackpressure := false
+		attempted := false
 		var hint time.Duration
 		for ci, b := range candidates {
 			if budget <= 0 {
@@ -544,6 +548,7 @@ func (g *Gateway) submitSomewhere(ctx context.Context, hash string, specJSON []b
 				continue
 			}
 			budget--
+			attempted = true
 			if round > 0 || ci > 0 {
 				g.failovers.Add(1)
 			}
@@ -585,6 +590,13 @@ func (g *Gateway) submitSomewhere(ctx context.Context, hash string, specJSON []b
 				_ = json.Unmarshal(res.body, &ae)
 				return nil, &httpError{status: res.status, msg: ae.Error}
 			}
+		}
+		if !attempted {
+			// A fleet-wide outage (every probe failing or breaker open)
+			// makes zero attempts, so the round must consume budget itself —
+			// otherwise the loop would spin forever and the documented
+			// 503 shed path would never be reached.
+			budget--
 		}
 		if budget <= 0 {
 			break

@@ -386,6 +386,212 @@ func TestResultPutRejectsNonCanonical(t *testing.T) {
 	}
 }
 
+// putResult PUTs raw bytes to a backend's repair endpoint and returns
+// the status code.
+func putResult(t *testing.T, base, hash string, body []byte) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/results/"+hash, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestResultPutValidation: the repair endpoint refuses to file a result
+// under a spec hash it was not computed for, and never overwrites an
+// existing entry with different bytes — a reachable backend cannot have
+// its content-addressed store poisoned through the repair path.
+func TestResultPutValidation(t *testing.T) {
+	bts := newBackendTS(t, "b0")
+	spec := testSpec(79)
+	hash := specHash(t, spec)
+	res, _, err := scenario.RunSpec(context.Background(), spec, scenario.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Canonical bytes valid for spec A filed under spec B's hash: a later
+	// submission of B would be served A's result as a verified cache hit.
+	otherHash := specHash(t, testSpec(80))
+	if code := putResult(t, bts.URL, otherHash, canonical); code != http.StatusBadRequest {
+		t.Fatalf("cross-hash PUT: HTTP %d, want 400", code)
+	}
+
+	// Under its own hash the PUT is accepted, and idempotently repeatable.
+	if code := putResult(t, bts.URL, hash, canonical); code != http.StatusNoContent {
+		t.Fatalf("legitimate PUT: HTTP %d, want 204", code)
+	}
+	if code := putResult(t, bts.URL, hash, canonical); code != http.StatusNoContent {
+		t.Fatalf("idempotent re-PUT: HTTP %d, want 204", code)
+	}
+
+	// Different bytes with a matching embedded spec_hash must not replace
+	// the stored entry: repair fills missing replicas, never rewrites.
+	tampered := *res
+	tampered.Delivered++
+	tbytes, err := tampered.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := putResult(t, bts.URL, hash, tbytes); code != http.StatusConflict {
+		t.Fatalf("conflicting PUT: HTTP %d, want 409", code)
+	}
+	resp, err := http.Get(bts.URL + "/v1/results/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := new(bytes.Buffer)
+	stored.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(bytes.TrimSpace(stored.Bytes()), canonical) {
+		t.Fatal("conflicting PUT altered the stored result")
+	}
+}
+
+// TestSubmitShedsDuringFullOutage: with every backend unroutable, a
+// submission must degrade to the 503 + Retry-After shed path within the
+// retry budget instead of spinning in zero-attempt retry rounds forever.
+func TestSubmitShedsDuringFullOutage(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+	_, ts := newTestGateway(t, Config{
+		Backends: []string{dead}, Replicas: 1,
+		ProbeInterval: 25 * time.Millisecond, ProbeTimeout: 250 * time.Millisecond,
+		SubmitRetries: 3, RetryBase: 10 * time.Millisecond, RetryCap: 50 * time.Millisecond,
+	})
+
+	// Wait for the probes to mark the fleet unready, so the submission
+	// exercises the no-routable-candidate rounds, not transport errors.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gateway over a dead fleet never turned unready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	body, _ := json.Marshal(testSpec(82))
+	cl := &http.Client{Timeout: 30 * time.Second} // a hang here is the regression
+	resp, err := cl.Post(ts.URL+"/v1/scenarios", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submission during a full outage never returned: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during full outage: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response carries no Retry-After")
+	}
+}
+
+// TestResultReadDistinguishesMissFromOutage: a definitive 404 verdict
+// from a live backend and an unreachable fleet are different answers —
+// only the former may be reported as "result does not exist".
+func TestResultReadDistinguishesMissFromOutage(t *testing.T) {
+	hash := strings.Repeat("ab", 32)
+
+	// Healthy fleet, unknown hash: a real miss, 404.
+	_, ts := newTestGateway(t, Config{Backends: []string{newBackendTS(t, "b0").URL}, Replicas: 1})
+	resp, err := http.Get(ts.URL + "/v1/results/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("miss on a healthy fleet: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	// Unreachable fleet: no backend rendered a verdict, 503.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+	_, dts := newTestGateway(t, Config{Backends: []string{dead}, Replicas: 1})
+	dresp, err := http.Get(dts.URL + "/v1/results/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("read against a dead fleet: HTTP %d, want 503", dresp.StatusCode)
+	}
+	if dresp.Header.Get("Retry-After") == "" {
+		t.Fatal("outage response carries no Retry-After")
+	}
+}
+
+// TestStreamCachedFallbackReportsGap: when every replica holds only the
+// stored result (no live job to stream), the terminating done event must
+// be preceded by a dropped event flagging the undeliverable telemetry as
+// an indeterminate gap — never silently skipped.
+func TestStreamCachedFallbackReportsGap(t *testing.T) {
+	bts := newBackendTS(t, "b0")
+	g, ts := newTestGateway(t, Config{Backends: []string{bts.URL}, Replicas: 1})
+
+	spec := testSpec(81)
+	hash := specHash(t, spec)
+	res, _, err := scenario.RunSpec(context.Background(), spec, scenario.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The backend holds the finished result but never held the job.
+	if code := putResult(t, bts.URL, hash, canonical); code != http.StatusNoContent {
+		t.Fatalf("seeding PUT: HTTP %d", code)
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas, _ := g.replicaSet(hash)
+	j := g.registerJob(hash, "", specJSON, replicas)
+
+	cap := followSSE(t, ts.URL, j.ID, nil)
+	if cap.streamError != "" {
+		t.Fatalf("stream errored: %s", cap.streamError)
+	}
+	if !cap.indeterminate {
+		t.Fatal("cached-result termination reported no dropped gap")
+	}
+	if len(cap.lines) != 0 {
+		t.Fatalf("cached-result termination delivered %d telemetry lines from nowhere", len(cap.lines))
+	}
+	if cap.done == nil || cap.done.Status != server.StatusDone {
+		t.Fatalf("stream never reached a done view (%+v)", cap.done)
+	}
+	sum := sha256.Sum256(canonical)
+	if got := hex.EncodeToString(sum[:]); cap.done.ResultHash != got {
+		t.Fatalf("done view reports result hash %s, stored bytes hash to %s", cap.done.ResultHash, got)
+	}
+}
+
 // TestGatewayReadyz: liveness always answers; readiness follows the
 // backends.
 func TestGatewayReadyz(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/digs-net/digs/internal/server"
@@ -362,11 +363,19 @@ func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
 	type hashRes struct {
 		body []byte
 	}
+	// A 404 is a verdict (that backend is alive and does not hold the
+	// result); a transport error or 5xx says nothing about existence. The
+	// two must not collapse into one answer: a fleet outage reported as
+	// "no stored result" reads as a definitive miss callers may cache.
+	var saw404 atomic.Bool
 	res, b, err := hedged(r.Context(), g, candidates,
 		func(ctx context.Context, b *backend) (*hashRes, error) {
 			fr, err := g.call(ctx, b, http.MethodGet, "/v1/results/"+hash, nil, nil)
 			if err != nil {
 				return nil, err
+			}
+			if fr.status == http.StatusNotFound {
+				saw404.Store(true)
 			}
 			if fr.status != http.StatusOK {
 				return nil, fmt.Errorf("%s: HTTP %d", b.key, fr.status)
@@ -374,7 +383,12 @@ func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
 			return &hashRes{body: fr.body}, nil
 		})
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, apiError{"no stored result for that spec hash"})
+		if saw404.Load() {
+			writeJSON(w, http.StatusNotFound, apiError{"no stored result for that spec hash"})
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{fmt.Sprintf("no replica reachable for that spec hash: %v", err)})
 		return
 	}
 	w.Header().Set(server.HeaderBackend, b.key)

@@ -41,17 +41,34 @@ func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	cursor := 0 // logical index of the next telemetry line the client needs
 	tried := map[string]bool{}
+	var cachedResult []byte // terminal fallback from a result-only replica
 	for {
 		b := g.nextStreamReplica(j, tried)
 		if b == nil {
+			if cachedResult != nil {
+				// No replica holds a live job, but one holds the finished
+				// result: close out from the stored bytes. The telemetry
+				// backlog is gone, so the undelivered tail is reported as
+				// a dropped gap before the done event — skipped lines are
+				// never silent.
+				finishFromCached(w, fl, j, cachedResult)
+				return
+			}
 			fmt.Fprintf(w, "event: error\ndata: no replica can serve the stream\n\n")
 			fl.Flush()
 			return
 		}
 		tried[b.key] = true
-		done, clientGone := g.followBackendStream(r.Context(), w, fl, j, b, &cursor)
+		done, clientGone, cached := g.followBackendStream(r.Context(), w, fl, j, b, &cursor)
 		if done || clientGone {
 			return
+		}
+		if cached != nil {
+			// This replica only has the stored result — remember it as the
+			// fallback, but keep looking for a replica with a live job
+			// first: a live stream can still deliver the telemetry.
+			cachedResult = cached
+			continue
 		}
 		// The backend died mid-stream: tell the client, then reattach to
 		// the next replica at the current cursor.
@@ -74,45 +91,44 @@ func (g *Gateway) nextStreamReplica(j *gwJob, tried map[string]bool) *backend {
 // followBackendStream attaches to one backend's SSE stream for the job
 // and forwards events past the cursor. It returns done=true when the
 // terminal event was delivered, clientGone=true when the client hung
-// up; both false means the backend failed mid-stream and the caller
-// should fail over.
+// up, and cached non-nil when the replica holds only the stored result
+// (no live job to stream — the caller should prefer another replica and
+// keep the bytes as a terminal fallback). All three zero means the
+// backend failed mid-stream and the caller should fail over.
 func (g *Gateway) followBackendStream(ctx context.Context, w http.ResponseWriter, fl http.Flusher,
-	j *gwJob, b *backend, cursor *int) (done, clientGone bool) {
+	j *gwJob, b *backend, cursor *int) (done, clientGone bool, cachedResult []byte) {
 	localID := j.ack(b)
 	if localID == "" {
 		rctx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
 		id, cached, err := g.resubmit(rctx, j, b)
 		cancel()
 		if err != nil {
-			return false, ctx.Err() != nil
+			return false, ctx.Err() != nil, nil
 		}
 		if cached != nil {
-			// The replica holds the finished result but no live job: the
-			// telemetry backlog is gone, so finish with a terminal view
-			// built from the stored result.
-			return finishFromCached(w, fl, j, cached), false
+			return false, false, cached
 		}
 		localID = id
 	}
 
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/jobs/"+localID+"/stream", nil)
 	if err != nil {
-		return false, false
+		return false, false, nil
 	}
 	resp, err := g.stream.Do(req)
 	if err != nil {
 		b.br.failure()
-		return false, ctx.Err() != nil
+		return false, ctx.Err() != nil, nil
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
 		// The backend forgot the job (finished-job cap): drop the stale
 		// ack so a later pass resubmits instead of re-hitting the 404.
 		j.dropAck(b)
-		return false, false
+		return false, false, nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		return false, false
+		return false, false, nil
 	}
 
 	pos := 0 // this backend stream's logical position
@@ -145,7 +161,7 @@ func (g *Gateway) followBackendStream(ctx context.Context, w http.ResponseWriter
 				}
 				fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
 				fl.Flush()
-				return true, false
+				return true, false, nil
 			case "dropped":
 				n, err := strconv.Atoi(strings.TrimSpace(data))
 				if err != nil || n < 0 {
@@ -167,7 +183,7 @@ func (g *Gateway) followBackendStream(ctx context.Context, w http.ResponseWriter
 			default: // telemetry line
 				if pos >= *cursor {
 					if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
-						return false, true
+						return false, true, nil
 					}
 					fl.Flush()
 					*cursor = pos + 1
@@ -181,19 +197,25 @@ func (g *Gateway) followBackendStream(ctx context.Context, w http.ResponseWriter
 	// Stream ended (or was cut mid-line) without a done event: mid-body
 	// loss of the backend.
 	b.br.failure()
-	return false, ctx.Err() != nil
+	return false, ctx.Err() != nil, nil
 }
 
-// finishFromCached closes out a stream whose replica only has the
-// stored result: the terminal view built from the result bytes is
-// delivered as the done event.
-func finishFromCached(w http.ResponseWriter, fl http.Flusher, j *gwJob, result []byte) bool {
+// finishFromCached closes out a stream when no replica holds a live job
+// and only the stored result survives: the terminal view built from the
+// result bytes is delivered as the done event. The telemetry backlog is
+// gone with the jobs, so every line at or past the client's cursor is
+// undelivered — and since the total line count is unknowable without
+// re-running the scenario, the gap is reported as an indeterminate
+// dropped event (data: -1) rather than skipped silently. Clients doing
+// exact delivered+dropped accounting see the accounting break flagged
+// instead of a stream that quietly claims completeness.
+func finishFromCached(w http.ResponseWriter, fl http.Flusher, j *gwJob, result []byte) {
 	view := synthDoneView(j, result)
 	enc, err := json.Marshal(view)
 	if err != nil {
-		return false
+		return
 	}
+	fmt.Fprintf(w, "event: dropped\ndata: -1\n\n")
 	fmt.Fprintf(w, "event: done\ndata: %s\n\n", enc)
 	fl.Flush()
-	return true
 }

@@ -887,9 +887,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // handleResultPut installs a canonical result under a spec hash — the
 // gateway's read-repair path, re-replicating a result it found on only
 // one replica. The body must re-encode canonically (so a truncated or
-// hand-mangled upload is refused), and the store wraps it in the usual
-// verification envelope; a degraded store refuses with 503 like any
-// other durability failure.
+// hand-mangled upload is refused), its embedded spec_hash must match
+// the path (a result valid for spec A cannot be filed under spec B and
+// later served as a verified cache hit for B), and an entry already on
+// disk is never overwritten with different bytes — read-repair fills
+// missing replicas, it does not replace existing ones. The store wraps
+// accepted bytes in the usual verification envelope; a degraded store
+// refuses with 503 like any other durability failure.
 func (s *Server) handleResultPut(w http.ResponseWriter, r *http.Request) {
 	if s.results == nil {
 		writeJSON(w, http.StatusNotFound, apiError{"result store disabled"})
@@ -918,6 +922,18 @@ func (s *Server) handleResultPut(w http.ResponseWriter, r *http.Request) {
 	}
 	if !bytes.Equal(canonical, body) {
 		writeJSON(w, http.StatusBadRequest, apiError{"result is not in canonical encoding"})
+		return
+	}
+	if res.SpecHash != hash {
+		writeJSON(w, http.StatusBadRequest, apiError{"result's embedded spec_hash does not match the requested hash"})
+		return
+	}
+	if existing, ok := s.results.Get(hash); ok {
+		if !bytes.Equal(existing, canonical) {
+			writeJSON(w, http.StatusConflict, apiError{"a different result is already stored under that spec hash"})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent) // idempotent repair: already stored
 		return
 	}
 	if err := s.results.Put(hash, canonical); err != nil {
