@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden snap-smoke scale-smoke server-smoke recover-smoke gateway-smoke bench-scale bench-gate bench-server baseline bench-warmstart clean
+.PHONY: ci vet build test race fuzz bench-smoke trace-smoke trace-golden snap-smoke scale-smoke controller-smoke server-smoke recover-smoke gateway-smoke bench-scale bench-gate bench-server bench-controller baseline bench-warmstart clean
 
 ## ci: everything the driver checks — vet, build, race-enabled tests, a
 ## short fuzz pass over the wire codecs, a one-shot large-scale benchmark
 ## smoke run, the telemetry pipeline smoke test, the snapshot round-trip
 ## smoke test, a short 10k-node run on the sparse sharded engine, the
+## controller-layer smoke (four-way chaos with recovery asserted), the
 ## simulation-service end-to-end smoke, the crash-recovery smoke, and the
 ## gateway fault-tolerance smoke.
-ci: vet build race fuzz bench-smoke trace-smoke snap-smoke scale-smoke server-smoke recover-smoke gateway-smoke
+ci: vet build race fuzz bench-smoke trace-smoke snap-smoke scale-smoke controller-smoke server-smoke recover-smoke gateway-smoke
 
 vet:
 	$(GO) vet ./...
@@ -80,6 +81,25 @@ snap-smoke:
 scale-smoke:
 	$(GO) run ./cmd/digs-bench -scale-smoke
 	@echo scale-smoke: OK
+
+## controller-smoke: the pluggable controller layer end to end —
+## race-enabled controller and registry tests, then a mini four-way
+## chaos run (digs / orchestra / whart / sdn on the fig8 plan) that
+## fails unless every fault reconverges — including the centralized sdn
+## stack, whose recovery must come from the controller's in-band
+## recollect + redistribute cycle, not local repair.
+controller-smoke:
+	$(GO) test -race ./internal/controller/
+	$(GO) test -race -run 'TestStackRegistry|TestSpecHashGolden|TestControllerScaleShardBitIdentity' ./internal/scenario/
+	$(GO) run ./cmd/digs-chaos -plan fig8 -topology testbed-a -duration 30s -require-recovery >/dev/null
+	@echo controller-smoke: OK
+
+## bench-controller: regenerate BENCH_controller.json — the controller
+## stacks (sdn, adaptive) on the dense testbed and the sparse sharded
+## engine: join counts after the formation window and steady-state
+## slots/s.
+bench-controller:
+	$(GO) run ./cmd/digs-bench -bench-controller BENCH_controller.json
 
 ## bench-scale: regenerate BENCH_scale.json — the nodes x protocol x
 ## shards throughput matrix, including the dense-engine twin that anchors

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// controllerReport is the BENCH_controller.json schema: the controller
+// stacks' tracked behavior snapshot. Each cell reuses the scale matrix
+// machinery — the interesting columns here are joined (does the stack
+// fully form within the warm window?) and slots/s (what the extra
+// control plane costs the engine).
+type controllerReport struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	NumCPU      int         `json:"num_cpu"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	SingleCPU   bool        `json:"single_cpu"`
+	Note        string      `json:"note"`
+	Cases       []scaleCase `json:"cases"`
+}
+
+// controllerMatrix exercises both controller stacks on the dense paper
+// testbed and on the sparse sharded engine. The sdn warm window covers
+// its full formation transient (in-band collection + dissemination puts
+// it minutes behind the autonomous stacks by design — that latency is
+// the paper's point); adaptive forms about as fast as digs.
+func controllerMatrix() []scaleCase {
+	return []scaleCase{
+		{Name: "sdn-testbed-a-dense", Topology: "testbed-a", Protocol: "sdn",
+			Engine: "dense", WarmSlots: 26_000, TimedSlots: 6_000},
+		{Name: "adaptive-testbed-a-dense", Topology: "testbed-a", Protocol: "adaptive",
+			Engine: "dense", WarmSlots: 12_000, TimedSlots: 6_000},
+		{Name: "sdn-80-scale-2", Topology: "gen-field-80-3", Protocol: "sdn",
+			Engine: "scale", Shards: 2, WarmSlots: 26_000, TimedSlots: 6_000},
+		{Name: "adaptive-80-scale-2", Topology: "gen-field-80-3", Protocol: "adaptive",
+			Engine: "scale", Shards: 2, WarmSlots: 12_000, TimedSlots: 6_000},
+	}
+}
+
+// writeBenchController runs the controller matrix and writes
+// BENCH_controller.json.
+func writeBenchController(path string, seed int64) error {
+	report := controllerReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		SingleCPU:   runtime.GOMAXPROCS(0) == 1,
+		Note:        "joined counts the nodes synced after the warm window; sdn forms slower than the autonomous stacks by design (in-band collection + dissemination)",
+		Cases:       controllerMatrix(),
+	}
+	for i := range report.Cases {
+		c := &report.Cases[i]
+		fmt.Fprintf(os.Stderr, "bench-controller: %s (%s, %s engine)...\n",
+			c.Name, c.Topology, c.Engine)
+		if err := runScaleCase(c, seed); err != nil {
+			return err
+		}
+		if c.Joined == 0 {
+			return fmt.Errorf("bench-controller: %s: no node joined within %d warm slots", c.Name, c.WarmSlots)
+		}
+		fmt.Printf("%-26s nodes=%-4d joined=%-4d wall=%6.2fs  %8.0f slots/s\n",
+			c.Name, c.Nodes, c.Joined, c.WallS, c.SlotsPerS)
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

@@ -48,6 +48,8 @@ func run() error {
 		"run the scale benchmark matrix (nodes x protocol x shards), write the JSON report to this file, and exit")
 	benchGate := flag.String("bench-gate", "",
 		"re-time the gated scale matrix cells and fail on >15% slots/s regression vs this checked-in BENCH_scale.json")
+	benchController := flag.String("bench-controller", "",
+		"run the controller-stack matrix (sdn/adaptive x dense/sharded), write the JSON report to this file, and exit")
 	scaleSmoke := flag.Bool("scale-smoke", false,
 		"briefly step a generated 10k-node deployment on the sparse sharded engine under DiGS and Orchestra, then exit")
 	flag.Parse()
@@ -61,6 +63,9 @@ func run() error {
 	}
 	if *benchGate != "" {
 		return gateBenchScale(*benchGate, *seed)
+	}
+	if *benchController != "" {
+		return writeBenchController(*benchController, *seed)
 	}
 	if *scaleSmoke {
 		return runScaleSmoke(*seed)

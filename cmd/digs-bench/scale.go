@@ -7,12 +7,9 @@ import (
 	"runtime"
 	"time"
 
-	"github.com/digs-net/digs/internal/core"
 	"github.com/digs-net/digs/internal/flows"
-	"github.com/digs-net/digs/internal/mac"
-	"github.com/digs-net/digs/internal/orchestra"
+	"github.com/digs-net/digs/internal/scenario"
 	"github.com/digs-net/digs/internal/sim"
-	"github.com/digs-net/digs/internal/topology"
 )
 
 // scaleCase is one cell of the scale benchmark matrix.
@@ -80,65 +77,47 @@ func scaleMatrix() []scaleCase {
 }
 
 // runScaleCase executes one matrix cell: build, warm up, then time a
-// steady-state window with the topology's suggested flows live.
+// steady-state window with the topology's suggested flows live. Any
+// registered stack runs here — the scenario registry is the dispatch.
 func runScaleCase(c *scaleCase, seed int64) error {
-	p, ok, err := topology.ParseGenSpec(c.Topology)
-	if !ok || err != nil {
-		return fmt.Errorf("scale case %s: %v", c.Name, err)
-	}
-	topo, err := topology.Generate(p)
+	topo, err := scenario.PickTopology(c.Topology)
 	if err != nil {
-		return err
+		return fmt.Errorf("scale case %s: %w", c.Name, err)
 	}
 	c.Nodes = topo.N()
 
-	var nw *sim.Network
+	p := scenario.Params{Topology: topo, TopologyName: c.Topology, Protocol: c.Protocol, Seed: seed}
 	switch c.Engine {
 	case "dense":
 		topo.ForceSparse = false
 		if topo.SparseOnly() {
 			return fmt.Errorf("scale case %s: %d nodes cannot run the dense engine", c.Name, topo.N())
 		}
-		nw = sim.NewNetwork(topo, seed)
 	case "scale":
-		nw = sim.NewScaleNetwork(topo, seed, c.Shards)
+		p.Shards = c.Shards
+		if p.Shards < 1 {
+			p.Shards = 1
+		}
 	default:
 		return fmt.Errorf("scale case %s: unknown engine %q", c.Name, c.Engine)
 	}
-
-	macCfg := mac.DefaultConfig()
-	var joined func() int
-	var inject func(src topology.NodeID, f *sim.Frame) error
-	switch c.Protocol {
-	case "digs":
-		net, err := core.Build(nw, core.ScaledConfig(topo.NumAPs, topo.N()), macCfg, seed)
-		if err != nil {
-			return err
-		}
-		joined = net.JoinedCount
-		inject = func(src topology.NodeID, f *sim.Frame) error { return net.Nodes[src].InjectData(f) }
-	case "orchestra":
-		net, err := orchestra.Build(nw, orchestra.DefaultConfig(), macCfg, seed)
-		if err != nil {
-			return err
-		}
-		joined = net.JoinedCount
-		inject = func(src topology.NodeID, f *sim.Frame) error { return net.Nodes[src].InjectData(f) }
-	default:
-		return fmt.Errorf("scale case %s: unknown protocol %q", c.Name, c.Protocol)
+	sc, err := scenario.Build(p)
+	if err != nil {
+		return fmt.Errorf("scale case %s: %w", c.Name, err)
 	}
+	nw := sc.NW
 
 	nw.Run(c.WarmSlots)
 	fset := flows.FixedSet(topo.SuggestedSources, 2*time.Second)
 	flows.Schedule(nw, fset, int(c.TimedSlots/200)+1, func(f flows.Flow, seq uint16, asn sim.ASN) {
-		_ = inject(f.Source, &sim.Frame{Origin: f.Source, FlowID: f.ID, Seq: seq, BornASN: asn})
+		_ = sc.MACNode(int(f.Source)).InjectData(&sim.Frame{Origin: f.Source, FlowID: f.ID, Seq: seq, BornASN: asn})
 	})
 	busyBefore := nw.ShardBusy()
 	start := time.Now()
 	nw.Run(c.TimedSlots)
 	wall := time.Since(start)
 
-	c.Joined = joined()
+	c.Joined = sc.Joined()
 	c.WallS = wall.Seconds()
 	c.SlotsPerS = float64(c.TimedSlots) / wall.Seconds()
 	if busy := nw.ShardBusy(); busy != nil {

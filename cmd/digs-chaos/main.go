@@ -16,8 +16,8 @@
 //
 // Examples:
 //
-//	digs-chaos -plan fig8 -topology testbed-a
-//	digs-chaos -plan crash.json -protocols digs,orchestra -reps 4 -parallel 4
+//	digs-chaos -plan fig8 -topology testbed-a   # four-way: digs,orchestra,whart,sdn
+//	digs-chaos -plan crash.json -protocols digs,adaptive -reps 4 -parallel 4
 //	digs-chaos -plan plan.json -trace out.jsonl    # analyse with digs-trace
 //	digs-chaos -plan fig8 -warm-start              # snapshot-cached formation
 //	digs-chaos -plan fig8 -bench-warmstart BENCH_warmstart.json
@@ -66,6 +66,7 @@ type options struct {
 	asJSON     bool
 	snapCache  string
 	reps       int
+	requireRec bool
 }
 
 func run() error {
@@ -75,8 +76,8 @@ func run() error {
 		"fault plan: a JSON file path, or \"fig8\" for the built-in jammer scenario")
 	flag.StringVar(&opts.topology, "topology", "testbed-a",
 		"deployment: "+scenario.TopologyNames)
-	flag.StringVar(&protoList, "protocols", "digs,orchestra,whart",
-		"comma-separated stacks to subject to the plan")
+	flag.StringVar(&protoList, "protocols", "digs,orchestra,whart,sdn",
+		"comma-separated stacks to subject to the plan (registered: "+scenario.StackNames()+")")
 	flag.DurationVar(&opts.duration, "duration", 2*time.Minute,
 		"measurement window from the plan epoch (extended to cover the plan's horizon)")
 	flag.DurationVar(&opts.period, "period", 5*time.Second, "packet period per flow")
@@ -87,6 +88,8 @@ func run() error {
 		"run the invariant monitor with self-healing watchdogs during the plan")
 	flag.BoolVar(&opts.asJSON, "json", false,
 		"emit the recovery reports as JSON instead of tables")
+	flag.BoolVar(&opts.requireRec, "require-recovery", false,
+		"exit nonzero if any fault never reconverges within its window (smoke-test assertion)")
 	warmStart := flag.Bool("warm-start", false,
 		"restore formation from the snapshot cache instead of re-forming (populating it on miss)")
 	flag.StringVar(&opts.snapCache, "snap-cache", "",
@@ -107,13 +110,13 @@ func run() error {
 	}
 	for _, p := range strings.Split(protoList, ",") {
 		p = strings.TrimSpace(p)
-		switch p {
-		case "digs", "orchestra", "whart":
-			opts.protocols = append(opts.protocols, p)
-		case "":
-		default:
-			return fmt.Errorf("unknown protocol %q", p)
+		if p == "" {
+			continue
 		}
+		if !scenario.StackRegistered(p) {
+			return fmt.Errorf("unknown protocol %q (registered: %s)", p, scenario.StackNames())
+		}
+		opts.protocols = append(opts.protocols, p)
 	}
 	if len(opts.protocols) == 0 {
 		return errors.New("no protocols selected")
@@ -132,6 +135,19 @@ func run() error {
 	outs, err := runCampaign(opts)
 	if err != nil {
 		return err
+	}
+	if opts.requireRec {
+		// A truncated window (packets still in flight at trace end) is not a
+		// failed recovery; "never" — the window closed without reconvergence
+		// — is.
+		for _, o := range outs {
+			for _, f := range o.result.Faults {
+				if f.TTRSlots < 0 && !f.Truncated {
+					return fmt.Errorf("%s rep %d: fault #%d.%d (%s on node %d) never reconverged",
+						o.result.Protocol, o.result.Rep, f.Entry, f.Occ, f.Kind, f.Node)
+				}
+			}
+		}
 	}
 
 	if opts.asJSON {

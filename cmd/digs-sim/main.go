@@ -1,13 +1,14 @@
-// Command digs-sim runs one WSAN scenario: it builds a topology, boots the
-// chosen protocol stack (DiGS or the Orchestra baseline), optionally adds
-// WiFi jammers and a node failure, drives periodic uplink flows and prints
-// the resulting reliability, latency and energy figures.
+// Command digs-sim runs one WSAN scenario: it builds a topology, boots one
+// of the registered protocol stacks (digs, orchestra, whart, sdn,
+// adaptive), optionally adds WiFi jammers and a node failure, drives
+// periodic uplink flows and prints the resulting reliability, latency and
+// energy figures.
 //
 // Examples:
 //
 //	digs-sim -topology testbed-a -protocol digs -duration 2m
 //	digs-sim -topology testbed-b -protocol orchestra -jammers 3
-//	digs-sim -topology random-150 -protocol digs -flows 20 -period 10s
+//	digs-sim -topology random-150 -protocol sdn -flows 20 -period 10s
 //	digs-sim -reps 8 -parallel 4    # 8 seeds fanned over 4 workers
 //	digs-sim -spec scenario.json    # run a JSON scenario spec (server parity)
 package main
@@ -27,19 +28,16 @@ import (
 	"time"
 
 	"github.com/digs-net/digs/internal/campaign"
-	"github.com/digs-net/digs/internal/core"
 	"github.com/digs-net/digs/internal/flows"
 	"github.com/digs-net/digs/internal/interference"
 	"github.com/digs-net/digs/internal/invariant"
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/metrics"
-	"github.com/digs-net/digs/internal/orchestra"
 	"github.com/digs-net/digs/internal/scenario"
 	"github.com/digs-net/digs/internal/sim"
 	"github.com/digs-net/digs/internal/snapshot"
 	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
-	"github.com/digs-net/digs/internal/whart"
 )
 
 func main() {
@@ -79,8 +77,8 @@ type summary struct {
 func run() error {
 	var opts options
 	flag.StringVar(&opts.topology, "topology", "testbed-a",
-		"deployment: testbed-a, testbed-b, half-testbed-a, half-testbed-b, random-150")
-	flag.StringVar(&opts.protocol, "protocol", "digs", "stack: digs, orchestra or whart (static centralized)")
+		"deployment: "+scenario.TopologyNames)
+	flag.StringVar(&opts.protocol, "protocol", "digs", "stack: "+scenario.StackNames())
 	flag.DurationVar(&opts.duration, "duration", 2*time.Minute, "measurement window")
 	flag.DurationVar(&opts.period, "period", 5*time.Second, "packet period per flow")
 	flag.IntVar(&opts.flows, "flows", 0, "number of flows (0 = the testbed's suggested sources)")
@@ -276,91 +274,22 @@ func runSpecFile(path, warmDir, tracePath string) error {
 // returns early with a nil summary. A non-nil tracer records the packet
 // lifecycle of the whole run (the caller owns flushing it).
 func runScenario(opts options, seed int64, w io.Writer, dumpNode int, tracer telemetry.Tracer) (*summary, error) {
-	topo, err := pickTopology(opts.topology)
+	sc, err := scenario.Build(scenario.Params{
+		TopologyName: opts.topology,
+		Protocol:     opts.protocol,
+		Seed:         seed,
+		Period:       opts.period,
+		// The WirelessHART Network Manager needs a random flow request at
+		// build time; the autonomous stacks take traffic as it comes.
+		Flows: opts.flows,
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	nw := sim.NewNetwork(topo, seed)
-	var (
-		macNode   func(i int) *mac.Node
-		joined    func() int
-		onDeliver func(func(sim.ASN, *sim.Frame))
-		setTracer func(telemetry.Tracer)
-		schedule  func(id int, asn sim.ASN) mac.Assignment
-		prober    invariant.Prober
-		healer    func(topology.NodeID, sim.ASN)
-	)
-	switch opts.protocol {
-	case "digs":
-		net, err := core.Build(nw, core.DefaultConfig(topo.NumAPs), mac.DefaultConfig(), seed)
-		if err != nil {
-			return nil, err
-		}
-		macNode = func(i int) *mac.Node { return net.Nodes[i] }
-		joined = net.JoinedCount
-		onDeliver = net.OnDeliver
-		setTracer = net.SetTracer
-		schedule = func(id int, asn sim.ASN) mac.Assignment {
-			return net.Stacks[id].Assignment(asn)
-		}
-		prober, healer = net.Prober(nw), net.Healer()
-	case "orchestra":
-		net, err := orchestra.Build(nw, orchestra.DefaultConfig(), mac.DefaultConfig(), seed)
-		if err != nil {
-			return nil, err
-		}
-		macNode = func(i int) *mac.Node { return net.Nodes[i] }
-		joined = net.JoinedCount
-		onDeliver = net.OnDeliver
-		setTracer = net.SetTracer
-		prober, healer = net.Prober(nw), net.Healer()
-	case "whart":
-		// The centralized baseline needs its flows up front: the Network
-		// Manager computes the TDMA schedule for them.
-		var fl []whart.Flow
-		srcs := topo.SuggestedSources
-		if opts.flows > 0 {
-			rng := newRand(seed)
-			rf, err := flows.RandomSet(topo, opts.flows, opts.period, rng)
-			if err != nil {
-				return nil, err
-			}
-			srcs = srcs[:0]
-			for _, f := range rf {
-				srcs = append(srcs, f.Source)
-			}
-		}
-		for i, src := range srcs {
-			fl = append(fl, whart.Flow{
-				ID: uint16(i + 1), Source: src,
-				PeriodSlots: sim.SlotsFor(opts.period),
-			})
-		}
-		net, err := whart.Build(nw, fl, mac.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		macNode = func(i int) *mac.Node { return net.Nodes[i] }
-		// Static stacks have their schedule pre-installed; "joined" means
-		// time-synchronised.
-		joined = func() int {
-			n := 0
-			for i := 1; i <= topo.N(); i++ {
-				if ok, _ := net.Nodes[i].Synced(); ok {
-					n++
-				}
-			}
-			return n
-		}
-		onDeliver = net.OnDeliver
-		setTracer = net.SetTracer
-		prober, healer = net.Prober(nw), net.Healer()
-	default:
-		return nil, fmt.Errorf("unknown protocol %q", opts.protocol)
-	}
+	nw, topo := sc.NW, sc.Params.Topology
+	macNode, joined := sc.MACNode, sc.Joined
 	if tracer != nil {
-		setTracer(tracer)
+		sc.SetTracer(tracer)
 		telemetry.AttachSim(nw, tracer)
 	}
 
@@ -378,10 +307,10 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int, tracer tel
 	nw.Run(sim.SlotsFor(30 * time.Second))
 
 	if dumpNode > 0 {
-		if schedule == nil {
-			return nil, fmt.Errorf("-dump-schedule is only supported for -protocol digs")
+		if sc.Schedule == nil {
+			return nil, fmt.Errorf("-dump-schedule is not supported for -protocol %s", opts.protocol)
 		}
-		return nil, dumpSchedule(w, nw, schedule, dumpNode)
+		return nil, dumpSchedule(w, nw, sc.Schedule, dumpNode)
 	}
 
 	// The invariant monitor attaches after formation (its checks gate on
@@ -391,13 +320,13 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int, tracer tel
 	// being written.
 	var mon *invariant.Monitor
 	if opts.invariants {
-		mon = invariant.New(invariant.Config{Emit: tracer, Heal: healer})
+		mon = invariant.New(invariant.Config{Emit: tracer, Heal: sc.Healer})
 		var chain telemetry.Tracer = mon
 		if tracer != nil {
 			chain = telemetry.Multi(tracer, mon)
 		}
-		setTracer(chain)
-		invariant.Attach(nw, mon, prober, 0)
+		sc.SetTracer(chain)
+		invariant.Attach(nw, mon, sc.Prober, 0)
 	}
 
 	// Interference.
@@ -427,7 +356,7 @@ func runScenario(opts options, seed int64, w io.Writer, dumpNode int, tracer tel
 	}
 
 	col := metrics.NewCollector()
-	onDeliver(func(asn sim.ASN, f *sim.Frame) { col.Delivered(f.FlowID, f.Seq, asn) })
+	sc.OnDeliver(func(asn sim.ASN, f *sim.Frame) { col.Delivered(f.FlowID, f.Seq, asn) })
 	packets := int(opts.duration / opts.period)
 	flows.Schedule(nw, fset, packets, func(f flows.Flow, seq uint16, asn sim.ASN) {
 		col.Sent(f.ID, seq, asn)
@@ -507,23 +436,6 @@ func dumpSchedule(w io.Writer, nw *sim.Network, schedule func(int, sim.ASN) mac.
 		fmt.Fprintln(w)
 	}
 	return nil
-}
-
-func pickTopology(name string) (*topology.Topology, error) {
-	switch name {
-	case "testbed-a":
-		return topology.TestbedA(), nil
-	case "testbed-b":
-		return topology.TestbedB(), nil
-	case "half-testbed-a":
-		return topology.HalfTestbedA(), nil
-	case "half-testbed-b":
-		return topology.HalfTestbedB(), nil
-	case "random-150":
-		return topology.NewRandom(150, 300, 300, 7), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", name)
-	}
 }
 
 func totalEnergy(macNode func(i int) *mac.Node, n int) float64 {

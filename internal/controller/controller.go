@@ -1,0 +1,41 @@
+// Package controller hosts the pluggable controller-layer stacks the
+// four-way comparison adds on top of the paper's three fixed protocols:
+//
+//   - adaptive: a distributed slotframe/cell allocator (HRL-TSCH style)
+//     that grows and sheds per-link transmit cells from observed queue
+//     depth and loss, over RPL routing — autonomous scheduling with a
+//     reactive schedule instead of Orchestra's static hash.
+//   - sdn: a centralized SDN-style controller node that periodically
+//     collects link/neighbor state over in-band report slots, recomputes
+//     routes (shortest path over the collected RSS graph) and slotframe
+//     assignments centrally, and disseminates them in-band — so its
+//     reconvergence cost after faults is modeled, not free.
+//
+// Both stacks implement mac.Protocol, keep all mutable state per node
+// (the sharded scale engine runs nodes in parallel by spatial partition,
+// so cross-node shared state would break the bit-identical-at-any-shard-
+// count guarantee), and expose the same capture/restore surface as the
+// existing stacks so snapshots and warm starts work unchanged.
+package controller
+
+import (
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// Channel offsets mirror the DiGS/Orchestra configuration so the
+// comparison isolates routing/scheduling, not radio parameters.
+const (
+	ebChannelOffset      = 0
+	sharedChannelOffset  = 1
+	unicastChannelOffset = 2
+
+	// unicastLanes spreads unicast cells over several channel offsets
+	// derived from the cell owner's ID, so hash collisions in the cell
+	// space land on different channels.
+	unicastLanes = 12
+)
+
+// unicastLane returns the channel-offset lane of a node's unicast cells.
+func unicastLane(id topology.NodeID) uint8 {
+	return unicastChannelOffset + uint8((int64(id)*13)%unicastLanes)
+}

@@ -1,0 +1,803 @@
+package controller
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+)
+
+// SDNConfig holds the centralized controller's parameters.
+//
+// The model is deliberately honest about in-band cost: the controller is
+// one radio node (the lowest-ID access point), every link-state report
+// crosses the mesh hop by hop through dedicated control cells, and every
+// recomputed configuration travels back the same way, source-routed over
+// the graph the controller last collected. Nothing is teleported.
+type SDNConfig struct {
+	EBFrameLen   int64 // beacon slotframe (sync + hop gradient)
+	CtrlFrameLen int64 // report/config slotframe (receiver-based cells)
+	DataFrameLen int64 // data slotframe (sender-based cells)
+
+	// ReportEvery is each node's link-state report period.
+	ReportEvery time.Duration
+	// RecomputeEvery is the controller's route/schedule recompute period.
+	RecomputeEvery time.Duration
+	// StaleAfter drops a node's report from the controller's view; a node
+	// that stops reporting (crash) disappears from the graph after this.
+	StaleAfter time.Duration
+	// NeighborStale expires a node's local gradient/signal table entries.
+	NeighborStale time.Duration
+	// MaintainEvery is the local bookkeeping tick (gradient refresh,
+	// report scheduling).
+	MaintainEvery time.Duration
+
+	// MaxNeighborsReported caps a report to the strongest links.
+	MaxNeighborsReported int
+	// MaxChildren caps a disseminated configuration's listen-cell list.
+	MaxChildren int
+	// CtrlQueueCap bounds a relay's pending control frames;
+	// CtrlQueueCapController bounds the controller's dissemination queue.
+	CtrlQueueCap           int
+	CtrlQueueCapController int
+	// MaxCtrlTries drops a control frame after that many failed hops.
+	MaxCtrlTries int
+	// DeadAckThreshold is the consecutive unacked data transmissions
+	// after which a node declares its configured parent dead, drops out
+	// of the routed set and raises an alarm report.
+	DeadAckThreshold int
+	// FullRefreshEvery re-disseminates every configuration (not just
+	// changed ones) every that-many recompute epochs.
+	FullRefreshEvery int
+	// ControllerCells provisions that many receive cells at the controller
+	// in the control slotframe (senders spread over them by their own ID).
+	// One cell caps inbound reports at 1/CtrlFrameLen per slot — far below
+	// what a full deployment offers — so the sink gets the extra bandwidth
+	// a real SDN-WSAN root is dimensioned with.
+	ControllerCells int
+}
+
+// DefaultSDNConfig returns the evaluation configuration.
+func DefaultSDNConfig() SDNConfig {
+	return SDNConfig{
+		EBFrameLen:           557,
+		CtrlFrameLen:         53,
+		DataFrameLen:         151,
+		ReportEvery:          10 * time.Second,
+		RecomputeEvery:       15 * time.Second,
+		StaleAfter:           90 * time.Second,
+		NeighborStale:        60 * time.Second,
+		MaintainEvery:        time.Second,
+		MaxNeighborsReported: 16,
+		MaxChildren:          64,
+		CtrlQueueCap:         16,
+		CtrlQueueCapController: 64,
+		MaxCtrlTries:         8,
+		DeadAckThreshold:     8,
+		FullRefreshEvery:     4,
+		ControllerCells:      4,
+	}
+}
+
+// Validate checks the configuration.
+func (c SDNConfig) Validate() error {
+	if c.EBFrameLen <= 0 || c.CtrlFrameLen <= 0 || c.DataFrameLen <= 0 {
+		return fmt.Errorf("sdn config: slotframe lengths must be positive (%d, %d, %d)",
+			c.EBFrameLen, c.CtrlFrameLen, c.DataFrameLen)
+	}
+	if c.MaxNeighborsReported < 1 || c.MaxNeighborsReported > 255 {
+		return fmt.Errorf("sdn config: max neighbors reported %d (want 1..255)", c.MaxNeighborsReported)
+	}
+	if c.MaxChildren < 1 || c.MaxChildren > 255 {
+		return fmt.Errorf("sdn config: max children %d (want 1..255)", c.MaxChildren)
+	}
+	if c.CtrlQueueCap < 1 || c.CtrlQueueCapController < 1 {
+		return fmt.Errorf("sdn config: control queue caps must be positive")
+	}
+	if c.DeadAckThreshold < 1 {
+		return fmt.Errorf("sdn config: dead-ack threshold must be positive")
+	}
+	if c.FullRefreshEvery < 1 {
+		return fmt.Errorf("sdn config: full refresh period must be positive")
+	}
+	if c.ControllerCells < 1 {
+		return fmt.Errorf("sdn config: controller cells must be positive")
+	}
+	// The controller's j-th cell sits at stride 17 from the base cell; all
+	// of them must be distinct modulo the control frame length.
+	seen := make(map[int64]bool, c.ControllerCells)
+	for j := 0; j < c.ControllerCells; j++ {
+		slot := (int64(j) * 17) % c.CtrlFrameLen
+		if seen[slot] {
+			return fmt.Errorf("sdn config: %d controller cells collide in a %d-slot frame",
+				c.ControllerCells, c.CtrlFrameLen)
+		}
+		seen[slot] = true
+	}
+	return nil
+}
+
+// sdn control-plane channel lanes: control cells hop on a small lane set
+// derived from the cell owner, data cells on the remaining lanes.
+const (
+	sdnCtrlChannelBase = 1
+	sdnCtrlLanes       = 4
+	sdnDataChannelBase = sdnCtrlChannelBase + sdnCtrlLanes
+	sdnDataLanes       = 11
+)
+
+func sdnCtrlLane(owner topology.NodeID) uint8 {
+	return sdnCtrlChannelBase + uint8((int64(owner)*11)%sdnCtrlLanes)
+}
+
+func sdnDataLane(owner topology.NodeID) uint8 {
+	return sdnDataChannelBase + uint8((int64(owner)*13)%sdnDataLanes)
+}
+
+// sdnCell is the receiver-based control cell / sender-based data cell of
+// a node.
+func sdnCell(id topology.NodeID, frameLen int64) int64 {
+	return (int64(id) * 37) % frameLen
+}
+
+// ctrlCellTo is the control cell a frame from this node to dst uses. The
+// controller owns ControllerCells receive cells (stride 17 apart in the
+// frame) and senders spread over them by their own ID; every other node
+// owns exactly one.
+func (s *SDNStack) ctrlCellTo(dst topology.NodeID) int64 {
+	base := sdnCell(dst, s.cfg.CtrlFrameLen)
+	if dst != s.controllerID || s.cfg.ControllerCells <= 1 {
+		return base
+	}
+	j := int64(s.id) % int64(s.cfg.ControllerCells)
+	return (base + j*17) % s.cfg.CtrlFrameLen
+}
+
+// ownCtrlCell reports whether offset is one of this node's receive cells.
+func (s *SDNStack) ownCtrlCell(offset int64) bool {
+	base := sdnCell(s.id, s.cfg.CtrlFrameLen)
+	if !s.controller() {
+		return offset == base
+	}
+	for j := int64(0); j < int64(s.cfg.ControllerCells); j++ {
+		if offset == (base+j*17)%s.cfg.CtrlFrameLen {
+			return true
+		}
+	}
+	return false
+}
+
+// sdnHopsUnknown marks a node that has no path-to-controller estimate yet.
+const sdnHopsUnknown = 255
+
+// --- wire formats (report and config payloads) ---
+
+// marshalReport encodes [n][id u32, -rss u8]*: the reporter's strongest
+// observed links.
+func marshalReport(neigh []SDNReportNeighbor) []byte {
+	b := make([]byte, 1, 1+5*len(neigh))
+	b[0] = byte(len(neigh))
+	for _, e := range neigh {
+		var idb [4]byte
+		binary.BigEndian.PutUint32(idb[:], uint32(e.Node))
+		b = append(b, idb[:]...)
+		r := -e.RSS
+		if r < 0 {
+			r = 0
+		}
+		if r > 255 {
+			r = 255
+		}
+		b = append(b, byte(r))
+	}
+	return b
+}
+
+func unmarshalReport(b []byte) ([]SDNReportNeighbor, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("sdn report: empty payload")
+	}
+	n := int(b[0])
+	if len(b) != 1+5*n {
+		return nil, fmt.Errorf("sdn report: %d bytes for %d entries", len(b), n)
+	}
+	out := make([]SDNReportNeighbor, n)
+	for i := 0; i < n; i++ {
+		off := 1 + 5*i
+		out[i].Node = topology.NodeID(binary.BigEndian.Uint32(b[off : off+4]))
+		out[i].RSS = -float64(b[off+4])
+	}
+	return out, nil
+}
+
+// marshalConfig encodes [epoch u16][parent u32][n u8][child u32]*.
+func marshalConfig(epoch uint16, parent topology.NodeID, children []topology.NodeID) []byte {
+	b := make([]byte, 7, 7+4*len(children))
+	binary.BigEndian.PutUint16(b[0:2], epoch)
+	binary.BigEndian.PutUint32(b[2:6], uint32(parent))
+	b[6] = byte(len(children))
+	for _, c := range children {
+		var cb [4]byte
+		binary.BigEndian.PutUint32(cb[:], uint32(c))
+		b = append(b, cb[:]...)
+	}
+	return b
+}
+
+func unmarshalConfig(b []byte) (epoch uint16, parent topology.NodeID, children []topology.NodeID, err error) {
+	if len(b) < 7 {
+		return 0, 0, nil, fmt.Errorf("sdn config: %d bytes, want >= 7", len(b))
+	}
+	n := int(b[6])
+	if len(b) != 7+4*n {
+		return 0, 0, nil, fmt.Errorf("sdn config: %d bytes for %d children", len(b), n)
+	}
+	epoch = binary.BigEndian.Uint16(b[0:2])
+	parent = topology.NodeID(binary.BigEndian.Uint32(b[2:6]))
+	if n > 0 {
+		children = make([]topology.NodeID, n)
+		for i := range children {
+			children[i] = topology.NodeID(binary.BigEndian.Uint32(b[7+4*i : 11+4*i]))
+		}
+	}
+	return epoch, parent, children, nil
+}
+
+// epochNewer compares config epochs with wraparound; a huge backward jump
+// reads as a controller restart and is accepted too (lollipop-style), so a
+// rebooted controller regains authority without waiting out the sequence
+// space.
+func epochNewer(e, have uint16) bool {
+	d := int16(e - have)
+	return d > 0 || d < -32
+}
+
+// --- per-node tables ---
+
+type sdnHopsEntry struct {
+	hops  uint8
+	heard sim.ASN
+}
+
+type sdnRSSEntry struct {
+	rss   float64
+	heard sim.ASN
+}
+
+type sdnCtrlEntry struct {
+	frame *sim.Frame
+	tries int
+	// notBefore delays the next transmission attempt: deterministic,
+	// sender-ID-salted backoff so two relays aiming at the same control
+	// cell do not collide in lockstep forever.
+	notBefore sim.ASN
+}
+
+type sdnReportEntry struct {
+	asn   sim.ASN
+	neigh []SDNReportNeighbor
+}
+
+type sdnNodeConfig struct {
+	parent   topology.NodeID
+	children []topology.NodeID // sorted ascending
+}
+
+func sameConfig(a, b sdnNodeConfig) bool {
+	if a.parent != b.parent || len(a.children) != len(b.children) {
+		return false
+	}
+	for i := range a.children {
+		if a.children[i] != b.children[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SDNStack is one node's stack instance. Exactly one node per network —
+// the lowest-ID access point — runs the controller role; all controller
+// state lives inside that node's stack, so the sharded engine's
+// no-cross-node-mutation rule holds.
+type SDNStack struct {
+	id           topology.NodeID
+	isAP         bool
+	controllerID topology.NodeID
+	roster       int               // topology node count (provisioned, like the controller address)
+	aps          []topology.NodeID // sink set, sorted (provisioned)
+	cfg          SDNConfig
+	combiner     *mac.Combiner
+
+	synced bool
+
+	// Gradient toward the controller (from beacon hop counts): used only
+	// to route reports before/around a configured tree.
+	hops    map[topology.NodeID]sdnHopsEntry
+	uplink  topology.NodeID
+	ownHops uint8
+
+	// Observed link table (from overheard beacons in discovery slots).
+	rss map[topology.NodeID]sdnRSSEntry
+
+	nextMaintain sim.ASN
+	nextReport   sim.ASN
+
+	// Configured data plane (pushed by the controller).
+	cfgEpoch   uint16
+	parent     topology.NodeID
+	children   []topology.NodeID // sorted
+	childCells map[int64]topology.NodeID
+	// consecParentFails counts consecutive unacked data transmissions;
+	// crossing DeadAckThreshold declares the parent dead.
+	consecParentFails int
+
+	ctrlQ []sdnCtrlEntry
+
+	// onParentChange reports data-plane route changes to telemetry.
+	onParentChange func(asn sim.ASN, parent topology.NodeID)
+
+	// --- controller-only state (nil maps on every other node) ---
+	reports       map[topology.NodeID]sdnReportEntry
+	epoch         uint16
+	epochCount    int64
+	nextRecompute sim.ASN
+	lastSent      map[topology.NodeID]sdnNodeConfig
+}
+
+var _ mac.Protocol = (*SDNStack)(nil)
+
+// SDNReportNeighbor is one link observation inside a report.
+type SDNReportNeighbor struct {
+	Node topology.NodeID
+	RSS  float64
+}
+
+// NewSDNStack builds one node's stack. controllerID is the elected
+// controller (lowest-ID access point), roster the deployment's node count
+// and aps the sink set; all are provisioning-time constants, like a real
+// controller address.
+func NewSDNStack(id topology.NodeID, isAP bool, controllerID topology.NodeID,
+	roster int, aps []topology.NodeID, cfg SDNConfig) (*SDNStack, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sortedAPs := append([]topology.NodeID(nil), aps...)
+	sort.Slice(sortedAPs, func(i, j int) bool { return sortedAPs[i] < sortedAPs[j] })
+	s := &SDNStack{
+		id:           id,
+		isAP:         isAP,
+		controllerID: controllerID,
+		roster:       roster,
+		aps:          sortedAPs,
+		cfg:          cfg,
+		ownHops:      sdnHopsUnknown,
+	}
+	if s.controller() {
+		s.ownHops = 0
+		s.reports = make(map[topology.NodeID]sdnReportEntry)
+		s.lastSent = make(map[topology.NodeID]sdnNodeConfig)
+	}
+	s.combiner = mac.NewCombiner(
+		mac.Slotframe{Length: cfg.EBFrameLen, Priority: 0, ChannelOffset: ebChannelOffset,
+			Role: s.ebRole},
+		mac.Slotframe{Length: cfg.CtrlFrameLen, Priority: 1, ChannelOffset: sdnCtrlChannelBase,
+			Role: s.ctrlRole},
+		mac.Slotframe{Length: cfg.DataFrameLen, Priority: 2, ChannelOffset: sdnDataChannelBase,
+			Role: s.dataRole},
+		// Discovery fills otherwise-idle slots with listening on other
+		// nodes' beacon slots: that is how the link table the controller
+		// collects gets populated. Lowest priority — it never displaces a
+		// scheduled cell.
+		mac.Slotframe{Length: cfg.EBFrameLen, Priority: 3, ChannelOffset: ebChannelOffset,
+			Role: s.discoveryRole},
+	)
+	return s, nil
+}
+
+// controller reports whether this node runs the controller role.
+func (s *SDNStack) controller() bool { return s.id == s.controllerID }
+
+// Controller exposes the role for probes and tests.
+func (s *SDNStack) Controller() bool { return s.controller() }
+
+// Parent exposes the configured data-plane parent.
+func (s *SDNStack) Parent() topology.NodeID { return s.parent }
+
+// Configured reports whether the node holds a routed data-plane state:
+// access points sink traffic by construction, everyone else needs a
+// controller-assigned parent.
+func (s *SDNStack) Configured() bool { return s.isAP || s.parent != 0 }
+
+// KnownReports exposes how many fresh node reports the controller holds
+// (0 on non-controller nodes).
+func (s *SDNStack) KnownReports() int { return len(s.reports) }
+
+// Reset implements mac.Resetter: full state loss, as after a reboot
+// without persistent storage. Configuration, identity and the telemetry
+// callback survive.
+func (s *SDNStack) Reset() {
+	s.synced = false
+	s.hops = nil
+	s.uplink = 0
+	s.ownHops = sdnHopsUnknown
+	s.rss = nil
+	s.nextMaintain = 0
+	s.nextReport = 0
+	s.cfgEpoch = 0
+	s.parent = 0
+	s.children = nil
+	s.childCells = nil
+	s.consecParentFails = 0
+	s.ctrlQ = nil
+	if s.controller() {
+		s.ownHops = 0
+		s.reports = make(map[topology.NodeID]sdnReportEntry)
+		s.epoch = 0
+		s.epochCount = 0
+		s.nextRecompute = 0
+		s.lastSent = make(map[topology.NodeID]sdnNodeConfig)
+	}
+}
+
+// timeSource is the node this node tracks beacons from: the configured
+// parent when routed, the report uplink while bootstrapping.
+func (s *SDNStack) timeSource() topology.NodeID {
+	if s.parent != 0 {
+		return s.parent
+	}
+	return s.uplink
+}
+
+func (s *SDNStack) ebRole(offset int64, _ sim.ASN) (mac.SlotRole, int) {
+	if offset == int64(s.id-1)%s.cfg.EBFrameLen {
+		return mac.RoleTxEB, 0
+	}
+	if ts := s.timeSource(); ts != 0 && offset == int64(ts-1)%s.cfg.EBFrameLen {
+		return mac.RoleRxEB, 0
+	}
+	return mac.RoleSleep, 0
+}
+
+// ctrlHead returns the control-queue head if it is eligible at this slot.
+func (s *SDNStack) ctrlHead(asn sim.ASN) *sdnCtrlEntry {
+	if len(s.ctrlQ) == 0 {
+		return nil
+	}
+	e := &s.ctrlQ[0]
+	if asn < e.notBefore {
+		return nil
+	}
+	return e
+}
+
+func (s *SDNStack) ctrlRole(offset int64, asn sim.ASN) (mac.SlotRole, int) {
+	if e := s.ctrlHead(asn); e != nil && offset == s.ctrlCellTo(e.frame.Dst) {
+		return mac.RoleShared, 0
+	}
+	if s.ownCtrlCell(offset) {
+		return mac.RoleShared, 0
+	}
+	return mac.RoleSleep, 0
+}
+
+func (s *SDNStack) dataRole(offset int64, _ sim.ASN) (mac.SlotRole, int) {
+	if s.parent != 0 && offset == sdnCell(s.id, s.cfg.DataFrameLen) {
+		return mac.RoleTxData, 1
+	}
+	if _, ok := s.childCells[offset]; ok {
+		return mac.RoleRxData, 0
+	}
+	return mac.RoleSleep, 0
+}
+
+func (s *SDNStack) discoveryRole(offset int64, _ sim.ASN) (mac.SlotRole, int) {
+	// Every deployment node k beacons at (k-1) % EBFrameLen; listen on
+	// any occupied beacon slot that is not otherwise scheduled.
+	if offset < int64(s.roster) && offset != int64(s.id-1)%s.cfg.EBFrameLen {
+		return mac.RoleRxEB, 0
+	}
+	return mac.RoleSleep, 0
+}
+
+// maintain is the local bookkeeping tick.
+func (s *SDNStack) maintain(asn sim.ASN) {
+	stale := asn - sim.SlotsFor(s.cfg.NeighborStale)
+	for n, e := range s.hops {
+		if e.heard < stale {
+			delete(s.hops, n)
+		}
+	}
+	for n, e := range s.rss {
+		if e.heard < stale {
+			delete(s.rss, n)
+		}
+	}
+	// Recompute the report uplink: the freshest-gradient neighbor with
+	// the fewest hops to the controller. Equal-hop candidates are ranked
+	// by an ID-salted key so different nodes spread over different relays
+	// instead of dogpiling the lowest-ID one.
+	if !s.controller() {
+		best := topology.NodeID(0)
+		bestHops := uint8(sdnHopsUnknown)
+		ids := make([]topology.NodeID, 0, len(s.hops))
+		for n := range s.hops {
+			ids = append(ids, n)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		salt := func(n topology.NodeID) int64 {
+			return (int64(n)*31 + int64(s.id)*7) % 97
+		}
+		for _, n := range ids {
+			h := s.hops[n].hops
+			if h < bestHops {
+				bestHops = h
+				best = n
+			} else if h == bestHops && best != 0 && salt(n) < salt(best) {
+				best = n
+			}
+		}
+		s.uplink = best
+		if best == 0 {
+			s.ownHops = sdnHopsUnknown
+		} else if bestHops >= sdnHopsUnknown-1 {
+			s.ownHops = sdnHopsUnknown - 1
+		} else {
+			s.ownHops = bestHops + 1
+		}
+		// Report when due and routable.
+		if s.synced && s.uplink != 0 && asn >= s.nextReport {
+			s.enqueueReport(asn)
+			s.nextReport = asn + sim.SlotsFor(s.cfg.ReportEvery)
+		}
+	}
+}
+
+// enqueueReport packages the strongest observed links into a report frame
+// headed for the controller via the gradient uplink.
+func (s *SDNStack) enqueueReport(asn sim.ASN) {
+	neigh := make([]SDNReportNeighbor, 0, len(s.rss))
+	for n, e := range s.rss {
+		neigh = append(neigh, SDNReportNeighbor{Node: n, RSS: e.rss})
+	}
+	// Strongest first, ties to the lowest ID, capped.
+	sort.Slice(neigh, func(i, j int) bool {
+		if neigh[i].RSS != neigh[j].RSS {
+			return neigh[i].RSS > neigh[j].RSS
+		}
+		return neigh[i].Node < neigh[j].Node
+	})
+	if len(neigh) > s.cfg.MaxNeighborsReported {
+		neigh = neigh[:s.cfg.MaxNeighborsReported]
+	}
+	s.enqueueCtrl(&sim.Frame{
+		Kind:    sim.KindReport,
+		Src:     s.id,
+		Dst:     s.uplink,
+		Origin:  s.id,
+		BornASN: asn,
+		Payload: marshalReport(neigh),
+	})
+}
+
+// enqueueCtrl appends to the bounded control queue; overflow drops the
+// newcomer (deterministically — the periodic report/refresh machinery
+// retries later). It reports whether the frame was admitted.
+func (s *SDNStack) enqueueCtrl(f *sim.Frame) bool {
+	limit := s.cfg.CtrlQueueCap
+	if s.controller() {
+		limit = s.cfg.CtrlQueueCapController
+	}
+	if len(s.ctrlQ) >= limit {
+		return false
+	}
+	s.ctrlQ = append(s.ctrlQ, sdnCtrlEntry{frame: f})
+	return true
+}
+
+// Assignment implements mac.Protocol.
+func (s *SDNStack) Assignment(asn sim.ASN) mac.Assignment {
+	if asn >= s.nextMaintain {
+		s.nextMaintain = asn + sim.SlotsFor(s.cfg.MaintainEvery)
+		s.maintain(asn)
+	}
+	if s.controller() && s.synced && asn >= s.nextRecompute {
+		s.nextRecompute = asn + sim.SlotsFor(s.cfg.RecomputeEvery)
+		s.recompute(asn)
+	}
+	a := s.combiner.Assignment(asn)
+	switch a.Role {
+	case mac.RoleShared:
+		// Control cells hop on the cell owner's lane: the target's when
+		// transmitting, ours when listening.
+		if e := s.ctrlHead(asn); e != nil &&
+			asn%s.cfg.CtrlFrameLen == s.ctrlCellTo(e.frame.Dst) {
+			a.ChannelOffset = sdnCtrlLane(e.frame.Dst)
+		} else {
+			a.ChannelOffset = sdnCtrlLane(s.id)
+		}
+	case mac.RoleTxData:
+		a.ChannelOffset = sdnDataLane(s.id)
+	case mac.RoleRxData:
+		if c, ok := s.childCells[asn%s.cfg.DataFrameLen]; ok {
+			a.ChannelOffset = sdnDataLane(c)
+		}
+	}
+	return a
+}
+
+// OnSynced implements mac.Protocol.
+func (s *SDNStack) OnSynced(asn sim.ASN) {
+	s.synced = true
+	s.nextMaintain = asn
+	// Stagger first reports by node ID so a freshly formed network does
+	// not dogpile the gradient in one slotframe.
+	s.nextReport = asn + 200 + (int64(s.id)*31)%sim.SlotsFor(s.cfg.ReportEvery)
+	if s.controller() {
+		s.nextRecompute = asn + sim.SlotsFor(s.cfg.RecomputeEvery)
+	}
+}
+
+// EBPayload implements mac.Protocol: beacons carry the hop distance to
+// the controller, which is what bootstraps report routing.
+func (s *SDNStack) EBPayload() []byte {
+	return []byte{s.ownHops}
+}
+
+// OnFrame implements mac.Protocol.
+func (s *SDNStack) OnFrame(asn sim.ASN, f *sim.Frame, rssi float64) {
+	switch f.Kind {
+	case sim.KindEB:
+		if s.rss == nil {
+			s.rss = make(map[topology.NodeID]sdnRSSEntry)
+		}
+		s.rss[f.Src] = sdnRSSEntry{rss: rssi, heard: asn}
+		if len(f.Payload) == 1 && f.Payload[0] != sdnHopsUnknown {
+			if s.hops == nil {
+				s.hops = make(map[topology.NodeID]sdnHopsEntry)
+			}
+			s.hops[f.Src] = sdnHopsEntry{hops: f.Payload[0], heard: asn}
+		}
+	case sim.KindReport:
+		if f.Dst != s.id {
+			return
+		}
+		if s.controller() {
+			s.absorbReport(asn, f)
+			return
+		}
+		// Relay toward the controller via our current uplink. A relay
+		// with no uplink (gradient hole) drops; the origin re-reports.
+		if s.uplink == 0 || f.Origin == s.id {
+			return
+		}
+		s.enqueueCtrl(&sim.Frame{
+			Kind:    sim.KindReport,
+			Src:     s.id,
+			Dst:     s.uplink,
+			Origin:  f.Origin,
+			BornASN: f.BornASN,
+			Payload: append([]byte(nil), f.Payload...),
+		})
+	case sim.KindConfig:
+		if f.Dst != s.id {
+			return
+		}
+		if len(f.Route) == 0 {
+			s.applyConfig(asn, f.Payload)
+			return
+		}
+		// Source-routed relay: peel the next hop off the remaining route.
+		next := f.Route[0]
+		s.enqueueCtrl(&sim.Frame{
+			Kind:    sim.KindConfig,
+			Src:     s.id,
+			Dst:     next,
+			Origin:  f.Origin,
+			BornASN: f.BornASN,
+			Route:   append([]topology.NodeID(nil), f.Route[1:]...),
+			Payload: append([]byte(nil), f.Payload...),
+		})
+	}
+}
+
+// absorbReport ingests one node's link-state report.
+func (s *SDNStack) absorbReport(asn sim.ASN, f *sim.Frame) {
+	neigh, err := unmarshalReport(f.Payload)
+	if err != nil {
+		return
+	}
+	s.reports[f.Origin] = sdnReportEntry{asn: asn, neigh: neigh}
+}
+
+// applyConfig installs a controller-pushed route/schedule assignment.
+func (s *SDNStack) applyConfig(asn sim.ASN, payload []byte) {
+	epoch, parent, children, err := unmarshalConfig(payload)
+	if err != nil {
+		return
+	}
+	if s.cfgEpoch != 0 && !epochNewer(epoch, s.cfgEpoch) {
+		return
+	}
+	oldParent := s.parent
+	s.cfgEpoch = epoch
+	s.parent = parent
+	s.children = children
+	s.childCells = make(map[int64]topology.NodeID, len(children))
+	for _, c := range children {
+		s.childCells[sdnCell(c, s.cfg.DataFrameLen)] = c
+	}
+	s.consecParentFails = 0
+	if parent != oldParent && s.onParentChange != nil {
+		s.onParentChange(asn, parent)
+	}
+}
+
+// loseParent declares the configured parent dead after sustained data
+// loss: the node leaves the routed set (honest time-to-repair — it is
+// broken until the controller reroutes it) and raises an alarm report
+// with the dead link scrubbed.
+func (s *SDNStack) loseParent(asn sim.ASN) {
+	dead := s.parent
+	s.parent = 0
+	s.consecParentFails = 0
+	delete(s.rss, dead)
+	delete(s.hops, dead)
+	s.nextReport = asn // alarm: report at the next maintenance tick
+	s.nextMaintain = asn
+	if s.onParentChange != nil {
+		s.onParentChange(asn, 0)
+	}
+}
+
+// SharedFrame implements mac.Protocol: transmit the control-queue head
+// when this slot is its target's cell, listen otherwise.
+func (s *SDNStack) SharedFrame(asn sim.ASN) (*sim.Frame, bool) {
+	e := s.ctrlHead(asn)
+	if e == nil || asn%s.cfg.CtrlFrameLen != s.ctrlCellTo(e.frame.Dst) {
+		return nil, false
+	}
+	return e.frame, true
+}
+
+// NextHop implements mac.Protocol: strictly the controller-assigned
+// parent. No local repair — rerouting is the controller's job, and its
+// latency is the point of the comparison.
+func (s *SDNStack) NextHop(sim.ASN, int) (topology.NodeID, bool) {
+	return s.parent, s.parent != 0
+}
+
+// OnTxResult implements mac.Protocol.
+func (s *SDNStack) OnTxResult(asn sim.ASN, f *sim.Frame, to topology.NodeID, acked bool) {
+	switch f.Kind {
+	case sim.KindData:
+		if acked {
+			s.consecParentFails = 0
+		} else if to == s.parent && s.parent != 0 {
+			s.consecParentFails++
+			if s.consecParentFails >= s.cfg.DeadAckThreshold {
+				s.loseParent(asn)
+			}
+		}
+	case sim.KindReport, sim.KindConfig:
+		if len(s.ctrlQ) == 0 || s.ctrlQ[0].frame != f {
+			return
+		}
+		if acked {
+			s.ctrlQ = s.ctrlQ[1:]
+			return
+		}
+		e := &s.ctrlQ[0]
+		e.tries++
+		if e.tries >= s.cfg.MaxCtrlTries {
+			s.ctrlQ = s.ctrlQ[1:]
+			return
+		}
+		// Deterministic ID-salted backoff: de-syncs relays that keep
+		// colliding in the same receiver cell.
+		e.notBefore = asn + 1 + (int64(s.id)*7+int64(e.tries)*13)%(3*s.cfg.CtrlFrameLen)
+	}
+}

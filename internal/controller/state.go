@@ -1,0 +1,385 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/rpl"
+	"github.com/digs-net/digs/internal/sim"
+	"github.com/digs-net/digs/internal/topology"
+	"github.com/digs-net/digs/internal/trickle"
+)
+
+// SDNHopsState is one gradient-table entry (hop distance to controller).
+type SDNHopsState struct {
+	Node  topology.NodeID
+	Hops  uint8
+	Heard int64
+}
+
+// SDNRSSState is one observed-link entry.
+type SDNRSSState struct {
+	Node  topology.NodeID
+	RSS   float64
+	Heard int64
+}
+
+// SDNCtrlState is one queued control frame with its retry bookkeeping.
+type SDNCtrlState struct {
+	Frame     mac.FrameState
+	Tries     int
+	NotBefore int64
+}
+
+// SDNReportState is one collected link-state report (controller only).
+type SDNReportState struct {
+	Node  topology.NodeID
+	ASN   int64
+	Neigh []SDNReportNeighbor
+}
+
+// SDNSentState is one dissemination-dedup entry (controller only).
+type SDNSentState struct {
+	Node     topology.NodeID
+	Parent   topology.NodeID
+	Children []topology.NodeID
+}
+
+// SDNStackState is the complete mutable state of one SDN stack. The
+// child-cell map is not captured: applyConfig derives it from Children
+// deterministically, so the restore path recomputes it.
+type SDNStackState struct {
+	Synced  bool
+	Uplink  topology.NodeID
+	OwnHops uint8
+
+	// HasHops/HasRSS distinguish nil tables (never populated since
+	// construction or reset) from empty populated ones.
+	HasHops bool
+	Hops    []SDNHopsState // sorted by node
+	HasRSS  bool
+	RSS     []SDNRSSState // sorted by node
+
+	NextMaintain int64
+	NextReport   int64
+
+	CfgEpoch          uint16
+	Parent            topology.NodeID
+	Children          []topology.NodeID
+	ConsecParentFails int
+
+	CtrlQ []SDNCtrlState
+
+	// Controller-only state (zero values on every other node).
+	Reports       []SDNReportState // sorted by node
+	Epoch         uint16
+	EpochCount    int64
+	NextRecompute int64
+	LastSent      []SDNSentState // sorted by node
+}
+
+// CaptureState snapshots the stack.
+func (s *SDNStack) CaptureState() *SDNStackState {
+	st := &SDNStackState{
+		Synced:            s.synced,
+		Uplink:            s.uplink,
+		OwnHops:           s.ownHops,
+		NextMaintain:      int64(s.nextMaintain),
+		NextReport:        int64(s.nextReport),
+		CfgEpoch:          s.cfgEpoch,
+		Parent:            s.parent,
+		Children:          append([]topology.NodeID(nil), s.children...),
+		ConsecParentFails: s.consecParentFails,
+		Epoch:             s.epoch,
+		EpochCount:        s.epochCount,
+		NextRecompute:     int64(s.nextRecompute),
+	}
+	if s.hops != nil {
+		st.HasHops = true
+		st.Hops = make([]SDNHopsState, 0, len(s.hops))
+		for n, e := range s.hops {
+			st.Hops = append(st.Hops, SDNHopsState{Node: n, Hops: e.hops, Heard: int64(e.heard)})
+		}
+		sort.Slice(st.Hops, func(i, j int) bool { return st.Hops[i].Node < st.Hops[j].Node })
+	}
+	if s.rss != nil {
+		st.HasRSS = true
+		st.RSS = make([]SDNRSSState, 0, len(s.rss))
+		for n, e := range s.rss {
+			st.RSS = append(st.RSS, SDNRSSState{Node: n, RSS: e.rss, Heard: int64(e.heard)})
+		}
+		sort.Slice(st.RSS, func(i, j int) bool { return st.RSS[i].Node < st.RSS[j].Node })
+	}
+	for _, e := range s.ctrlQ {
+		st.CtrlQ = append(st.CtrlQ, SDNCtrlState{
+			Frame:     mac.CaptureFrame(e.frame),
+			Tries:     e.tries,
+			NotBefore: int64(e.notBefore),
+		})
+	}
+	for n, e := range s.reports {
+		st.Reports = append(st.Reports, SDNReportState{
+			Node: n, ASN: int64(e.asn),
+			Neigh: append([]SDNReportNeighbor(nil), e.neigh...),
+		})
+	}
+	sort.Slice(st.Reports, func(i, j int) bool { return st.Reports[i].Node < st.Reports[j].Node })
+	for n, c := range s.lastSent {
+		st.LastSent = append(st.LastSent, SDNSentState{
+			Node: n, Parent: c.parent,
+			Children: append([]topology.NodeID(nil), c.children...),
+		})
+	}
+	sort.Slice(st.LastSent, func(i, j int) bool { return st.LastSent[i].Node < st.LastSent[j].Node })
+	return st
+}
+
+// RestoreState overlays a captured stack state onto a freshly built stack
+// (same node, same configuration).
+func (s *SDNStack) RestoreState(st *SDNStackState) error {
+	if !s.controller() && (len(st.Reports) > 0 || len(st.LastSent) > 0 || st.EpochCount != 0) {
+		return fmt.Errorf("sdn stack %d: controller state in a non-controller snapshot entry", s.id)
+	}
+	s.synced = st.Synced
+	s.uplink = st.Uplink
+	s.ownHops = st.OwnHops
+	s.hops = nil
+	if st.HasHops {
+		s.hops = make(map[topology.NodeID]sdnHopsEntry, len(st.Hops))
+		for _, e := range st.Hops {
+			s.hops[e.Node] = sdnHopsEntry{hops: e.Hops, heard: sim.ASN(e.Heard)}
+		}
+	}
+	s.rss = nil
+	if st.HasRSS {
+		s.rss = make(map[topology.NodeID]sdnRSSEntry, len(st.RSS))
+		for _, e := range st.RSS {
+			s.rss[e.Node] = sdnRSSEntry{rss: e.RSS, heard: sim.ASN(e.Heard)}
+		}
+	}
+	s.nextMaintain = sim.ASN(st.NextMaintain)
+	s.nextReport = sim.ASN(st.NextReport)
+	s.cfgEpoch = st.CfgEpoch
+	s.parent = st.Parent
+	s.children = append([]topology.NodeID(nil), st.Children...)
+	s.childCells = make(map[int64]topology.NodeID, len(s.children))
+	for _, c := range s.children {
+		s.childCells[sdnCell(c, s.cfg.DataFrameLen)] = c
+	}
+	s.consecParentFails = st.ConsecParentFails
+	s.ctrlQ = nil
+	for _, e := range st.CtrlQ {
+		fs := e.Frame
+		s.ctrlQ = append(s.ctrlQ, sdnCtrlEntry{
+			frame:     fs.Restore(),
+			tries:     e.Tries,
+			notBefore: sim.ASN(e.NotBefore),
+		})
+	}
+	if s.controller() {
+		s.reports = make(map[topology.NodeID]sdnReportEntry, len(st.Reports))
+		for _, e := range st.Reports {
+			s.reports[e.Node] = sdnReportEntry{
+				asn:   sim.ASN(e.ASN),
+				neigh: append([]SDNReportNeighbor(nil), e.Neigh...),
+			}
+		}
+		s.epoch = st.Epoch
+		s.epochCount = st.EpochCount
+		s.nextRecompute = sim.ASN(st.NextRecompute)
+		s.lastSent = make(map[topology.NodeID]sdnNodeConfig, len(st.LastSent))
+		for _, e := range st.LastSent {
+			s.lastSent[e.Node] = sdnNodeConfig{
+				parent:   e.Parent,
+				children: append([]topology.NodeID(nil), e.Children...),
+			}
+		}
+	}
+	return nil
+}
+
+// CaptureState snapshots every stack of the network, indexed by node ID
+// (entry 0 nil).
+func (n *SDNNetwork) CaptureState() ([]*SDNStackState, error) {
+	out := make([]*SDNStackState, len(n.Stacks))
+	for i, s := range n.Stacks {
+		if s != nil {
+			out[i] = s.CaptureState()
+		}
+	}
+	return out, nil
+}
+
+// RestoreState overlays captured stack states onto a freshly built network.
+func (n *SDNNetwork) RestoreState(states []*SDNStackState) error {
+	if len(states) != len(n.Stacks) {
+		return fmt.Errorf("sdn restore: %d stack states for %d stacks", len(states), len(n.Stacks))
+	}
+	for i, s := range n.Stacks {
+		if s == nil {
+			continue
+		}
+		if states[i] == nil {
+			return fmt.Errorf("sdn restore: missing state for node %d", i)
+		}
+		if err := s.RestoreState(states[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdaptiveCellState is one cached neighbor cell-count entry.
+type AdaptiveCellState struct {
+	Node  topology.NodeID
+	Cells int
+}
+
+// AdaptiveChildCellState is one listen-cell cache entry.
+type AdaptiveChildCellState struct {
+	Slot int64
+	Node topology.NodeID
+}
+
+// AdaptiveStackState is the complete mutable state of one adaptive stack.
+// Both caches are captured rather than recomputed on restore: they refresh
+// only at maintenance ticks, so a restore-time recompute could be fresher
+// than the interrupted run's cache and diverge from it.
+type AdaptiveStackState struct {
+	Router   rpl.RouterState
+	Trickle  trickle.State
+	RNGDraws uint64
+
+	WantDIO      bool
+	NextMaintain int64
+	NextSolicit  int64
+	Synced       bool
+
+	TxCells        int
+	IdleTicks      int
+	FailsSinceTick int
+	SentSinceTick  int
+
+	// HasNeighborCells/HasChildCells distinguish nil caches (never
+	// populated since construction or reset) from empty populated ones.
+	HasNeighborCells bool
+	NeighborCells    []AdaptiveCellState // sorted by node
+	HasChildCells    bool
+	ChildCells       []AdaptiveChildCellState // sorted by slot
+}
+
+// CaptureState snapshots the stack. It fails for stacks constructed with
+// an external RNG (NewAdaptiveStack with a caller-owned rand.Rand): only
+// BuildAdaptive-created stacks track their generator position.
+func (s *AdaptiveStack) CaptureState() (*AdaptiveStackState, error) {
+	if s.rngSrc == nil {
+		return nil, fmt.Errorf("adaptive stack %d: not built with a checkpointable RNG (use controller.BuildAdaptive)", s.id)
+	}
+	st := &AdaptiveStackState{
+		Router:         s.router.CaptureState(),
+		Trickle:        s.tr.CaptureState(),
+		RNGDraws:       s.rngSrc.Draws(),
+		WantDIO:        s.wantDIO,
+		NextMaintain:   int64(s.nextMaintain),
+		NextSolicit:    int64(s.nextSolicit),
+		Synced:         s.synced,
+		TxCells:        s.txCells,
+		IdleTicks:      s.idleTicks,
+		FailsSinceTick: s.failsSinceTick,
+		SentSinceTick:  s.sentSinceTick,
+	}
+	if s.neighborCells != nil {
+		st.HasNeighborCells = true
+		st.NeighborCells = make([]AdaptiveCellState, 0, len(s.neighborCells))
+		for n, c := range s.neighborCells {
+			st.NeighborCells = append(st.NeighborCells, AdaptiveCellState{Node: n, Cells: c})
+		}
+		sort.Slice(st.NeighborCells, func(i, j int) bool {
+			return st.NeighborCells[i].Node < st.NeighborCells[j].Node
+		})
+	}
+	if s.childCells != nil {
+		st.HasChildCells = true
+		st.ChildCells = make([]AdaptiveChildCellState, 0, len(s.childCells))
+		for slot, id := range s.childCells {
+			st.ChildCells = append(st.ChildCells, AdaptiveChildCellState{Slot: slot, Node: id})
+		}
+		sort.Slice(st.ChildCells, func(i, j int) bool {
+			return st.ChildCells[i].Slot < st.ChildCells[j].Slot
+		})
+	}
+	return st, nil
+}
+
+// RestoreState overlays a captured stack state onto a freshly built stack
+// (same node, same configuration, same build seed).
+func (s *AdaptiveStack) RestoreState(st *AdaptiveStackState) error {
+	if s.rngSrc == nil {
+		return fmt.Errorf("adaptive stack %d: not built with a checkpointable RNG (use controller.BuildAdaptive)", s.id)
+	}
+	s.router.RestoreState(st.Router)
+	s.tr.RestoreState(st.Trickle)
+	s.rngSrc.Reset(st.RNGDraws)
+	s.wantDIO = st.WantDIO
+	s.nextMaintain = sim.ASN(st.NextMaintain)
+	s.nextSolicit = sim.ASN(st.NextSolicit)
+	s.synced = st.Synced
+	s.txCells = st.TxCells
+	s.idleTicks = st.IdleTicks
+	s.failsSinceTick = st.FailsSinceTick
+	s.sentSinceTick = st.SentSinceTick
+	if st.HasNeighborCells {
+		s.neighborCells = make(map[topology.NodeID]int, len(st.NeighborCells))
+		for _, c := range st.NeighborCells {
+			s.neighborCells[c.Node] = c.Cells
+		}
+	} else {
+		s.neighborCells = nil
+	}
+	if st.HasChildCells {
+		s.childCells = make(map[int64]topology.NodeID, len(st.ChildCells))
+		for _, c := range st.ChildCells {
+			s.childCells[c.Slot] = c.Node
+		}
+	} else {
+		s.childCells = nil
+	}
+	return nil
+}
+
+// CaptureState snapshots every stack of the network, indexed by node ID
+// (entry 0 nil).
+func (n *AdaptiveNetwork) CaptureState() ([]*AdaptiveStackState, error) {
+	out := make([]*AdaptiveStackState, len(n.Stacks))
+	for i, s := range n.Stacks {
+		if s == nil {
+			continue
+		}
+		st, err := s.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// RestoreState overlays captured stack states onto a freshly built network.
+func (n *AdaptiveNetwork) RestoreState(states []*AdaptiveStackState) error {
+	if len(states) != len(n.Stacks) {
+		return fmt.Errorf("adaptive restore: %d stack states for %d stacks", len(states), len(n.Stacks))
+	}
+	for i, s := range n.Stacks {
+		if s == nil {
+			continue
+		}
+		if states[i] == nil {
+			return fmt.Errorf("adaptive restore: missing state for node %d", i)
+		}
+		if err := s.RestoreState(states[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -46,6 +46,13 @@ func (fs FrameState) restore() *sim.Frame {
 	return f
 }
 
+// CaptureFrame exports captureFrame for protocol stacks that checkpoint
+// frames of their own (e.g. the SDN control queue).
+func CaptureFrame(f *sim.Frame) FrameState { return captureFrame(f) }
+
+// Restore exports restore for the same callers.
+func (fs FrameState) Restore() *sim.Frame { return fs.restore() }
+
 // PacketState is one queued packet (data or downlink command).
 type PacketState struct {
 	Frame   FrameState

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/digs-net/digs/internal/mac"
+	"github.com/digs-net/digs/internal/sim"
+)
+
+// StackBuilder attaches one protocol stack to every node of the freshly
+// built network and fills the Scenario's uniform surface (MACNode, Joined,
+// SetTracer, OnDeliver, Prober, Healer, take/restore, ConfigHash). The
+// builder receives the resolved Params (Topology non-nil, Period filled)
+// and the MAC configuration the scenario computed from them.
+type StackBuilder func(sc *Scenario, p Params, nw *sim.Network, macCfg mac.Config) error
+
+var stackRegistry = map[string]StackBuilder{}
+
+// RegisterStack adds a protocol stack under its -protocol name. Every CLI
+// and the scenario spec validate against this one registry, so adding a
+// controller implementation is a single registration. Registration happens
+// from init functions; duplicate or empty names are programming errors.
+func RegisterStack(name string, b StackBuilder) {
+	if name == "" || b == nil {
+		panic("scenario: RegisterStack with empty name or nil builder")
+	}
+	if _, dup := stackRegistry[name]; dup {
+		panic(fmt.Sprintf("scenario: stack %q registered twice", name))
+	}
+	stackRegistry[name] = b
+}
+
+// StackRegistered reports whether a protocol name has a registered stack.
+func StackRegistered(name string) bool {
+	_, ok := stackRegistry[name]
+	return ok
+}
+
+// RegisteredStacks lists the registered protocol names, sorted.
+func RegisteredStacks() []string {
+	names := make([]string, 0, len(stackRegistry))
+	for name := range stackRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StackNames is the comma-joined registry contents, for flag help text and
+// rejection messages.
+func StackNames() string {
+	return strings.Join(RegisteredStacks(), ", ")
+}

@@ -13,16 +13,19 @@ import (
 	"github.com/digs-net/digs/internal/telemetry"
 )
 
-// runScale builds a DiGS scenario on a generated sparse topology with the
-// given shard count, converges it, runs one flow window with telemetry
-// attached, and returns a fingerprint of every observable output: the
-// delivered-packet ledger, the per-node MAC statistics (exact float bits),
-// the final ASN, and the raw telemetry JSONL bytes.
-func runScale(t *testing.T, topoName string, shards int) (string, []byte) {
+// runScale builds a scenario for the given stack on a generated sparse
+// topology with the given shard count, converges it (to minJoin of the
+// deployment — the centralized sdn stack legitimately configures a large
+// mesh much more slowly than the distributed stacks form it), runs one
+// flow window with telemetry attached, and returns a fingerprint of every
+// observable output: the delivered-packet ledger, the per-node MAC
+// statistics (exact float bits), the final ASN, and the raw telemetry
+// JSONL bytes.
+func runScale(t *testing.T, topoName, proto string, shards int, minJoin float64) (string, []byte) {
 	t.Helper()
 	sc, err := Build(Params{
 		TopologyName: topoName,
-		Protocol:     snapshot.ProtocolDiGS,
+		Protocol:     proto,
 		Seed:         42,
 		Period:       2 * time.Second,
 		Shards:       shards,
@@ -43,7 +46,7 @@ func runScale(t *testing.T, topoName string, shards int) (string, []byte) {
 	// links sit in the sub-sensitivity guard band can take very long to
 	// join; they don't carry the test's flows.
 	sc.NW.RunUntil(60_000, func() bool { return sc.Joined() == n })
-	if j := sc.Joined(); j < n*9/10 {
+	if j := sc.Joined(); float64(j) < float64(n)*minJoin {
 		t.Fatalf("(%d shards) only %d/%d joined after %d slots", shards, j, n, sc.NW.ASN())
 	}
 
@@ -84,12 +87,12 @@ func TestScaleShardBitIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run convergence test")
 	}
-	baseFP, baseTrace := runScale(t, "gen-field-300-3", 1)
+	baseFP, baseTrace := runScale(t, "gen-field-300-3", snapshot.ProtocolDiGS, 1, 0.9)
 	if len(baseTrace) == 0 {
 		t.Fatal("telemetry stream empty — tracer not wired through the splitter")
 	}
 	for _, shards := range []int{2, 4, 8} {
-		fp, tr := runScale(t, "gen-field-300-3", shards)
+		fp, tr := runScale(t, "gen-field-300-3", snapshot.ProtocolDiGS, shards, 0.9)
 		if fp != baseFP {
 			t.Errorf("%d shards: metrics fingerprint diverged from 1-shard run:\n%s",
 				shards, firstDiff(baseFP, fp))
@@ -98,6 +101,47 @@ func TestScaleShardBitIdentity(t *testing.T) {
 			t.Errorf("%d shards: telemetry JSONL diverged from 1-shard run (%d vs %d bytes)",
 				shards, len(tr), len(baseTrace))
 		}
+	}
+}
+
+// TestControllerScaleShardBitIdentity extends the shard-count guarantee to
+// the controller-layer stacks: the adaptive allocator (whose cell budgets
+// react to per-tick queue and loss observations) and the centralized sdn
+// stack (whose controller node collects and disseminates in-band) must
+// both produce bit-identical metrics and telemetry at 1, 2, 4 and 8
+// shards. The sdn join floor is low on purpose: configuring an 80-node
+// mesh through one controller takes many report/dissemination epochs, and
+// this test is about determinism, not reconvergence speed.
+func TestControllerScaleShardBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run convergence test")
+	}
+	for _, tc := range []struct {
+		proto   string
+		minJoin float64
+	}{
+		{snapshot.ProtocolAdaptive, 0.9},
+		{snapshot.ProtocolSDN, 0.15},
+	} {
+		tc := tc
+		t.Run(tc.proto, func(t *testing.T) {
+			t.Parallel()
+			baseFP, baseTrace := runScale(t, "gen-field-80-3", tc.proto, 1, tc.minJoin)
+			if len(baseTrace) == 0 {
+				t.Fatal("telemetry stream empty — tracer not wired through the splitter")
+			}
+			for _, shards := range []int{2, 4, 8} {
+				fp, tr := runScale(t, "gen-field-80-3", tc.proto, shards, tc.minJoin)
+				if fp != baseFP {
+					t.Errorf("%d shards: metrics fingerprint diverged from 1-shard run:\n%s",
+						shards, firstDiff(baseFP, fp))
+				}
+				if !bytes.Equal(tr, baseTrace) {
+					t.Errorf("%d shards: telemetry JSONL diverged from 1-shard run (%d vs %d bytes)",
+						shards, len(tr), len(baseTrace))
+				}
+			}
+		})
 	}
 }
 

@@ -1,6 +1,6 @@
 // Package scenario builds ready-to-run protocol scenarios — one of the
-// three stacks attached to a simulated network on a named topology — and
-// pairs each with its checkpoint surface. It is the layer the CLIs and the
+// registered stacks attached to a simulated network on a named topology —
+// and pairs each with its checkpoint surface. It is the layer the CLIs and the
 // warm-start machinery share: digs-snap takes and resumes snapshots of
 // scenarios, digs-chaos branches fault plans off a cached converged one,
 // and both must agree exactly on how a (topology, protocol, seed)
@@ -16,12 +16,10 @@ import (
 	"github.com/digs-net/digs/internal/core"
 	"github.com/digs-net/digs/internal/invariant"
 	"github.com/digs-net/digs/internal/mac"
-	"github.com/digs-net/digs/internal/orchestra"
 	"github.com/digs-net/digs/internal/sim"
 	"github.com/digs-net/digs/internal/snapshot"
 	"github.com/digs-net/digs/internal/telemetry"
 	"github.com/digs-net/digs/internal/topology"
-	"github.com/digs-net/digs/internal/whart"
 )
 
 // PickTopology resolves the deployment names the CLIs accept.
@@ -60,7 +58,7 @@ type Params struct {
 	// TopologyName is the PickTopology name (stored in snapshot metadata
 	// so a resuming process can rebuild the deployment).
 	TopologyName string
-	// Protocol is one of snapshot.ProtocolDiGS/Orchestra/WHART.
+	// Protocol is a registered stack name (see RegisteredStacks).
 	Protocol string
 	Seed     int64
 	// Period is the per-flow packet period; the WirelessHART central
@@ -78,10 +76,16 @@ type Params struct {
 	// count, so Shards is a throughput knob, not a simulation parameter —
 	// snapshots taken at one count restore at any other.
 	Shards int
+	// Flows requests that many random flow sources instead of the
+	// deployment's suggested ones. Only the WirelessHART build consumes it
+	// (the Network Manager needs the flow set up front to dimension its
+	// central schedule); the autonomous stacks take traffic as it comes,
+	// so their flow sets stay a property of the run, not the build.
+	Flows int
 }
 
 // Scenario is a built, runnable protocol scenario with a uniform surface
-// over the three stacks.
+// over the registered stacks.
 type Scenario struct {
 	Params Params
 	NW     *sim.Network
@@ -95,6 +99,10 @@ type Scenario struct {
 	OnDeliver func(fn func(asn sim.ASN, f *sim.Frame))
 	Prober    invariant.Prober
 	Healer    func(id topology.NodeID, asn sim.ASN)
+	// Schedule reads one node's slot assignment (digs-sim's
+	// -dump-schedule). Calling it advances protocol timers exactly like
+	// the simulation would, so it is a run-ending inspection, not a peek.
+	Schedule func(id int, asn sim.ASN) mac.Assignment
 
 	take    func(meta snapshot.Meta) (*snapshot.Snapshot, error)
 	restore func(s *snapshot.Snapshot) error
@@ -133,81 +141,12 @@ func Build(p Params) (*Scenario, error) {
 	}
 	sc := &Scenario{Params: p, NW: nw}
 
-	switch p.Protocol {
-	case snapshot.ProtocolDiGS:
-		// ScaledConfig == DefaultConfig within the paper envelope; only
-		// generated massive-scale deployments get re-dimensioned frames.
-		cfg := core.ScaledConfig(topo.NumAPs, topo.N())
-		if p.DiGSConfig != nil {
-			cfg = *p.DiGSConfig
-		}
-		net, err := core.Build(nw, cfg, macCfg, p.Seed)
-		if err != nil {
-			return nil, err
-		}
-		sc.ConfigHash = snapshot.HashConfig(cfg, macCfg)
-		sc.MACNode = func(i int) *mac.Node { return net.Nodes[i] }
-		sc.Joined = net.JoinedCount
-		sc.SetTracer = net.SetTracer
-		sc.OnDeliver = net.OnDeliver
-		sc.Prober = net.Prober(nw)
-		sc.Healer = net.Healer()
-		sc.take = func(meta snapshot.Meta) (*snapshot.Snapshot, error) {
-			return snapshot.TakeDiGS(meta, nw, net)
-		}
-		sc.restore = func(s *snapshot.Snapshot) error { return s.RestoreDiGS(nw, net) }
-
-	case snapshot.ProtocolOrchestra:
-		cfg := orchestra.DefaultConfig()
-		net, err := orchestra.Build(nw, cfg, macCfg, p.Seed)
-		if err != nil {
-			return nil, err
-		}
-		sc.ConfigHash = snapshot.HashConfig(cfg, macCfg)
-		sc.MACNode = func(i int) *mac.Node { return net.Nodes[i] }
-		sc.Joined = net.JoinedCount
-		sc.SetTracer = net.SetTracer
-		sc.OnDeliver = net.OnDeliver
-		sc.Prober = net.Prober(nw)
-		sc.Healer = net.Healer()
-		sc.take = func(meta snapshot.Meta) (*snapshot.Snapshot, error) {
-			return snapshot.TakeOrchestra(meta, nw, net)
-		}
-		sc.restore = func(s *snapshot.Snapshot) error { return s.RestoreOrchestra(nw, net) }
-
-	case snapshot.ProtocolWHART:
-		var fl []whart.Flow
-		for i, src := range topo.SuggestedSources {
-			fl = append(fl, whart.Flow{
-				ID: uint16(i + 1), Source: src, PeriodSlots: sim.SlotsFor(p.Period),
-			})
-		}
-		net, err := whart.Build(nw, fl, macCfg)
-		if err != nil {
-			return nil, err
-		}
-		sc.ConfigHash = snapshot.HashConfig(macCfg, fl)
-		sc.MACNode = func(i int) *mac.Node { return net.Nodes[i] }
-		sc.Joined = func() int {
-			n := 0
-			for i := 1; i <= topo.N(); i++ {
-				if ok, _ := net.Nodes[i].Synced(); ok {
-					n++
-				}
-			}
-			return n
-		}
-		sc.SetTracer = net.SetTracer
-		sc.OnDeliver = net.OnDeliver
-		sc.Prober = net.Prober(nw)
-		sc.Healer = net.Healer()
-		sc.take = func(meta snapshot.Meta) (*snapshot.Snapshot, error) {
-			return snapshot.TakeWHART(meta, nw, net)
-		}
-		sc.restore = func(s *snapshot.Snapshot) error { return s.RestoreWHART(nw, net) }
-
-	default:
-		return nil, fmt.Errorf("unknown protocol %q", p.Protocol)
+	build, ok := stackRegistry[p.Protocol]
+	if !ok {
+		return nil, fmt.Errorf("unknown protocol %q (registered: %s)", p.Protocol, StackNames())
+	}
+	if err := build(sc, p, nw, macCfg); err != nil {
+		return nil, err
 	}
 	if nw.ScaleMode() {
 		// Device layers record telemetry from inside the shard-parallel
@@ -250,6 +189,13 @@ func BuildFromMeta(m snapshot.Meta) (*Scenario, error) {
 		}
 		p.MacBoost = b
 	}
+	if v := m.Extra["flows"]; v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot meta flows %q: %w", v, err)
+		}
+		p.Flows = n
+	}
 	if v := m.Extra["scale"]; v != "" {
 		// The snapshot came from a scale-engine run; rebuild in scale mode
 		// (the exact shard count is a throughput knob, not identity — the
@@ -279,6 +225,9 @@ func (sc *Scenario) Take(label string, extra map[string]string) (*snapshot.Snaps
 	}
 	if sc.Params.MacBoost > 1 {
 		meta.Extra["mac_boost"] = strconv.Itoa(sc.Params.MacBoost)
+	}
+	if sc.Params.Flows > 0 {
+		meta.Extra["flows"] = strconv.Itoa(sc.Params.Flows)
 	}
 	if sc.NW.ScaleMode() && !sc.Params.Topology.SparseOnly() {
 		// Sparse-only topologies rebuild in scale mode from the name alone;

@@ -71,7 +71,8 @@ func runTraffic(sc *Scenario) ([]byte, *metrics.CollectorState, error) {
 // continue to T — and the trace, the metrics window and the complete final
 // state are bit-identical to the run that never stopped.
 func TestResumeBitIdentity(t *testing.T) {
-	for _, proto := range []string{snapshot.ProtocolDiGS, snapshot.ProtocolOrchestra, snapshot.ProtocolWHART} {
+	for _, proto := range []string{snapshot.ProtocolDiGS, snapshot.ProtocolOrchestra,
+		snapshot.ProtocolWHART, snapshot.ProtocolSDN, snapshot.ProtocolAdaptive} {
 		proto := proto
 		t.Run(proto, func(t *testing.T) {
 			t.Parallel()
@@ -265,7 +266,8 @@ func TestWarmStartCampaignDeterminism(t *testing.T) {
 		t.Skip("multi-worker campaign sweep")
 	}
 	cache := &snapshot.Cache{Dir: t.TempDir()}
-	protos := []string{snapshot.ProtocolDiGS, snapshot.ProtocolOrchestra}
+	protos := []string{snapshot.ProtocolDiGS, snapshot.ProtocolOrchestra,
+		snapshot.ProtocolSDN, snapshot.ProtocolAdaptive}
 
 	runCampaign := func(workers int) ([]string, error) {
 		return campaign.Map(campaign.New(workers), len(protos)*2, func(i int) (string, error) {

@@ -32,7 +32,8 @@ type Spec struct {
 	// Topology is a PickTopology name (testbeds or gen-* specs).
 	// Empty defaults to "testbed-a".
 	Topology string `json:"topology,omitempty"`
-	// Protocol is digs, orchestra or whart. Empty defaults to "digs".
+	// Protocol is a registered stack name (RegisteredStacks: digs,
+	// orchestra, whart, sdn, adaptive). Empty defaults to "digs".
 	Protocol string `json:"protocol,omitempty"`
 	Seed     int64  `json:"seed,omitempty"`
 	// Period is the per-flow packet period (default 5s).
@@ -145,10 +146,8 @@ func (s Spec) Canonical() Spec {
 // server should reject at admission rather than at run time.
 func (s Spec) Validate() error {
 	c := s.Canonical()
-	switch c.Protocol {
-	case "digs", "orchestra", "whart":
-	default:
-		return fmt.Errorf("spec: unknown protocol %q", c.Protocol)
+	if !StackRegistered(c.Protocol) {
+		return fmt.Errorf("spec: unknown protocol %q (registered: %s)", c.Protocol, StackNames())
 	}
 	if err := ValidTopologyName(c.Topology); err != nil {
 		return fmt.Errorf("spec: %w", err)

@@ -49,6 +49,12 @@ const (
 	// synchronised but not-yet-joined node asking neighbours to
 	// re-advertise promptly.
 	KindSolicit
+	// KindReport is an SDN link-state report: a node's observed neighbour
+	// list riding hop-by-hop toward the centralized controller.
+	KindReport
+	// KindConfig is an SDN configuration push: the controller's computed
+	// route/schedule assignment for one node, source-routed in-band.
+	KindConfig
 )
 
 // Frame is one link-layer frame. Protocol state rides in Payload using each

@@ -31,25 +31,28 @@ const (
 	// Version is the current wire format version. Bump it on any layout
 	// change; decoders reject versions they do not know. Version 2 added
 	// the scale engine's network-state fields (sparse fade pairs and nap
-	// vectors); version-1 snapshots still decode (they predate the scale
-	// engine, so those fields are simply absent).
-	Version = 2
+	// vectors); version 3 added the controller-layer stack sections (sdn,
+	// adpt). Older snapshots still decode (they predate those features,
+	// so the added fields and sections are simply absent).
+	Version = 3
 )
 
 // Section tags.
 const (
-	secMeta    = "meta"
-	secNet     = "net"
-	secMAC     = "mac"
-	secDiGS    = "digs"
-	secOrch    = "orch"
-	secMetrics = "metrics"
+	secMeta     = "meta"
+	secNet      = "net"
+	secMAC      = "mac"
+	secDiGS     = "digs"
+	secOrch     = "orch"
+	secSDN      = "sdn"
+	secAdaptive = "adpt"
+	secMetrics  = "metrics"
 )
 
 // Encode serialises a snapshot to its wire form.
 func Encode(s *Snapshot) ([]byte, error) {
 	switch s.Meta.Protocol {
-	case ProtocolDiGS, ProtocolOrchestra, ProtocolWHART:
+	case ProtocolDiGS, ProtocolOrchestra, ProtocolWHART, ProtocolSDN, ProtocolAdaptive:
 	default:
 		return nil, fmt.Errorf("snapshot: encode unknown protocol %q", s.Meta.Protocol)
 	}
@@ -76,6 +79,10 @@ func Encode(s *Snapshot) ([]byte, error) {
 		section(secDiGS, func(sw *writer) { encodeDiGSStacks(sw, s.DiGS) })
 	case ProtocolOrchestra:
 		section(secOrch, func(sw *writer) { encodeOrchStacks(sw, s.Orchestra) })
+	case ProtocolSDN:
+		section(secSDN, func(sw *writer) { encodeSDNStacks(sw, s.SDN) })
+	case ProtocolAdaptive:
+		section(secAdaptive, func(sw *writer) { encodeAdaptiveStacks(sw, s.Adaptive) })
 	}
 	if s.Metrics != nil {
 		section(secMetrics, func(sw *writer) { encodeCollector(sw, s.Metrics) })
@@ -102,7 +109,7 @@ func Decode(b []byte) (*Snapshot, error) {
 
 	r := &reader{buf: body, off: len(magic)}
 	ver := r.uvarint()
-	if r.err == nil && ver != 1 && ver != Version {
+	if r.err == nil && (ver < 1 || ver > Version) {
 		return nil, fmt.Errorf("snapshot: format version %d, this build reads <= %d", ver, Version)
 	}
 
@@ -134,6 +141,10 @@ func Decode(b []byte) (*Snapshot, error) {
 			s.DiGS = decodeDiGSStacks(sr)
 		case secOrch:
 			s.Orchestra = decodeOrchStacks(sr)
+		case secSDN:
+			s.SDN = decodeSDNStacks(sr)
+		case secAdaptive:
+			s.Adaptive = decodeAdaptiveStacks(sr)
 		case secMetrics:
 			s.Metrics = decodeCollector(sr)
 		default:
@@ -178,8 +189,16 @@ func validate(s *Snapshot, seen map[string]bool) error {
 		if !seen[secOrch] || len(s.Orchestra) != s.Meta.Nodes+1 {
 			return fmt.Errorf("snapshot: orchestra snapshot without matching stack section")
 		}
+	case ProtocolSDN:
+		if !seen[secSDN] || len(s.SDN) != s.Meta.Nodes+1 {
+			return fmt.Errorf("snapshot: sdn snapshot without matching stack section")
+		}
+	case ProtocolAdaptive:
+		if !seen[secAdaptive] || len(s.Adaptive) != s.Meta.Nodes+1 {
+			return fmt.Errorf("snapshot: adaptive snapshot without matching stack section")
+		}
 	case ProtocolWHART:
-		if seen[secDiGS] || seen[secOrch] {
+		if seen[secDiGS] || seen[secOrch] || seen[secSDN] || seen[secAdaptive] {
 			return fmt.Errorf("snapshot: whart snapshot with protocol stack section")
 		}
 	default:

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"github.com/digs-net/digs/internal/controller"
 	"github.com/digs-net/digs/internal/core"
 	"github.com/digs-net/digs/internal/mac"
 	"github.com/digs-net/digs/internal/metrics"
@@ -31,6 +32,8 @@ const (
 	ProtocolDiGS      = "digs"
 	ProtocolOrchestra = "orchestra"
 	ProtocolWHART     = "whart"
+	ProtocolSDN       = "sdn"
+	ProtocolAdaptive  = "adaptive"
 )
 
 // Meta is the self-describing header of a snapshot: everything a consumer
@@ -67,10 +70,12 @@ type Snapshot struct {
 	Net  *sim.NetworkState
 	// MACs is indexed by node ID (entry 0 nil), length Nodes+1.
 	MACs []*mac.NodeState
-	// Exactly one of DiGS/Orchestra is populated for those protocols;
-	// the WirelessHART stack is stateless beyond its MAC nodes.
+	// Exactly one of DiGS/Orchestra/SDN/Adaptive is populated for those
+	// protocols; the WirelessHART stack is stateless beyond its MAC nodes.
 	DiGS      []*core.StackState
 	Orchestra []*orchestra.StackState
+	SDN       []*controller.SDNStackState
+	Adaptive  []*controller.AdaptiveStackState
 	// Metrics optionally carries an in-window collector (snapshots taken
 	// mid-measurement).
 	Metrics *metrics.CollectorState
@@ -226,4 +231,70 @@ func (s *Snapshot) RestoreWHART(nw *sim.Network, net *whart.Network) error {
 		return err
 	}
 	return restoreMACs(net.Nodes, s.MACs)
+}
+
+// TakeSDN captures a complete SDN scenario at the current slot.
+func TakeSDN(meta Meta, nw *sim.Network, net *controller.SDNNetwork) (*Snapshot, error) {
+	netSt, err := nw.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	stacks, err := net.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Meta: fillMeta(meta, ProtocolSDN, nw),
+		Net:  netSt,
+		MACs: captureMACs(net.Nodes),
+		SDN:  stacks,
+	}, nil
+}
+
+// RestoreSDN overlays the snapshot onto a freshly built SDN scenario.
+func (s *Snapshot) RestoreSDN(nw *sim.Network, net *controller.SDNNetwork) error {
+	if err := s.checkRestore(ProtocolSDN, nw); err != nil {
+		return err
+	}
+	if err := nw.RestoreState(s.Net); err != nil {
+		return err
+	}
+	if err := restoreMACs(net.Nodes, s.MACs); err != nil {
+		return err
+	}
+	return net.RestoreState(s.SDN)
+}
+
+// TakeAdaptive captures a complete adaptive-allocator scenario at the
+// current slot.
+func TakeAdaptive(meta Meta, nw *sim.Network, net *controller.AdaptiveNetwork) (*Snapshot, error) {
+	netSt, err := nw.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	stacks, err := net.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		Meta:     fillMeta(meta, ProtocolAdaptive, nw),
+		Net:      netSt,
+		MACs:     captureMACs(net.Nodes),
+		Adaptive: stacks,
+	}, nil
+}
+
+// RestoreAdaptive overlays the snapshot onto a freshly built adaptive
+// scenario.
+func (s *Snapshot) RestoreAdaptive(nw *sim.Network, net *controller.AdaptiveNetwork) error {
+	if err := s.checkRestore(ProtocolAdaptive, nw); err != nil {
+		return err
+	}
+	if err := nw.RestoreState(s.Net); err != nil {
+		return err
+	}
+	if err := restoreMACs(net.Nodes, s.MACs); err != nil {
+		return err
+	}
+	return net.RestoreState(s.Adaptive)
 }
